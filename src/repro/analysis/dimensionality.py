@@ -1,0 +1,86 @@
+"""Effect of dimensionality on hierarchies (Section IV-C of the paper).
+
+A hierarchy helps a range query by answering its *interior* with
+higher-level nodes; only the query's *border* must be answered by leaves.
+The paper's argument: with ``M`` leaf cells grouped ``b`` at a time,
+
+* in 1-D a query has 2 border regions of size ``b / M`` of the domain each
+  → border fraction ``2 b / M``;
+* in 2-D (an ``m x m = M`` grid grouped ``sqrt(b) x sqrt(b)``) a query has
+  4 border sides of size ``sqrt(b) / sqrt(M)`` each → border fraction
+  ``4 sqrt(b) / sqrt(M)``;
+* in d dimensions, ``2 d`` hyperplane borders of size
+  ``b^(1/d) / M^(1/d)`` each.
+
+Because ``M >> b``, the border fraction explodes with dimension — the
+paper's worked example (``M = 10,000``, ``b = 4``) gives 0.0008 in 1-D but
+0.08 in 2-D, which is why deep hierarchies pay off so much less over
+2-D grids.  These closed forms back the Figure 3 discussion and the
+``bench_dimensionality`` target.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "border_fraction",
+    "border_fraction_1d",
+    "border_fraction_2d",
+    "paper_example",
+    "hierarchy_benefit_ratio",
+]
+
+
+def border_fraction(n_cells: float, group_size: float, dimension: int) -> float:
+    """Fraction of the domain a query's border occupies, in d dimensions.
+
+    ``n_cells`` is the total number of leaf cells ``M``; ``group_size`` the
+    number of leaves grouped into one higher-level node ``b``.
+    """
+    if dimension < 1:
+        raise ValueError(f"dimension must be >= 1, got {dimension}")
+    if n_cells <= 0 or group_size <= 0:
+        raise ValueError("n_cells and group_size must be positive")
+    if group_size > n_cells:
+        raise ValueError(
+            f"group size {group_size} cannot exceed cell count {n_cells}"
+        )
+    side = (group_size / n_cells) ** (1.0 / dimension)
+    return min(1.0, 2.0 * dimension * side)
+
+
+def border_fraction_1d(n_cells: float, group_size: float) -> float:
+    """1-D special case: ``2 b / M``."""
+    return border_fraction(n_cells, group_size, 1)
+
+
+def border_fraction_2d(n_cells: float, group_size: float) -> float:
+    """2-D special case: ``4 sqrt(b) / sqrt(M)``."""
+    return border_fraction(n_cells, group_size, 2)
+
+
+def paper_example() -> dict[str, float]:
+    """The worked example of Section IV-C: M = 10,000 and b = 4.
+
+    >>> example = paper_example()
+    >>> round(example["2d"], 4), round(example["1d"], 4)
+    (0.08, 0.0008)
+    """
+    n_cells = 10_000.0
+    group = 4.0
+    return {
+        "1d": border_fraction_1d(n_cells, group),
+        "2d": border_fraction_2d(n_cells, group),
+        "ratio": border_fraction_2d(n_cells, group)
+        / border_fraction_1d(n_cells, group),
+    }
+
+
+def hierarchy_benefit_ratio(n_cells: float, group_size: float, dimension: int) -> float:
+    """How much of a query a hierarchy can shortcut: 1 - border fraction.
+
+    Values near 1 mean the hierarchy answers almost everything with
+    high-level nodes (the 1-D regime); values near 0 mean almost the whole
+    query is border work at the leaves (the high-dimensional regime), so
+    the hierarchy's extra levels mostly just dilute the leaf budget.
+    """
+    return max(0.0, 1.0 - border_fraction(n_cells, group_size, dimension))

@@ -1,0 +1,145 @@
+"""The paper's two-source error model, measurable on real synopses.
+
+Section II-B decomposes a grid synopsis's query error into:
+
+* **noise error** — the sum of per-cell Laplace noises inside the query:
+  standard deviation ``sqrt(2 r) * m / eps`` for a query covering fraction
+  ``r`` of an ``m x m`` grid;
+* **non-uniformity error** — the uniformity assumption applied to border
+  cells: on the order of ``sqrt(r) * N / (c0 * m)``.
+
+This module provides both the closed-form *predictions* and an empirical
+*decomposition*: given a dataset, a grid size and a workload, it measures
+the two components separately (non-uniformity from a noise-free exact
+grid; noise by differencing noisy and exact grid answers), which is how the
+tests validate Guideline 1 end to end.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import GeoDataset
+from repro.core.grid import GridLayout
+from repro.core.guidelines import DEFAULT_C
+from repro.privacy.mechanisms import ensure_rng
+from repro.queries.workload import QueryWorkload
+
+__all__ = [
+    "predicted_noise_error",
+    "predicted_nonuniformity_error",
+    "predicted_total_error",
+    "optimal_grid_size_numeric",
+    "ErrorDecomposition",
+    "measure_decomposition",
+]
+
+
+def predicted_noise_error(
+    m: float, epsilon: float, query_fraction: float
+) -> float:
+    """Predicted noise-error standard deviation ``sqrt(2 r) m / eps``."""
+    if m <= 0 or epsilon <= 0:
+        raise ValueError("m and epsilon must be positive")
+    if not 0.0 <= query_fraction <= 1.0:
+        raise ValueError(f"query fraction must be in [0, 1], got {query_fraction}")
+    return math.sqrt(2.0 * query_fraction) * m / epsilon
+
+
+def predicted_nonuniformity_error(
+    m: float,
+    n_points: float,
+    query_fraction: float,
+    c0: float = DEFAULT_C / math.sqrt(2.0),
+) -> float:
+    """Predicted non-uniformity error ``sqrt(r) N / (c0 m)``."""
+    if m <= 0:
+        raise ValueError("m must be positive")
+    return math.sqrt(query_fraction) * n_points / (c0 * m)
+
+
+def predicted_total_error(
+    m: float,
+    n_points: float,
+    epsilon: float,
+    query_fraction: float,
+    c0: float = DEFAULT_C / math.sqrt(2.0),
+) -> float:
+    """Sum of the two predicted error components."""
+    return predicted_noise_error(m, epsilon, query_fraction) + (
+        predicted_nonuniformity_error(m, n_points, query_fraction, c0)
+    )
+
+
+def optimal_grid_size_numeric(
+    n_points: float,
+    epsilon: float,
+    query_fraction: float = 0.25,
+    c0: float = DEFAULT_C / math.sqrt(2.0),
+    m_max: int = 4096,
+) -> int:
+    """Numerically minimise the predicted total error over integer ``m``.
+
+    Exists so tests can confirm Guideline 1's closed form agrees with a
+    brute-force search over the model.
+    """
+    best_m, best_value = 1, math.inf
+    for m in range(1, m_max + 1):
+        value = predicted_total_error(m, n_points, epsilon, query_fraction, c0)
+        if value < best_value:
+            best_m, best_value = m, value
+    return best_m
+
+
+@dataclass(frozen=True)
+class ErrorDecomposition:
+    """Measured mean absolute errors of the two components on a workload."""
+
+    noise_error: float
+    nonuniformity_error: float
+    total_error: float
+
+    def dominant(self) -> str:
+        """Which component dominates ('noise' or 'nonuniformity')."""
+        if self.noise_error >= self.nonuniformity_error:
+            return "noise"
+        return "nonuniformity"
+
+
+def measure_decomposition(
+    dataset: GeoDataset,
+    grid_size: int,
+    epsilon: float,
+    workload: QueryWorkload,
+    rng: np.random.Generator | int | None,
+) -> ErrorDecomposition:
+    """Empirically split a UG synopsis's error into its two sources.
+
+    For every workload query: the *non-uniformity* component is the error
+    of a noise-free exact grid (pure uniformity assumption); the *noise*
+    component is the difference between noisy-grid and exact-grid answers.
+    Their absolute means are returned alongside the total.
+    """
+    rng = ensure_rng(rng)
+    layout = GridLayout(dataset.domain, grid_size)
+    exact_counts = layout.histogram(dataset.points)
+    noise = rng.laplace(0.0, 1.0 / epsilon, size=exact_counts.shape)
+
+    noise_errors = []
+    nonuniformity_errors = []
+    total_errors = []
+    for query_set in workload.query_sets:
+        for rect, truth in zip(query_set.rects, query_set.true_answers):
+            exact_answer = layout.estimate(exact_counts, rect)
+            noise_answer = layout.estimate(noise, rect)
+            nonuniformity_errors.append(abs(exact_answer - truth))
+            noise_errors.append(abs(noise_answer))
+            total_errors.append(abs(exact_answer + noise_answer - truth))
+    return ErrorDecomposition(
+        noise_error=float(np.mean(noise_errors)),
+        nonuniformity_error=float(np.mean(nonuniformity_errors)),
+        total_error=float(np.mean(total_errors)),
+    )

@@ -1,0 +1,24 @@
+"""Baselines: the methods the paper compares UG/AG against."""
+
+from repro.baselines.constrained_inference import CountNode, infer_tree
+from repro.baselines.flat import ExactGridBuilder, NoisyTotalBuilder
+from repro.baselines.hierarchy import HierarchicalGridBuilder
+from repro.baselines.kd_tree import KDHybridBuilder, KDStandardBuilder, KDTreeBuilder
+from repro.baselines.privelet import PriveletBuilder
+from repro.baselines.quadtree import QuadtreeBuilder
+from repro.baselines.tree import SpatialNode, TreeSynopsis
+
+__all__ = [
+    "CountNode",
+    "ExactGridBuilder",
+    "HierarchicalGridBuilder",
+    "KDHybridBuilder",
+    "KDStandardBuilder",
+    "KDTreeBuilder",
+    "NoisyTotalBuilder",
+    "PriveletBuilder",
+    "QuadtreeBuilder",
+    "SpatialNode",
+    "TreeSynopsis",
+    "infer_tree",
+]

@@ -1,0 +1,65 @@
+"""Trivial baselines used for calibration and sanity checks.
+
+* :class:`NoisyTotalBuilder` — the degenerate ``1 x 1`` grid: release a
+  single noisy total and answer every query by area scaling.  This is the
+  paper's "extreme c" reference point: optimal for perfectly uniform data,
+  terrible otherwise.
+* :class:`ExactGridBuilder` — a *non-private* exact grid histogram.  It
+  isolates pure non-uniformity error (zero noise error), which the tests
+  and ablation benches use to validate the error model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import GeoDataset
+from repro.core.grid import GridLayout
+from repro.core.synopsis import SynopsisBuilder
+from repro.core.uniform_grid import UniformGridBuilder, UniformGridSynopsis
+from repro.privacy.budget import PrivacyBudget
+from repro.privacy.mechanisms import ensure_rng
+
+__all__ = ["NoisyTotalBuilder", "ExactGridBuilder"]
+
+
+class NoisyTotalBuilder(UniformGridBuilder):
+    """The 1 x 1 grid: a single noisy count plus the uniformity assumption."""
+
+    name = "NoisyTotal"
+
+    def __init__(self):
+        super().__init__(grid_size=1)
+
+    def label(self) -> str:
+        return "U1"
+
+
+class ExactGridBuilder(SynopsisBuilder):
+    """A non-private exact histogram (noise error = 0).
+
+    **Not differentially private** — for analysis only.  The ``epsilon``
+    argument is recorded but no noise is added and no budget is spent.
+    """
+
+    name = "ExactGrid"
+
+    def __init__(self, grid_size: int):
+        if grid_size < 1:
+            raise ValueError(f"grid_size must be >= 1, got {grid_size}")
+        self.grid_size = grid_size
+
+    def label(self) -> str:
+        return f"Exact{self.grid_size}"
+
+    def fit(
+        self,
+        dataset: GeoDataset,
+        epsilon: float,
+        rng: np.random.Generator,
+        budget: PrivacyBudget | None = None,
+    ) -> UniformGridSynopsis:
+        ensure_rng(rng)
+        layout = GridLayout(dataset.domain, self.grid_size)
+        exact = layout.histogram(dataset.points)
+        return UniformGridSynopsis(dataset.domain, epsilon, layout, exact)

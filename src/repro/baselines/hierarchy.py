@@ -1,0 +1,183 @@
+"""Grid hierarchies ``H_{b,d}`` — the paper's Figure 3 baseline.
+
+``H_{b,d}`` builds ``d`` nested equi-width grids over the domain, each
+refining the previous by a ``b x b`` branching factor: level sizes are
+``m / b^(d-1), ..., m / b, m`` where ``m`` is the leaf grid size.  The
+budget is split uniformly across levels, each level's histogram is released
+with Laplace noise (one parallel-composition spend per level), and
+constrained inference reconciles the levels.
+
+After inference the hierarchy is exactly consistent, so queries can be
+answered from the leaf grid alone (summing leaves reproduces every interior
+count); the leaf grid is shared with UG's query machinery.
+
+This implementation is array-based rather than node-based: with uniform
+branching and one measurement per node at every level, the two inference
+passes reduce to per-level scalar-weight updates on count matrices, which
+is orders of magnitude faster than a million-node object tree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import GeoDataset
+from repro.core.grid import GridLayout
+from repro.core.synopsis import SynopsisBuilder
+from repro.core.uniform_grid import UniformGridSynopsis
+from repro.privacy.budget import PrivacyBudget
+from repro.privacy.composition import uniform_allocation
+from repro.privacy.mechanisms import ensure_rng, laplace_scale
+
+__all__ = ["HierarchicalGridBuilder", "block_sum", "block_repeat", "hierarchy_inference"]
+
+
+def block_sum(matrix: np.ndarray, factor: int) -> np.ndarray:
+    """Sum non-overlapping ``factor x factor`` blocks of a 2-D array.
+
+    The array's dimensions must be divisible by ``factor``.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    rows, cols = matrix.shape
+    if rows % factor or cols % factor:
+        raise ValueError(
+            f"shape {matrix.shape} not divisible by block factor {factor}"
+        )
+    return (
+        matrix.reshape(rows // factor, factor, cols // factor, factor)
+        .sum(axis=(1, 3))
+    )
+
+
+def block_repeat(matrix: np.ndarray, factor: int) -> np.ndarray:
+    """Expand each entry into a ``factor x factor`` block (inverse shape of block_sum)."""
+    return np.repeat(np.repeat(matrix, factor, axis=0), factor, axis=1)
+
+
+def hierarchy_inference(
+    noisy_levels: list[np.ndarray],
+    variances: list[float],
+    branching: int,
+) -> list[np.ndarray]:
+    """Constrained inference over a stack of nested grid histograms.
+
+    ``noisy_levels[0]`` is the coarsest grid, each subsequent level refines
+    by ``branching`` per axis.  ``variances[l]`` is the per-cell noise
+    variance at level ``l``.  Returns the consistent weighted-least-squares
+    estimates level by level (the array form of Hay et al.'s two passes;
+    weights are scalar per level because every node at a level shares the
+    same variance).
+    """
+    if len(noisy_levels) != len(variances):
+        raise ValueError("one variance per level required")
+    depth = len(noisy_levels)
+    if depth == 0:
+        raise ValueError("at least one level required")
+    k = branching * branching  # children per node
+
+    # Upward pass: z[l] = best estimate from level l's own measurement and
+    # the (already combined) levels below it.
+    z_levels: list[np.ndarray] = [None] * depth  # type: ignore[list-item]
+    z_variances: list[float] = [0.0] * depth
+    z_levels[depth - 1] = np.asarray(noisy_levels[depth - 1], dtype=float)
+    z_variances[depth - 1] = variances[depth - 1]
+    for level in range(depth - 2, -1, -1):
+        child_sum = block_sum(z_levels[level + 1], branching)
+        child_variance = k * z_variances[level + 1]
+        own_variance = variances[level]
+        weight_own = child_variance / (own_variance + child_variance)
+        z_levels[level] = (
+            weight_own * np.asarray(noisy_levels[level], dtype=float)
+            + (1.0 - weight_own) * child_sum
+        )
+        z_variances[level] = own_variance * child_variance / (
+            own_variance + child_variance
+        )
+
+    # Downward pass: distribute each parent's residual equally among its
+    # children (equal z-variances within a level make the shares uniform).
+    inferred: list[np.ndarray] = [None] * depth  # type: ignore[list-item]
+    inferred[0] = z_levels[0]
+    for level in range(1, depth):
+        parent_residual = inferred[level - 1] - block_sum(z_levels[level], branching)
+        inferred[level] = z_levels[level] + block_repeat(parent_residual, branching) / k
+    return inferred
+
+
+class HierarchicalGridBuilder(SynopsisBuilder):
+    """Builds ``H_{b,d}``: a ``d``-level hierarchy over an ``m x m`` leaf grid.
+
+    Parameters
+    ----------
+    leaf_grid_size:
+        The finest grid size ``m``; must be divisible by
+        ``branching^(depth-1)``.
+    branching:
+        Per-axis branching factor ``b`` between consecutive levels.
+    depth:
+        Number of levels ``d`` (``depth = 1`` degenerates to UG at ``m``).
+    """
+
+    name = "Hierarchy"
+
+    def __init__(self, leaf_grid_size: int, branching: int = 2, depth: int = 2):
+        if leaf_grid_size < 1:
+            raise ValueError(f"leaf_grid_size must be >= 1, got {leaf_grid_size}")
+        if branching < 2:
+            raise ValueError(f"branching must be >= 2, got {branching}")
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        if leaf_grid_size % (branching ** (depth - 1)):
+            raise ValueError(
+                f"leaf grid {leaf_grid_size} not divisible by "
+                f"branching^(depth-1) = {branching ** (depth - 1)}"
+            )
+        self.leaf_grid_size = leaf_grid_size
+        self.branching = branching
+        self.depth = depth
+
+    def label(self) -> str:
+        return f"H{self.branching},{self.depth}"
+
+    def level_sizes(self) -> list[int]:
+        """Grid sizes from coarsest to finest, e.g. H(2,3) over 360: [90, 180, 360]."""
+        return [
+            self.leaf_grid_size // (self.branching ** (self.depth - 1 - level))
+            for level in range(self.depth)
+        ]
+
+    def fit(
+        self,
+        dataset: GeoDataset,
+        epsilon: float,
+        rng: np.random.Generator,
+        budget: PrivacyBudget | None = None,
+    ) -> UniformGridSynopsis:
+        rng = ensure_rng(rng)
+        budget = self._budget(epsilon, budget)
+
+        leaf_layout = GridLayout(dataset.domain, self.leaf_grid_size)
+        exact_leaf = leaf_layout.histogram(dataset.points)
+
+        level_epsilons = uniform_allocation(epsilon, self.depth)
+        sizes = self.level_sizes()
+
+        noisy_levels: list[np.ndarray] = []
+        variances: list[float] = []
+        for level, (size, level_eps) in enumerate(zip(sizes, level_epsilons)):
+            budget.spend(level_eps, f"level {level} counts (size {size})")
+            factor = self.leaf_grid_size // size
+            exact = block_sum(exact_leaf, factor) if factor > 1 else exact_leaf
+            scale = laplace_scale(1.0, level_eps)
+            noisy_levels.append(exact + rng.laplace(0.0, scale, size=exact.shape))
+            variances.append(2.0 * scale**2)
+
+        if self.depth == 1:
+            leaf_counts = noisy_levels[0]
+        else:
+            inferred = hierarchy_inference(noisy_levels, variances, self.branching)
+            leaf_counts = inferred[-1]
+
+        # Consistency means leaf sums reproduce every interior estimate, so
+        # releasing the leaf grid alone loses nothing.
+        return UniformGridSynopsis(dataset.domain, epsilon, leaf_layout, leaf_counts)

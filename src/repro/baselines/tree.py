@@ -1,0 +1,155 @@
+"""Generic spatial-decomposition tree synopsis.
+
+The KD-tree and quadtree baselines all release the same kind of object: a
+tree of rectangular regions with a (noisy) count attached to each node,
+where children partition their parent's region.  This module provides that
+shared substrate:
+
+* :class:`SpatialNode` — a region node holding released counts.
+* :class:`TreeSynopsis` — answers rectangle queries by descending the tree:
+  regions fully inside the query contribute their whole count, disjoint
+  regions contribute nothing, and partially covered *leaves* fall back to
+  the uniformity assumption (Section II-B of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.constrained_inference import CountNode, infer_tree
+from repro.core.geometry import Domain2D, Rect
+from repro.core.synopsis import Synopsis
+
+__all__ = ["SpatialNode", "TreeSynopsis", "apply_tree_inference"]
+
+
+@dataclass
+class SpatialNode:
+    """A node of a spatial decomposition: a region plus released counts.
+
+    ``count`` is the estimate used at query time (after constrained
+    inference when the method applies it); ``noisy_count`` / ``variance``
+    keep the raw measurement so inference can be (re-)run.
+    """
+
+    rect: Rect
+    noisy_count: float | None = None
+    variance: float = float("inf")
+    count: float = 0.0
+    depth: int = 0
+    children: list["SpatialNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def node_count(self) -> int:
+        """Number of nodes in this subtree."""
+        return 1 + sum(child.node_count() for child in self.children)
+
+    def leaf_count(self) -> int:
+        """Number of leaves in this subtree."""
+        if self.is_leaf:
+            return 1
+        return sum(child.leaf_count() for child in self.children)
+
+    def height(self) -> int:
+        """Length of the longest root-to-leaf path (leaf = 0)."""
+        if self.is_leaf:
+            return 0
+        return 1 + max(child.height() for child in self.children)
+
+    def iter_nodes(self):
+        """Yield all nodes in the subtree, pre-order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def iter_leaves(self):
+        """Yield all leaves in the subtree."""
+        for node in self.iter_nodes():
+            if node.is_leaf:
+                yield node
+
+
+def apply_tree_inference(root: SpatialNode) -> None:
+    """Run Hay-et-al constrained inference over a spatial tree in place.
+
+    Builds the parallel :class:`~repro.baselines.constrained_inference.
+    CountNode` structure, solves it, and writes the consistent estimates
+    back into each node's ``count``.
+    """
+    mapping: dict[int, SpatialNode] = {}
+
+    def convert(node: SpatialNode) -> CountNode:
+        count_node = CountNode(
+            noisy_count=node.noisy_count,
+            variance=node.variance,
+            children=[convert(child) for child in node.children],
+        )
+        mapping[id(count_node)] = node
+        return count_node
+
+    count_root = convert(root)
+    infer_tree(count_root)
+
+    stack = [count_root]
+    while stack:
+        count_node = stack.pop()
+        mapping[id(count_node)].count = count_node.inferred_count
+        stack.extend(count_node.children)
+
+
+class TreeSynopsis(Synopsis):
+    """A released spatial decomposition answering queries top-down."""
+
+    def __init__(self, domain: Domain2D, epsilon: float, root: SpatialNode):
+        super().__init__(domain, epsilon)
+        self._root = root
+
+    @property
+    def root(self) -> SpatialNode:
+        return self._root
+
+    def node_count(self) -> int:
+        return self._root.node_count()
+
+    def leaf_count(self) -> int:
+        return self._root.leaf_count()
+
+    def height(self) -> int:
+        return self._root.height()
+
+    def answer(self, rect: Rect) -> float:
+        return self._answer_node(self._root, rect)
+
+    def _answer_node(self, node: SpatialNode, rect: Rect) -> float:
+        region = node.rect
+        if not region.intersects(rect):
+            return 0.0
+        if rect.contains_rect(region):
+            return node.count
+        if node.is_leaf:
+            return node.count * region.overlap_fraction(rect)
+        total = 0.0
+        for child in node.children:
+            total += self._answer_node(child, rect)
+        return total
+
+    def synthetic_points(self, rng: np.random.Generator) -> np.ndarray:
+        """Sample points uniformly within each leaf region by its count."""
+        clouds = []
+        for leaf in self._root.iter_leaves():
+            n = int(max(0, round(leaf.count)))
+            if n == 0:
+                continue
+            xs = rng.uniform(leaf.rect.x_lo, leaf.rect.x_hi, size=n)
+            ys = rng.uniform(leaf.rect.y_lo, leaf.rect.y_hi, size=n)
+            clouds.append(np.column_stack([xs, ys]))
+        if not clouds:
+            return np.empty((0, 2))
+        return np.vstack(clouds)

@@ -1,0 +1,203 @@
+"""The geospatial dataset container.
+
+A :class:`GeoDataset` is an immutable bag of 2-D points together with the
+:class:`~repro.core.geometry.Domain2D` they live in.  It is the single
+input to every synopsis method, and also serves as the ground truth oracle
+(:meth:`GeoDataset.count_in`) when evaluating query error.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.geometry import Domain2D, Rect
+
+__all__ = ["GeoDataset"]
+
+
+class GeoDataset:
+    """An immutable set of 2-D points inside a rectangular domain.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n, 2)`` with columns ``(x, y)``.  Points must lie
+        within ``domain`` (use :meth:`from_points` with ``clip=True`` to
+        clamp outliers).
+    domain:
+        The data domain; queries are rectangles inside it.
+    name:
+        Optional human-readable label used in experiment reports.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        domain: Domain2D,
+        name: str = "unnamed",
+    ):
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[1] != 2:
+            raise ValueError(f"points must have shape (n, 2), got {points.shape}")
+        bounds = domain.bounds
+        if points.size and (
+            points[:, 0].min() < bounds.x_lo
+            or points[:, 0].max() > bounds.x_hi
+            or points[:, 1].min() < bounds.y_lo
+            or points[:, 1].max() > bounds.y_hi
+        ):
+            raise ValueError(
+                "points fall outside the domain; use GeoDataset.from_points(..., "
+                "clip=True) to clamp them"
+            )
+        self._points = points
+        self._points.setflags(write=False)
+        self._domain = domain
+        self._name = name
+
+    @classmethod
+    def from_points(
+        cls,
+        points: np.ndarray,
+        domain: Domain2D | None = None,
+        name: str = "unnamed",
+        clip: bool = False,
+    ) -> "GeoDataset":
+        """Build a dataset, optionally inferring the domain or clipping points.
+
+        When ``domain`` is ``None`` the bounding box of the points (expanded
+        by a tiny margin so no point sits exactly on the boundary of a
+        degenerate domain) is used.
+        """
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[1] != 2:
+            raise ValueError(f"points must have shape (n, 2), got {points.shape}")
+        if domain is None:
+            if points.shape[0] == 0:
+                raise ValueError("cannot infer a domain from an empty point set")
+            x_lo, y_lo = points.min(axis=0)
+            x_hi, y_hi = points.max(axis=0)
+            margin_x = max(1e-9, (x_hi - x_lo) * 1e-9)
+            margin_y = max(1e-9, (y_hi - y_lo) * 1e-9)
+            domain = Domain2D(
+                x_lo - margin_x, y_lo - margin_y, x_hi + margin_x, y_hi + margin_y
+            )
+        if clip:
+            points = domain.clip_points(points)
+        return cls(points, domain, name=name)
+
+    @property
+    def points(self) -> np.ndarray:
+        """Read-only ``(n, 2)`` point array."""
+        return self._points
+
+    @property
+    def xs(self) -> np.ndarray:
+        return self._points[:, 0]
+
+    @property
+    def ys(self) -> np.ndarray:
+        return self._points[:, 1]
+
+    @property
+    def domain(self) -> Domain2D:
+        return self._domain
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def size(self) -> int:
+        """Number of data points N."""
+        return self._points.shape[0]
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return f"GeoDataset({self._name!r}, n={self.size}, domain={self._domain!r})"
+
+    def count_in(self, rect: Rect) -> int:
+        """Exact number of points inside the closed rectangle ``rect``.
+
+        This is the ground-truth answer ``A(r)`` used to measure synopsis
+        error; it is *not* differentially private.
+        """
+        return int(np.count_nonzero(rect.mask(self.xs, self.ys)))
+
+    def count_many(self, rects: list[Rect]) -> np.ndarray:
+        """Exact counts for a list of query rectangles."""
+        return np.array([self.count_in(rect) for rect in rects], dtype=float)
+
+    def subset(self, rect: Rect, name: str | None = None) -> "GeoDataset":
+        """Points falling inside ``rect``, with ``rect`` as the new domain."""
+        mask = rect.mask(self.xs, self.ys)
+        sub_domain = Domain2D(rect.x_lo, rect.y_lo, rect.x_hi, rect.y_hi)
+        return GeoDataset(
+            self._points[mask], sub_domain, name=name or f"{self._name}-subset"
+        )
+
+    def sample(self, n: int, rng: np.random.Generator) -> "GeoDataset":
+        """A uniform random sample of ``n`` points (without replacement)."""
+        if n > self.size:
+            raise ValueError(f"cannot sample {n} from {self.size} points")
+        index = rng.choice(self.size, size=n, replace=False)
+        return GeoDataset(
+            self._points[index], self._domain, name=f"{self._name}-sample{n}"
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Persist points and domain to an ``.npz`` file."""
+        bounds = self._domain.bounds
+        np.savez_compressed(
+            Path(path),
+            points=self._points,
+            domain=np.array(bounds.as_tuple()),
+            name=np.array(self._name),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "GeoDataset":
+        """Load a dataset previously written by :meth:`save`."""
+        with np.load(Path(path), allow_pickle=False) as archive:
+            points = archive["points"]
+            x_lo, y_lo, x_hi, y_hi = archive["domain"]
+            name = str(archive["name"])
+        return cls(points, Domain2D(x_lo, y_lo, x_hi, y_hi), name=name)
+
+    def to_csv(self, path_or_buffer: str | Path | io.TextIOBase) -> None:
+        """Write ``x,y`` rows (with header) to a CSV file or buffer."""
+        if isinstance(path_or_buffer, (str, Path)):
+            with open(path_or_buffer, "w", encoding="utf-8") as handle:
+                self._write_csv(handle)
+        else:
+            self._write_csv(path_or_buffer)
+
+    def _write_csv(self, handle: io.TextIOBase) -> None:
+        handle.write("x,y\n")
+        for x, y in self._points:
+            handle.write(f"{float(x)!r},{float(y)!r}\n")
+
+    @classmethod
+    def from_csv(
+        cls,
+        path_or_buffer: str | Path | io.TextIOBase,
+        domain: Domain2D | None = None,
+        name: str = "csv",
+    ) -> "GeoDataset":
+        """Read a dataset from a two-column ``x,y`` CSV with a header row."""
+        if isinstance(path_or_buffer, (str, Path)):
+            data = np.loadtxt(path_or_buffer, delimiter=",", skiprows=1, ndmin=2)
+        else:
+            data = np.loadtxt(path_or_buffer, delimiter=",", skiprows=1, ndmin=2)
+        if data.size == 0:
+            data = data.reshape(0, 2)
+        return cls.from_points(data, domain=domain, name=name)

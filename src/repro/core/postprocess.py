@@ -1,0 +1,90 @@
+"""Post-processing of released counts.
+
+Differential privacy is closed under post-processing, so any transform of
+a released synopsis is free (no extra budget).  Two standard clean-ups for
+noisy histograms are provided:
+
+* :func:`clamp_nonnegative` — zero out negative counts.  Simple, but
+  biases the total upward (it removes only negative noise).
+* :func:`project_nonnegative_preserving_total` — the standard "waterfill"
+  projection: clamp negatives to zero, then uniformly subtract from the
+  remaining positive cells so the (noisy) total is preserved, iterating
+  until no cell goes negative.  This is the L2 projection onto
+  ``{x >= 0, sum(x) = total}`` for the uniform-weights case.
+
+Both operate on arbitrary-dimensional count arrays, so they apply to UG
+grids, AG sub-grids, and the d-dimensional extension alike.
+:class:`~repro.core.uniform_grid.UniformGridBuilder` exposes them via its
+``postprocess`` parameter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "clamp_nonnegative",
+    "project_nonnegative_preserving_total",
+    "apply_postprocess",
+    "POSTPROCESS_CHOICES",
+]
+
+POSTPROCESS_CHOICES = ("none", "clamp", "project")
+
+
+def clamp_nonnegative(counts: np.ndarray) -> np.ndarray:
+    """Element-wise ``max(counts, 0)``."""
+    return np.maximum(np.asarray(counts, dtype=float), 0.0)
+
+
+def project_nonnegative_preserving_total(
+    counts: np.ndarray, max_iterations: int = 64
+) -> np.ndarray:
+    """Project onto the non-negative simplex slice ``sum(x) = sum(counts)``.
+
+    When the noisy total itself is negative, there is no non-negative
+    array with that total; the all-zeros array (the closest boundary
+    point) is returned.
+
+    The iteration clamps negatives and redistributes the (negative)
+    surplus equally over the still-positive cells; it terminates when no
+    cell goes negative, which happens in at most ``n`` iterations and in
+    practice a handful.
+    """
+    counts = np.asarray(counts, dtype=float).copy()
+    total = counts.sum()
+    if total <= 0.0:
+        return np.zeros_like(counts)
+    flat = counts.reshape(-1)
+    for _ in range(max_iterations):
+        negative = flat < 0.0
+        if not negative.any():
+            break
+        deficit = flat[negative].sum()  # negative number
+        flat[negative] = 0.0
+        positive = flat > 0.0
+        n_positive = int(np.count_nonzero(positive))
+        if n_positive == 0:
+            break
+        flat[positive] += deficit / n_positive
+    # A final clamp guards the rare case where max_iterations was hit.
+    flat[flat < 0.0] = 0.0
+    result = flat.reshape(counts.shape)
+    # Restore the exact total (the clamp in the last step can drift it).
+    current = result.sum()
+    if current > 0.0:
+        result *= total / current
+    return result
+
+
+def apply_postprocess(counts: np.ndarray, mode: str) -> np.ndarray:
+    """Dispatch on a postprocess mode name (``none``/``clamp``/``project``)."""
+    if mode == "none":
+        return np.asarray(counts, dtype=float)
+    if mode == "clamp":
+        return clamp_nonnegative(counts)
+    if mode == "project":
+        return project_nonnegative_preserving_total(counts)
+    raise ValueError(
+        f"unknown postprocess mode {mode!r}; choose from {POSTPROCESS_CHOICES}"
+    )

@@ -1,0 +1,208 @@
+"""Serialisation of released synopses.
+
+A differentially private synopsis is a *publishable artifact*: once built,
+its noisy state can be shared freely (post-processing preserves DP).  This
+module persists synopses to a single ``.npz`` file and restores them, so a
+data curator can run ``fit`` once on the sensitive data and distribute the
+file; consumers answer queries without ever seeing the raw points.
+
+Supported types: :class:`~repro.core.uniform_grid.UniformGridSynopsis`
+(which also covers Privelet and hierarchy releases — they release a grid),
+:class:`~repro.core.adaptive_grid.AdaptiveGridSynopsis`, and
+:class:`~repro.baselines.tree.TreeSynopsis`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines.tree import SpatialNode, TreeSynopsis
+from repro.core.adaptive_grid import AdaptiveGridSynopsis, _CellRelease
+from repro.core.geometry import Domain2D, Rect
+from repro.core.grid import GridLayout
+from repro.core.synopsis import Synopsis
+from repro.core.uniform_grid import UniformGridSynopsis
+
+__all__ = ["save_synopsis", "load_synopsis"]
+
+_FORMAT_VERSION = 1
+
+
+def save_synopsis(synopsis: Synopsis, path: str | Path) -> None:
+    """Write a released synopsis to ``path`` (an ``.npz`` archive).
+
+    Raises ``TypeError`` for synopsis types without a registered format.
+    """
+    if isinstance(synopsis, UniformGridSynopsis):
+        payload = _pack_uniform(synopsis)
+    elif isinstance(synopsis, AdaptiveGridSynopsis):
+        payload = _pack_adaptive(synopsis)
+    elif isinstance(synopsis, TreeSynopsis):
+        payload = _pack_tree(synopsis)
+    else:
+        raise TypeError(
+            f"cannot serialise synopsis of type {type(synopsis).__name__}"
+        )
+    payload["format_version"] = np.array(_FORMAT_VERSION)
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_synopsis(path: str | Path) -> Synopsis:
+    """Restore a synopsis previously written by :func:`save_synopsis`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        data = {key: archive[key] for key in archive.files}
+    version = int(data.pop("format_version"))
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported synopsis format version {version}")
+    kind = str(data["kind"])
+    if kind == "uniform_grid":
+        return _unpack_uniform(data)
+    if kind == "adaptive_grid":
+        return _unpack_adaptive(data)
+    if kind == "tree":
+        return _unpack_tree(data)
+    raise ValueError(f"unknown synopsis kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Uniform grid
+# ----------------------------------------------------------------------
+
+
+def _domain_array(domain: Domain2D) -> np.ndarray:
+    return np.array(domain.bounds.as_tuple())
+
+
+def _domain_from_array(values: np.ndarray) -> Domain2D:
+    x_lo, y_lo, x_hi, y_hi = (float(v) for v in values)
+    return Domain2D(x_lo, y_lo, x_hi, y_hi)
+
+
+def _pack_uniform(synopsis: UniformGridSynopsis) -> dict[str, np.ndarray]:
+    return {
+        "kind": np.array("uniform_grid"),
+        "domain": _domain_array(synopsis.domain),
+        "epsilon": np.array(synopsis.epsilon),
+        "counts": synopsis.counts,
+    }
+
+
+def _unpack_uniform(data: dict[str, np.ndarray]) -> UniformGridSynopsis:
+    domain = _domain_from_array(data["domain"])
+    counts = np.asarray(data["counts"], dtype=float)
+    layout = GridLayout(domain, counts.shape[0], counts.shape[1])
+    return UniformGridSynopsis(domain, float(data["epsilon"]), layout, counts)
+
+
+# ----------------------------------------------------------------------
+# Adaptive grid
+# ----------------------------------------------------------------------
+
+
+def _pack_adaptive(synopsis: AdaptiveGridSynopsis) -> dict[str, np.ndarray]:
+    m1x, m1y = synopsis.first_level_size
+    sizes = np.empty((m1x, m1y), dtype=np.int64)
+    totals = np.empty((m1x, m1y))
+    leaf_chunks = []
+    for i in range(m1x):
+        for j in range(m1y):
+            m2 = synopsis.cell_grid_size(i, j)
+            sizes[i, j] = m2
+            totals[i, j] = synopsis.cell_total(i, j)
+            leaf_chunks.append(synopsis.cell_counts(i, j).reshape(-1))
+    return {
+        "kind": np.array("adaptive_grid"),
+        "domain": _domain_array(synopsis.domain),
+        "epsilon": np.array(synopsis.epsilon),
+        "first_level": np.array([m1x, m1y]),
+        "cell_sizes": sizes,
+        "cell_totals": totals,
+        "leaf_counts": np.concatenate(leaf_chunks),
+    }
+
+
+def _unpack_adaptive(data: dict[str, np.ndarray]) -> AdaptiveGridSynopsis:
+    domain = _domain_from_array(data["domain"])
+    m1x, m1y = (int(v) for v in data["first_level"])
+    level1 = GridLayout(domain, m1x, m1y)
+    sizes = np.asarray(data["cell_sizes"], dtype=np.int64)
+    totals = np.asarray(data["cell_totals"], dtype=float)
+    flat_leaves = np.asarray(data["leaf_counts"], dtype=float)
+
+    cells: list[list[_CellRelease]] = []
+    offset = 0
+    for i in range(m1x):
+        column: list[_CellRelease] = []
+        for j in range(m1y):
+            m2 = int(sizes[i, j])
+            rect = level1.cell_rect(i, j)
+            cell_domain = Domain2D(rect.x_lo, rect.y_lo, rect.x_hi, rect.y_hi)
+            layout = GridLayout(cell_domain, m2, m2)
+            n_leaves = m2 * m2
+            counts = flat_leaves[offset : offset + n_leaves].reshape(m2, m2)
+            offset += n_leaves
+            column.append(_CellRelease(layout, counts, float(totals[i, j])))
+        cells.append(column)
+    if offset != flat_leaves.size:
+        raise ValueError("corrupt adaptive-grid archive: leaf count mismatch")
+    return AdaptiveGridSynopsis(domain, float(data["epsilon"]), level1, cells)
+
+
+# ----------------------------------------------------------------------
+# Spatial trees
+# ----------------------------------------------------------------------
+
+
+def _pack_tree(synopsis: TreeSynopsis) -> dict[str, np.ndarray]:
+    # Flatten the tree in pre-order; record each node's child count so the
+    # structure can be rebuilt without pickling.
+    rects, counts, child_counts, depths = [], [], [], []
+
+    def visit(node: SpatialNode) -> None:
+        rects.append(node.rect.as_tuple())
+        counts.append(node.count)
+        child_counts.append(len(node.children))
+        depths.append(node.depth)
+        for child in node.children:
+            visit(child)
+
+    visit(synopsis.root)
+    return {
+        "kind": np.array("tree"),
+        "domain": _domain_array(synopsis.domain),
+        "epsilon": np.array(synopsis.epsilon),
+        "rects": np.array(rects),
+        "counts": np.array(counts),
+        "child_counts": np.array(child_counts, dtype=np.int64),
+        "depths": np.array(depths, dtype=np.int64),
+    }
+
+
+def _unpack_tree(data: dict[str, np.ndarray]) -> TreeSynopsis:
+    rects = np.asarray(data["rects"], dtype=float)
+    counts = np.asarray(data["counts"], dtype=float)
+    child_counts = np.asarray(data["child_counts"], dtype=np.int64)
+    depths = np.asarray(data["depths"], dtype=np.int64)
+    cursor = 0
+
+    def build() -> SpatialNode:
+        nonlocal cursor
+        index = cursor
+        cursor += 1
+        node = SpatialNode(
+            rect=Rect(*rects[index]),
+            count=float(counts[index]),
+            depth=int(depths[index]),
+        )
+        for _ in range(int(child_counts[index])):
+            node.children.append(build())
+        return node
+
+    root = build()
+    if cursor != counts.size:
+        raise ValueError("corrupt tree archive: node count mismatch")
+    return TreeSynopsis(
+        _domain_from_array(data["domain"]), float(data["epsilon"]), root
+    )

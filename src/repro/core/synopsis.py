@@ -1,0 +1,116 @@
+"""The synopsis abstraction.
+
+A *synopsis* is the differentially private release described in Section II
+of the paper: a partition of the domain into cells together with noisy
+per-cell counts.  Once built (``fit``), a synopsis answers rectangular
+count queries using only its released state — it never looks at the raw
+data again, which is what makes the release safe to publish.
+
+Concrete synopses (UG, AG, KD trees, hierarchies, Privelet, ...) subclass
+:class:`Synopsis` and implement :meth:`Synopsis.answer`.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.dataset import GeoDataset
+from repro.core.geometry import Domain2D, Rect
+from repro.privacy.budget import PrivacyBudget
+
+__all__ = ["Synopsis", "SynopsisBuilder"]
+
+
+class Synopsis(abc.ABC):
+    """A differentially private synopsis of a 2-D dataset.
+
+    Subclasses are constructed by their builder's ``fit`` and must populate
+    ``domain`` and ``epsilon``.
+    """
+
+    def __init__(self, domain: Domain2D, epsilon: float):
+        self._domain = domain
+        self._epsilon = epsilon
+
+    @property
+    def domain(self) -> Domain2D:
+        return self._domain
+
+    @property
+    def epsilon(self) -> float:
+        """The total privacy budget consumed to build this synopsis."""
+        return self._epsilon
+
+    @abc.abstractmethod
+    def answer(self, rect: Rect) -> float:
+        """Estimated number of data points in the query rectangle.
+
+        Uses the uniformity assumption for cells partially covered by the
+        query.  Estimates may be negative because of Laplace noise; callers
+        who need non-negative counts can clamp.
+        """
+
+    def answer_many(self, rects: list[Rect]) -> np.ndarray:
+        """Vector of estimates for a list of query rectangles."""
+        return np.array([self.answer(rect) for rect in rects], dtype=float)
+
+    def total(self) -> float:
+        """Estimated total number of points (query over the whole domain)."""
+        return self.answer(self._domain.bounds)
+
+    def synthetic_points(self, rng: np.random.Generator) -> np.ndarray:
+        """Generate a synthetic point cloud from the released synopsis.
+
+        The default implementation raises; grid-backed synopses override it.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support synthetic data generation"
+        )
+
+
+class SynopsisBuilder(abc.ABC):
+    """Factory that fits a :class:`Synopsis` to a dataset under a budget.
+
+    Builders carry the method's hyper-parameters (grid sizes, budget splits,
+    tree depths); ``fit`` consumes the dataset once and returns the released
+    synopsis.  A fresh :class:`~repro.privacy.budget.PrivacyBudget` is
+    created per fit unless the caller supplies one (e.g. to share a budget
+    across a pipeline).
+    """
+
+    #: Short algorithm label used in experiment reports (e.g. ``"UG"``).
+    name: str = "synopsis"
+
+    @abc.abstractmethod
+    def fit(
+        self,
+        dataset: GeoDataset,
+        epsilon: float,
+        rng: np.random.Generator,
+        budget: PrivacyBudget | None = None,
+    ) -> Synopsis:
+        """Build a differentially private synopsis of ``dataset``.
+
+        Parameters
+        ----------
+        dataset:
+            The sensitive input data.
+        epsilon:
+            Total privacy budget for the release.
+        rng:
+            Source of randomness for the DP mechanisms.
+        budget:
+            Optional externally managed budget; when omitted the builder
+            creates one of size ``epsilon`` and must exhaust at most that.
+        """
+
+    def label(self) -> str:
+        """Human-readable description including hyper-parameters."""
+        return self.name
+
+    def _budget(self, epsilon: float, budget: PrivacyBudget | None) -> PrivacyBudget:
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        return budget if budget is not None else PrivacyBudget(epsilon)

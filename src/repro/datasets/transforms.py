@@ -1,0 +1,148 @@
+"""Dataset transforms: spatial operations on :class:`GeoDataset`.
+
+Experiment pipelines routinely reshape datasets before fitting — crop to
+a region of interest, merge sources, rebalance density, or project into
+the unit square.  These helpers keep those operations out of experiment
+scripts and under test.
+
+All transforms are pure: they return new datasets and never mutate input.
+None of them are differentially private — they run on the curator's side
+*before* a synopsis is fitted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import GeoDataset
+from repro.core.geometry import Domain2D, Rect
+from repro.privacy.mechanisms import ensure_rng
+
+__all__ = [
+    "crop",
+    "merge",
+    "normalise_to_unit",
+    "jitter",
+    "thin",
+    "mirror_x",
+    "rotate90",
+    "split_by_line",
+]
+
+
+def crop(dataset: GeoDataset, region: Rect, name: str | None = None) -> GeoDataset:
+    """Keep only the points inside ``region``; the region becomes the domain."""
+    return dataset.subset(region, name=name or f"{dataset.name}-crop")
+
+
+def merge(datasets: list[GeoDataset], name: str = "merged") -> GeoDataset:
+    """Union of point sets; the domain is the bounding box of all domains."""
+    if not datasets:
+        raise ValueError("merge requires at least one dataset")
+    x_lo = min(d.domain.bounds.x_lo for d in datasets)
+    y_lo = min(d.domain.bounds.y_lo for d in datasets)
+    x_hi = max(d.domain.bounds.x_hi for d in datasets)
+    y_hi = max(d.domain.bounds.y_hi for d in datasets)
+    domain = Domain2D(x_lo, y_lo, x_hi, y_hi)
+    points = np.vstack([d.points for d in datasets])
+    return GeoDataset(points, domain, name=name)
+
+
+def normalise_to_unit(dataset: GeoDataset) -> GeoDataset:
+    """Affinely map the dataset into the unit square."""
+    unit_points = dataset.domain.normalise(dataset.points)
+    return GeoDataset(
+        np.clip(unit_points, 0.0, 1.0), Domain2D.unit(),
+        name=f"{dataset.name}-unit",
+    )
+
+
+def jitter(
+    dataset: GeoDataset,
+    sigma: float,
+    rng: np.random.Generator | int | None,
+) -> GeoDataset:
+    """Add Gaussian positional noise (clipped back into the domain).
+
+    Useful for de-duplicating lattice-like data before experiments that
+    are sensitive to ties.  Not a privacy mechanism.
+    """
+    if sigma < 0:
+        raise ValueError(f"sigma must be non-negative, got {sigma}")
+    rng = ensure_rng(rng)
+    noisy = dataset.points + rng.normal(0.0, sigma, size=dataset.points.shape)
+    return GeoDataset(
+        dataset.domain.clip_points(noisy), dataset.domain,
+        name=f"{dataset.name}-jitter",
+    )
+
+
+def thin(
+    dataset: GeoDataset,
+    fraction: float,
+    rng: np.random.Generator | int | None,
+) -> GeoDataset:
+    """Keep each point independently with the given probability."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    rng = ensure_rng(rng)
+    mask = rng.random(dataset.size) < fraction
+    return GeoDataset(
+        dataset.points[mask], dataset.domain, name=f"{dataset.name}-thin"
+    )
+
+
+def mirror_x(dataset: GeoDataset) -> GeoDataset:
+    """Reflect the dataset across the domain's vertical midline."""
+    bounds = dataset.domain.bounds
+    mirrored = dataset.points.copy()
+    mirrored[:, 0] = bounds.x_lo + bounds.x_hi - mirrored[:, 0]
+    return GeoDataset(mirrored, dataset.domain, name=f"{dataset.name}-mirror")
+
+
+def rotate90(dataset: GeoDataset) -> GeoDataset:
+    """Rotate 90 degrees counter-clockwise; the domain rotates with it.
+
+    A point ``(x, y)`` maps to ``(-y, x)`` about the domain centre, and
+    the new domain swaps width and height.
+    """
+    bounds = dataset.domain.bounds
+    cx, cy = bounds.center
+    dx = dataset.points[:, 0] - cx
+    dy = dataset.points[:, 1] - cy
+    rotated = np.column_stack([cx - dy, cy + dx])
+    half_w = bounds.height / 2.0  # new half-width is old half-height
+    half_h = bounds.width / 2.0
+    new_domain = Domain2D(cx - half_w, cy - half_h, cx + half_w, cy + half_h)
+    return GeoDataset(
+        new_domain.clip_points(rotated), new_domain,
+        name=f"{dataset.name}-rot90",
+    )
+
+
+def split_by_line(
+    dataset: GeoDataset, x_split: float
+) -> tuple[GeoDataset, GeoDataset]:
+    """Partition the dataset at a vertical line into (left, right).
+
+    Points exactly on the line go left.  Each part keeps a domain that is
+    its side of the original.
+    """
+    bounds = dataset.domain.bounds
+    if not bounds.x_lo < x_split < bounds.x_hi:
+        raise ValueError(
+            f"x_split {x_split} must be strictly inside [{bounds.x_lo}, "
+            f"{bounds.x_hi}]"
+        )
+    left_mask = dataset.xs <= x_split
+    left = GeoDataset(
+        dataset.points[left_mask],
+        Domain2D(bounds.x_lo, bounds.y_lo, x_split, bounds.y_hi),
+        name=f"{dataset.name}-left",
+    )
+    right = GeoDataset(
+        dataset.points[~left_mask],
+        Domain2D(x_split, bounds.y_lo, bounds.x_hi, bounds.y_hi),
+        name=f"{dataset.name}-right",
+    )
+    return left, right

@@ -1,0 +1,77 @@
+"""Shared plumbing for the per-figure experiment modules.
+
+Every experiment module exposes a ``run(...) -> ExperimentReport`` function
+that (a) sets up a dataset + workload, (b) evaluates a list of method
+configurations, and (c) renders the same rows/series the paper's
+corresponding figure or table shows.  This module holds the pieces they
+share: the report container and the standard setup from the dataset
+registry.
+
+Experiments accept ``n_points`` / ``queries_per_size`` / ``n_trials``
+overrides so the benchmark targets can trade fidelity for runtime; the
+defaults mirror the paper (full default dataset size, 200 queries per
+size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dataset import GeoDataset
+from repro.datasets.registry import get_spec
+from repro.queries.workload import QueryWorkload
+
+__all__ = ["ExperimentReport", "ExperimentSetup", "standard_setup"]
+
+
+@dataclass
+class ExperimentReport:
+    """A rendered experiment: a title plus ordered text blocks.
+
+    ``data`` carries machine-readable results (per-experiment structure)
+    so tests and EXPERIMENTS.md generation don't have to parse the text.
+    """
+
+    title: str
+    blocks: list[str] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+
+    def add(self, block: str) -> None:
+        self.blocks.append(block)
+
+    def render(self) -> str:
+        separator = "\n\n"
+        return f"== {self.title} ==\n\n{separator.join(self.blocks)}"
+
+
+@dataclass
+class ExperimentSetup:
+    """A dataset together with its evaluation workload."""
+
+    dataset: GeoDataset
+    workload: QueryWorkload
+    dataset_name: str
+
+
+def standard_setup(
+    dataset_name: str,
+    n_points: int | None = None,
+    queries_per_size: int = 200,
+    data_seed: int = 7,
+    query_seed: int = 11,
+) -> ExperimentSetup:
+    """Generate a registered dataset and its paper workload, reproducibly.
+
+    The data and query RNGs are independent so changing the number of
+    queries never changes the dataset.
+    """
+    spec = get_spec(dataset_name)
+    dataset = spec.make(n=n_points, rng=np.random.default_rng(data_seed))
+    workload = spec.workload(
+        dataset,
+        rng=np.random.default_rng(query_seed),
+        queries_per_size=queries_per_size,
+    )
+    return ExperimentSetup(dataset=dataset, workload=workload, dataset_name=dataset_name)

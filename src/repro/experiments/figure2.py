@@ -1,0 +1,63 @@
+"""Figure 2 — comparing KD-standard, KD-hybrid and UG at several grid sizes.
+
+For each dataset and epsilon the paper plots the mean relative error per
+query size (line graphs) and the pooled error candlesticks for
+KD-standard, KD-hybrid and UG at a range of grid sizes bracketing the
+Guideline 1 suggestion.  The headline observations this reproduces:
+
+* there is a distinct band of good UG sizes; errors grow on both sides;
+* UG at a good size matches or beats KD-hybrid, and KD-standard trails.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.kd_tree import KDHybridBuilder, KDStandardBuilder
+from repro.core.guidelines import guideline1_grid_size
+from repro.core.uniform_grid import UniformGridBuilder
+from repro.experiments.base import ExperimentReport, standard_setup
+from repro.experiments.report import mean_by_size_table, profile_table
+from repro.experiments.runner import evaluate_builders
+from repro.experiments.table2 import candidate_ladder
+
+__all__ = ["run"]
+
+
+def run(
+    dataset_name: str,
+    epsilon: float,
+    ug_sizes: list[int] | None = None,
+    n_points: int | None = None,
+    queries_per_size: int = 200,
+    n_trials: int = 1,
+    seed: int = 0,
+) -> ExperimentReport:
+    """Regenerate one panel row of Figure 2.
+
+    ``ug_sizes`` defaults to a factor-two ladder around Guideline 1's
+    suggestion, the same coverage as the paper's panels.
+    """
+    setup = standard_setup(
+        dataset_name, n_points=n_points, queries_per_size=queries_per_size
+    )
+    if ug_sizes is None:
+        suggested = guideline1_grid_size(setup.dataset.size, epsilon)
+        ug_sizes = candidate_ladder(suggested, n_steps=2)
+
+    builders = [KDStandardBuilder(), KDHybridBuilder()]
+    builders += [UniformGridBuilder(grid_size=size) for size in ug_sizes]
+
+    results = evaluate_builders(
+        builders, setup.dataset, setup.workload, epsilon,
+        n_trials=n_trials, seed=seed,
+    )
+
+    report = ExperimentReport(
+        title=f"Figure 2: KD vs UG on {dataset_name}, eps={epsilon:g}"
+    )
+    report.add(
+        mean_by_size_table(results, title="mean relative error per query size")
+    )
+    report.add(profile_table(results, title="pooled relative-error candlesticks"))
+    report.data["results"] = {result.label: result for result in results}
+    report.data["ug_sizes"] = ug_sizes
+    return report

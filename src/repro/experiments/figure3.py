@@ -1,0 +1,73 @@
+"""Figure 3 — the (small) effect of adding hierarchies to a uniform grid.
+
+The paper fixes a 360 x 360 leaf grid and compares: UG at its best size,
+UG at 360, Privelet at 360, and grid hierarchies ``H_{b,d}`` with several
+branchings and depths, on the checkin and landmark datasets.  The
+observation this reproduces: hierarchies give at most a small improvement
+over plain UG at the same leaf size (Section IV-C explains why), while
+Privelet gives a clearer (if modest) one.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.hierarchy import HierarchicalGridBuilder
+from repro.baselines.privelet import PriveletBuilder
+from repro.core.guidelines import guideline1_grid_size
+from repro.core.uniform_grid import UniformGridBuilder
+from repro.experiments.base import ExperimentReport, standard_setup
+from repro.experiments.report import profile_table
+from repro.experiments.runner import evaluate_builders
+
+__all__ = ["DEFAULT_HIERARCHIES", "run"]
+
+#: The hierarchy configurations of Figure 3: (branching, depth).
+DEFAULT_HIERARCHIES: list[tuple[int, int]] = [
+    (2, 4), (2, 3), (3, 3), (4, 2), (5, 2), (6, 2),
+]
+
+
+def run(
+    dataset_name: str,
+    epsilon: float,
+    leaf_size: int = 360,
+    best_ug_size: int | None = None,
+    hierarchies: list[tuple[int, int]] | None = None,
+    n_points: int | None = None,
+    queries_per_size: int = 200,
+    n_trials: int = 1,
+    seed: int = 0,
+) -> ExperimentReport:
+    """Regenerate one Figure 3 panel.
+
+    ``leaf_size`` must be divisible by every ``branching^(depth-1)`` in
+    ``hierarchies`` (360, the paper's choice, divides them all).
+    ``best_ug_size`` defaults to Guideline 1's suggestion.
+    """
+    setup = standard_setup(
+        dataset_name, n_points=n_points, queries_per_size=queries_per_size
+    )
+    if best_ug_size is None:
+        best_ug_size = guideline1_grid_size(setup.dataset.size, epsilon)
+    hierarchies = hierarchies if hierarchies is not None else DEFAULT_HIERARCHIES
+
+    builders = [
+        UniformGridBuilder(grid_size=best_ug_size),
+        UniformGridBuilder(grid_size=leaf_size),
+        PriveletBuilder(grid_size=leaf_size),
+    ]
+    builders += [
+        HierarchicalGridBuilder(leaf_grid_size=leaf_size, branching=b, depth=d)
+        for b, d in hierarchies
+    ]
+
+    results = evaluate_builders(
+        builders, setup.dataset, setup.workload, epsilon,
+        n_trials=n_trials, seed=seed,
+    )
+    report = ExperimentReport(
+        title=f"Figure 3: hierarchies over a {leaf_size} grid on "
+        f"{dataset_name}, eps={epsilon:g}"
+    )
+    report.add(profile_table(results, title="pooled relative-error candlesticks"))
+    report.data["results"] = {result.label: result for result in results}
+    return report

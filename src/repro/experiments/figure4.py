@@ -1,0 +1,157 @@
+"""Figure 4 — the AG parameter study.
+
+Three sub-experiments per dataset/epsilon, matching the figure's columns:
+
+1. **versus UG/Privelet** (:func:`run_versus_ug`): AG at several first-level
+   sizes against the best UG and Privelet at the same grid — AG should win
+   across all query sizes.
+2. **varying m1** (:func:`run_vary_m1`): AG is less sensitive to its grid
+   size than UG, and the suggested ``m1`` sits at or near the optimum.
+3. **varying alpha and c2** (:func:`run_vary_alpha_c2`): ``c2 = 5``
+   clearly beats 10 and 15; ``alpha`` in {0.25, 0.5} are similar and 0.75
+   is worse.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.privelet import PriveletBuilder
+from repro.core.adaptive_grid import AdaptiveGridBuilder
+from repro.core.guidelines import adaptive_first_level_size
+from repro.core.uniform_grid import UniformGridBuilder
+from repro.experiments.base import ExperimentReport, standard_setup
+from repro.experiments.report import mean_by_size_table, profile_table
+from repro.experiments.runner import evaluate_builder, evaluate_builders
+from repro.experiments.table2 import candidate_ladder
+
+__all__ = ["run_versus_ug", "run_vary_m1", "run_vary_alpha_c2", "run"]
+
+#: The alpha and c2 grids of Figure 4's third/fourth columns.
+ALPHA_VALUES = (0.25, 0.5, 0.75)
+C2_VALUES = (5.0, 10.0, 15.0)
+
+
+def run_versus_ug(
+    dataset_name: str,
+    epsilon: float,
+    ug_size: int,
+    ag_m1_values: list[int],
+    n_points: int | None = None,
+    queries_per_size: int = 200,
+    n_trials: int = 1,
+    seed: int = 0,
+) -> ExperimentReport:
+    """Column 1: AG at several m1 versus UG and Privelet at ``ug_size``."""
+    setup = standard_setup(
+        dataset_name, n_points=n_points, queries_per_size=queries_per_size
+    )
+    builders = [
+        UniformGridBuilder(grid_size=ug_size),
+        PriveletBuilder(grid_size=ug_size),
+    ]
+    builders += [AdaptiveGridBuilder(first_level_size=m1) for m1 in ag_m1_values]
+    results = evaluate_builders(
+        builders, setup.dataset, setup.workload, epsilon,
+        n_trials=n_trials, seed=seed,
+    )
+    report = ExperimentReport(
+        title=f"Figure 4 (vs UG): {dataset_name}, eps={epsilon:g}"
+    )
+    report.add(mean_by_size_table(results, title="mean relative error per query size"))
+    report.data["results"] = {result.label: result for result in results}
+    return report
+
+
+def run_vary_m1(
+    dataset_name: str,
+    epsilon: float,
+    m1_values: list[int] | None = None,
+    n_points: int | None = None,
+    queries_per_size: int = 200,
+    n_trials: int = 1,
+    seed: int = 0,
+) -> ExperimentReport:
+    """Column 2: sensitivity of AG to the first-level grid size."""
+    setup = standard_setup(
+        dataset_name, n_points=n_points, queries_per_size=queries_per_size
+    )
+    suggested = adaptive_first_level_size(setup.dataset.size, epsilon)
+    if m1_values is None:
+        m1_values = candidate_ladder(suggested, n_steps=2)
+    builders = [AdaptiveGridBuilder(first_level_size=m1) for m1 in m1_values]
+    results = evaluate_builders(
+        builders, setup.dataset, setup.workload, epsilon,
+        n_trials=n_trials, seed=seed,
+    )
+    report = ExperimentReport(
+        title=f"Figure 4 (vary m1): {dataset_name}, eps={epsilon:g}, "
+        f"suggested m1={suggested}"
+    )
+    report.add(profile_table(results, title="pooled relative-error candlesticks"))
+    report.data["results"] = {result.label: result for result in results}
+    report.data["suggested_m1"] = suggested
+    report.data["m1_values"] = m1_values
+    return report
+
+
+def run_vary_alpha_c2(
+    dataset_name: str,
+    epsilon: float,
+    m1: int,
+    alphas: tuple[float, ...] = ALPHA_VALUES,
+    c2_values: tuple[float, ...] = C2_VALUES,
+    n_points: int | None = None,
+    queries_per_size: int = 200,
+    n_trials: int = 1,
+    seed: int = 0,
+) -> ExperimentReport:
+    """Columns 3-4: the 3 x 3 grid of (alpha, c2) candlesticks at fixed m1."""
+    setup = standard_setup(
+        dataset_name, n_points=n_points, queries_per_size=queries_per_size
+    )
+    results = []
+    mean_grid: dict[tuple[float, float], float] = {}
+    for alpha in alphas:
+        for c2 in c2_values:
+            builder = AdaptiveGridBuilder(first_level_size=m1, alpha=alpha, c2=c2)
+            result = evaluate_builder(
+                builder, setup.dataset, setup.workload, epsilon,
+                n_trials=n_trials, seed=seed,
+                label=f"A{m1},{c2:g}(a={alpha:g})",
+            )
+            results.append(result)
+            mean_grid[(alpha, c2)] = result.mean_relative()
+    report = ExperimentReport(
+        title=f"Figure 4 (vary alpha, c2): {dataset_name}, eps={epsilon:g}, m1={m1}"
+    )
+    report.add(profile_table(results, title="pooled relative-error candlesticks"))
+    report.data["results"] = {result.label: result for result in results}
+    report.data["mean_grid"] = mean_grid
+    return report
+
+
+def run(
+    dataset_name: str,
+    epsilon: float,
+    n_points: int | None = None,
+    queries_per_size: int = 200,
+    n_trials: int = 1,
+    seed: int = 0,
+) -> ExperimentReport:
+    """All three Figure 4 sub-experiments, with paper-like default settings."""
+    setup = standard_setup(dataset_name, n_points=n_points, queries_per_size=8)
+    suggested_m1 = adaptive_first_level_size(setup.dataset.size, epsilon)
+    vary_m1 = run_vary_m1(
+        dataset_name, epsilon, n_points=n_points,
+        queries_per_size=queries_per_size, n_trials=n_trials, seed=seed,
+    )
+    vary_alpha = run_vary_alpha_c2(
+        dataset_name, epsilon, m1=suggested_m1, n_points=n_points,
+        queries_per_size=queries_per_size, n_trials=n_trials, seed=seed,
+    )
+    report = ExperimentReport(
+        title=f"Figure 4: AG parameter study on {dataset_name}, eps={epsilon:g}"
+    )
+    for sub_report in (vary_m1, vary_alpha):
+        report.add(sub_report.render())
+        report.data[sub_report.title] = sub_report.data
+    return report

@@ -1,0 +1,42 @@
+"""Figure 6 — the final comparison in absolute error.
+
+Thin wrapper over :mod:`repro.experiments.figure5` with ``absolute=True``;
+the two figures share the same six method configurations and runs.  The
+extra observation Figure 6 adds (and this module's report preserves): on
+the highly uniform *road* dataset, UG at the *suggested* size beats UG at
+the size tuned for relative error — the guideline was derived
+metric-agnostically and holds up under absolute error.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure5
+from repro.experiments.base import ExperimentReport
+
+__all__ = ["run"]
+
+
+def run(
+    dataset_name: str,
+    epsilon: float,
+    best_ug_size: int | None = None,
+    best_ag_m1: int | None = None,
+    n_points: int | None = None,
+    queries_per_size: int = 200,
+    n_trials: int = 1,
+    seed: int = 0,
+    sweep_steps: int = 1,
+) -> ExperimentReport:
+    """Regenerate one Figure 6 panel (absolute-error candlesticks)."""
+    return figure5.run(
+        dataset_name,
+        epsilon,
+        best_ug_size=best_ug_size,
+        best_ag_m1=best_ag_m1,
+        n_points=n_points,
+        queries_per_size=queries_per_size,
+        n_trials=n_trials,
+        seed=seed,
+        absolute=True,
+        sweep_steps=sweep_steps,
+    )

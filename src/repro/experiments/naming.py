@@ -1,0 +1,99 @@
+"""Table I — the paper's algorithm notation, as a parser.
+
+The experiments refer to configurations by the paper's compact labels:
+
+=========  =====================================================
+``Kst``    KD-standard
+``Khy``    KD-hybrid
+``Um``     UG with an ``m x m`` grid (e.g. ``U64``)
+``Wm``     Privelet over an ``m x m`` grid (e.g. ``W360``)
+``Hb,d``   hierarchy with ``b x b`` branching and ``d`` levels
+``Am1,c2`` AG with first-level grid ``m1`` and constant ``c2``
+=========  =====================================================
+
+:func:`parse_notation` turns such a label into a configured builder, so
+experiment scripts and benches can be written in the paper's own
+vocabulary.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.baselines.hierarchy import HierarchicalGridBuilder
+from repro.baselines.kd_tree import KDHybridBuilder, KDStandardBuilder
+from repro.baselines.privelet import PriveletBuilder
+from repro.core.adaptive_grid import AdaptiveGridBuilder
+from repro.core.synopsis import SynopsisBuilder
+from repro.core.uniform_grid import UniformGridBuilder
+
+__all__ = ["parse_notation", "NOTATION_HELP"]
+
+NOTATION_HELP = {
+    "Kst": "KD-standard",
+    "Khy": "KD-hybrid",
+    "Um": "UG with m x m grid",
+    "Wm": "Privelet with m x m grid",
+    "Hb,d": "Hierarchy with d levels and b x b branching",
+    "Am1,c2": "AG with m1 x m1 grid and the given c2 value",
+}
+
+_UG_PATTERN = re.compile(r"^U(\d+)$")
+_PRIVELET_PATTERN = re.compile(r"^W(\d+)$")
+_HIERARCHY_PATTERN = re.compile(r"^H(\d+),(\d+)$")
+_AG_PATTERN = re.compile(r"^A(\d+),(\d+(?:\.\d+)?)$")
+
+
+def parse_notation(
+    label: str,
+    hierarchy_leaf_size: int = 360,
+    alpha: float = 0.5,
+) -> SynopsisBuilder:
+    """Build the synopsis builder named by a Table I label.
+
+    ``hierarchy_leaf_size`` supplies the leaf grid for ``Hb,d`` labels
+    (the paper's Figure 3 builds hierarchies over a 360 x 360 grid);
+    ``alpha`` sets AG's budget split.
+
+    >>> parse_notation("U64").grid_size
+    64
+    >>> parse_notation("A16,5").first_level_size
+    16
+    """
+    label = label.strip()
+    if label == "Kst":
+        return KDStandardBuilder()
+    if label == "Khy":
+        return KDHybridBuilder()
+    if label in {"UG", "Uauto"}:
+        return UniformGridBuilder()
+    if label in {"AG", "Aauto"}:
+        return AdaptiveGridBuilder(alpha=alpha)
+
+    match = _UG_PATTERN.match(label)
+    if match:
+        return UniformGridBuilder(grid_size=int(match.group(1)))
+
+    match = _PRIVELET_PATTERN.match(label)
+    if match:
+        return PriveletBuilder(grid_size=int(match.group(1)))
+
+    match = _HIERARCHY_PATTERN.match(label)
+    if match:
+        branching, depth = int(match.group(1)), int(match.group(2))
+        return HierarchicalGridBuilder(
+            leaf_grid_size=hierarchy_leaf_size, branching=branching, depth=depth
+        )
+
+    match = _AG_PATTERN.match(label)
+    if match:
+        first_level = int(match.group(1))
+        c2 = float(match.group(2))
+        return AdaptiveGridBuilder(
+            first_level_size=first_level, c2=c2, alpha=alpha
+        )
+
+    raise ValueError(
+        f"unrecognised algorithm notation {label!r}; see NOTATION_HELP "
+        f"for the supported forms"
+    )

@@ -1,0 +1,124 @@
+"""Experiment runner: fit synopses and collect per-query errors.
+
+The runner is the bridge between the algorithm layer and the per-figure
+experiment modules: given a builder, a dataset and a workload it repeats
+``fit + answer`` over independent trials and accumulates relative and
+absolute errors per query size, mirroring the paper's methodology
+(Section V-A: 200 random queries per size, relative error with floor
+``rho = 0.001 N``, candlestick summaries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dataset import GeoDataset
+from repro.core.synopsis import SynopsisBuilder
+from repro.queries.metrics import (
+    ErrorProfile,
+    absolute_errors,
+    relative_errors,
+)
+from repro.queries.workload import QueryWorkload
+
+__all__ = ["MethodResult", "evaluate_builder", "evaluate_builders"]
+
+
+@dataclass
+class MethodResult:
+    """Pooled errors of one method over a workload (possibly many trials)."""
+
+    label: str
+    size_labels: list[str]
+    relative_by_size: dict[str, np.ndarray] = field(default_factory=dict)
+    absolute_by_size: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def mean_relative_by_size(self) -> dict[str, float]:
+        """Mean relative error per query size (the paper's line graphs)."""
+        return {
+            label: float(errors.mean())
+            for label, errors in self.relative_by_size.items()
+        }
+
+    def pooled_relative(self) -> np.ndarray:
+        """All relative errors across sizes (the paper's candlesticks)."""
+        return np.concatenate([self.relative_by_size[s] for s in self.size_labels])
+
+    def pooled_absolute(self) -> np.ndarray:
+        return np.concatenate([self.absolute_by_size[s] for s in self.size_labels])
+
+    def relative_profile(self) -> ErrorProfile:
+        return ErrorProfile.from_errors(self.pooled_relative())
+
+    def absolute_profile(self) -> ErrorProfile:
+        return ErrorProfile.from_errors(self.pooled_absolute())
+
+    def mean_relative(self) -> float:
+        return float(self.pooled_relative().mean())
+
+    def mean_absolute(self) -> float:
+        return float(self.pooled_absolute().mean())
+
+
+def evaluate_builder(
+    builder: SynopsisBuilder,
+    dataset: GeoDataset,
+    workload: QueryWorkload,
+    epsilon: float,
+    n_trials: int = 1,
+    seed: int = 0,
+    label: str | None = None,
+) -> MethodResult:
+    """Fit ``builder`` ``n_trials`` times and pool the per-query errors.
+
+    Each trial uses an independent RNG stream derived from ``seed``, so
+    runs are reproducible and methods can be compared on identical
+    workloads.
+    """
+    if n_trials < 1:
+        raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+    size_labels = workload.size_labels
+    result = MethodResult(label=label or builder.label(), size_labels=size_labels)
+    relative_chunks: dict[str, list[np.ndarray]] = {s: [] for s in size_labels}
+    absolute_chunks: dict[str, list[np.ndarray]] = {s: [] for s in size_labels}
+
+    seed_sequence = np.random.SeedSequence(seed)
+    for child in seed_sequence.spawn(n_trials):
+        rng = np.random.default_rng(child)
+        synopsis = builder.fit(dataset, epsilon, rng)
+        for query_set in workload.query_sets:
+            estimates = synopsis.answer_many(query_set.rects)
+            relative_chunks[query_set.size.label].append(
+                relative_errors(estimates, query_set.true_answers, dataset.size)
+            )
+            absolute_chunks[query_set.size.label].append(
+                absolute_errors(estimates, query_set.true_answers)
+            )
+
+    for size_label in size_labels:
+        result.relative_by_size[size_label] = np.concatenate(
+            relative_chunks[size_label]
+        )
+        result.absolute_by_size[size_label] = np.concatenate(
+            absolute_chunks[size_label]
+        )
+    return result
+
+
+def evaluate_builders(
+    builders: list[SynopsisBuilder],
+    dataset: GeoDataset,
+    workload: QueryWorkload,
+    epsilon: float,
+    n_trials: int = 1,
+    seed: int = 0,
+) -> list[MethodResult]:
+    """Evaluate several methods on the *same* dataset and workload."""
+    return [
+        evaluate_builder(
+            builder, dataset, workload, epsilon, n_trials=n_trials, seed=seed
+        )
+        for builder in builders
+    ]

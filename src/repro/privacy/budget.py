@@ -1,0 +1,131 @@
+"""Privacy-budget accounting.
+
+Every differentially private operation in the library draws from a
+:class:`PrivacyBudget`.  The budget object plays two roles:
+
+1. **Safety** -- an algorithm that accidentally spends more than its total
+   epsilon raises :class:`BudgetExceededError` instead of silently breaking
+   the privacy guarantee.
+2. **Auditability** -- the ledger of :class:`BudgetEntry` records shows how
+   the total epsilon was divided among the steps of a mechanism (e.g. the
+   AG method's ``alpha * eps`` first level and ``(1 - alpha) * eps`` second
+   level), which the tests assert against the paper's prescriptions.
+
+Sequential composition is the default accounting rule: spends add up.  Steps
+that act on *disjoint* subsets of tuples fall under parallel composition and
+should be charged once at the maximum epsilon; callers express this by
+charging a single :meth:`PrivacyBudget.spend` for the whole partitioned
+query set (each tuple affects only one cell, so one count query per cell at
+``eps`` costs ``eps`` total, not ``n_cells * eps``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["BudgetExceededError", "BudgetEntry", "PrivacyBudget"]
+
+# Tolerance for floating-point accumulation when checking overdraft.
+_EPS_TOLERANCE = 1e-9
+
+
+class BudgetExceededError(RuntimeError):
+    """Raised when a mechanism tries to spend more epsilon than remains."""
+
+
+@dataclass(frozen=True)
+class BudgetEntry:
+    """One item in a budget's spending ledger."""
+
+    epsilon: float
+    label: str
+
+
+@dataclass
+class PrivacyBudget:
+    """A total epsilon and a ledger of how it has been spent.
+
+    Parameters
+    ----------
+    total:
+        The overall privacy budget epsilon for the task.  Must be positive.
+
+    Examples
+    --------
+    >>> budget = PrivacyBudget(1.0)
+    >>> budget.spend(0.5, "first-level counts")
+    >>> budget.remaining
+    0.5
+    """
+
+    total: float
+    _ledger: list[BudgetEntry] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.total <= 0:
+            raise ValueError(f"privacy budget must be positive, got {self.total}")
+
+    @property
+    def spent(self) -> float:
+        """Total epsilon consumed so far (sequential composition)."""
+        return sum(entry.epsilon for entry in self._ledger)
+
+    @property
+    def remaining(self) -> float:
+        """Epsilon still available, never below zero."""
+        return max(0.0, self.total - self.spent)
+
+    @property
+    def ledger(self) -> tuple[BudgetEntry, ...]:
+        """Immutable view of the spending history."""
+        return tuple(self._ledger)
+
+    def spend(self, epsilon: float, label: str = "") -> None:
+        """Consume ``epsilon`` from the budget.
+
+        Raises
+        ------
+        ValueError
+            If ``epsilon`` is not positive.
+        BudgetExceededError
+            If the spend would exceed the total (beyond floating-point
+            tolerance).
+        """
+        if epsilon <= 0:
+            raise ValueError(f"epsilon spend must be positive, got {epsilon}")
+        if self.spent + epsilon > self.total + _EPS_TOLERANCE:
+            raise BudgetExceededError(
+                f"spending {epsilon:.6g} ({label or 'unlabelled'}) would exceed "
+                f"budget: spent {self.spent:.6g} of {self.total:.6g}"
+            )
+        self._ledger.append(BudgetEntry(epsilon, label))
+
+    def can_spend(self, epsilon: float) -> bool:
+        """True when ``epsilon`` more can be spent without overdraft."""
+        return epsilon > 0 and self.spent + epsilon <= self.total + _EPS_TOLERANCE
+
+    def split(self, fractions: dict[str, float]) -> dict[str, float]:
+        """Divide the *total* budget into labelled epsilon shares.
+
+        ``fractions`` maps labels to positive weights summing to at most 1.
+        This is a planning helper: it does not spend anything, it only
+        computes the per-step epsilons a mechanism should pass to
+        :meth:`spend` later.
+
+        >>> PrivacyBudget(2.0).split({"level1": 0.5, "level2": 0.5})
+        {'level1': 1.0, 'level2': 1.0}
+        """
+        if not fractions:
+            raise ValueError("fractions must be non-empty")
+        for label, frac in fractions.items():
+            if frac <= 0:
+                raise ValueError(f"fraction for {label!r} must be positive, got {frac}")
+        if sum(fractions.values()) > 1.0 + _EPS_TOLERANCE:
+            raise ValueError(
+                f"fractions sum to {sum(fractions.values()):.6g} > 1"
+            )
+        return {label: frac * self.total for label, frac in fractions.items()}
+
+    def exhausted(self) -> bool:
+        """True when (essentially) nothing remains."""
+        return self.remaining <= _EPS_TOLERANCE

@@ -1,0 +1,118 @@
+"""Vectorised batch query answering for grid synopses.
+
+Experiments ask thousands of rectangle queries of the same released grid;
+answering them one at a time costs a Python-level loop per query.  This
+module evaluates a whole batch against a
+:class:`~repro.core.grid.GridLayout` with numpy throughout:
+
+The uniformity estimate for rectangle ``r`` is ``fx(r) @ C @ fy(r)`` —
+a bilinear form in per-axis coverage vectors.  For a batch, we build the
+coverage vectors through *prefix sums*: let ``S`` be the 2-D prefix-sum
+matrix of ``C``, extended continuously by linear interpolation inside
+cells.  Then the estimate of ``[x0, x1] x [y0, y1]`` is exactly the
+four-corner inclusion-exclusion::
+
+    est = S(x1, y1) - S(x0, y1) - S(x1, y0) + S(x0, y0)
+
+where ``S(x, y)`` bilinearly interpolates the prefix sums at fractional
+cell coordinates.  This is algebraically identical to the per-query
+bilinear form (both are integrals of the piecewise-constant density), but
+evaluates a whole batch with eight vectorised gathers.
+
+:class:`BatchQueryEngine` wraps this; ``UniformGridSynopsis.answer_many``
+delegates to it automatically for large batches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.geometry import Rect
+from repro.core.grid import GridLayout
+
+__all__ = ["BatchQueryEngine"]
+
+
+class BatchQueryEngine:
+    """Answers batches of rectangle queries over fixed grid counts.
+
+    Build once per released grid (O(cells) preprocessing), then call
+    :meth:`answer_batch` any number of times (O(1) per query).
+    """
+
+    def __init__(self, layout: GridLayout, counts: np.ndarray):
+        counts = np.asarray(counts, dtype=float)
+        if counts.shape != layout.shape:
+            raise ValueError(
+                f"counts shape {counts.shape} does not match grid {layout.shape}"
+            )
+        self._layout = layout
+        # Prefix sums with a zero border: P[i, j] = sum(counts[:i, :j]).
+        prefix = np.zeros((layout.mx + 1, layout.my + 1))
+        np.cumsum(np.cumsum(counts, axis=0), axis=1, out=prefix[1:, 1:])
+        self._prefix = prefix
+
+    @property
+    def layout(self) -> GridLayout:
+        return self._layout
+
+    def _continuous_prefix(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Bilinear interpolation of the prefix sums at cell coordinates.
+
+        ``xs`` / ``ys`` are fractional positions in cell units (0 .. m).
+        """
+        mx, my = self._layout.shape
+        xs = np.clip(xs, 0.0, mx)
+        ys = np.clip(ys, 0.0, my)
+        x0 = np.minimum(xs.astype(np.int64), mx - 1)
+        y0 = np.minimum(ys.astype(np.int64), my - 1)
+        tx = xs - x0
+        ty = ys - y0
+        p = self._prefix
+        p00 = p[x0, y0]
+        p10 = p[x0 + 1, y0]
+        p01 = p[x0, y0 + 1]
+        p11 = p[x0 + 1, y0 + 1]
+        return (
+            (1 - tx) * (1 - ty) * p00
+            + tx * (1 - ty) * p10
+            + (1 - tx) * ty * p01
+            + tx * ty * p11
+        )
+
+    def answer_batch(self, rects: list[Rect] | np.ndarray) -> np.ndarray:
+        """Uniformity estimates for every rectangle in the batch.
+
+        Accepts a list of :class:`Rect` or an ``(n, 4)`` array of
+        ``(x_lo, y_lo, x_hi, y_hi)`` rows.  Rectangles are clipped to the
+        domain.
+        """
+        if isinstance(rects, np.ndarray):
+            boxes = np.asarray(rects, dtype=float)
+            if boxes.ndim != 2 or boxes.shape[1] != 4:
+                raise ValueError(f"expected (n, 4) array, got {boxes.shape}")
+        else:
+            boxes = np.array([rect.as_tuple() for rect in rects], dtype=float)
+            if boxes.size == 0:
+                return np.empty(0)
+        bounds = self._layout.domain.bounds
+        mx, my = self._layout.shape
+        # Convert to cell units.
+        x_lo = (boxes[:, 0] - bounds.x_lo) / self._layout.cell_width
+        y_lo = (boxes[:, 1] - bounds.y_lo) / self._layout.cell_height
+        x_hi = (boxes[:, 2] - bounds.x_lo) / self._layout.cell_width
+        y_hi = (boxes[:, 3] - bounds.y_lo) / self._layout.cell_height
+        x_lo = np.clip(x_lo, 0.0, mx)
+        x_hi = np.clip(x_hi, 0.0, mx)
+        y_lo = np.clip(y_lo, 0.0, my)
+        y_hi = np.clip(y_hi, 0.0, my)
+        empty = (x_hi <= x_lo) | (y_hi <= y_lo)
+
+        estimate = (
+            self._continuous_prefix(x_hi, y_hi)
+            - self._continuous_prefix(x_lo, y_hi)
+            - self._continuous_prefix(x_hi, y_lo)
+            + self._continuous_prefix(x_lo, y_lo)
+        )
+        estimate[empty] = 0.0
+        return estimate

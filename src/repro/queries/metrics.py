@@ -1,0 +1,104 @@
+"""Error metrics and summary statistics (Section V-A of the paper).
+
+The paper's primary metric is **relative error** with a floor on the
+denominator::
+
+    RE(r) = |Q(r) - A(r)| / max(A(r), rho)       rho = 0.001 * |D|
+
+where ``A`` is the true answer and ``Q`` the synopsis estimate; the floor
+avoids division by zero on empty queries.  **Absolute error**
+``|Q(r) - A(r)|`` is used in the final comparison (Figure 6).
+
+Each experiment reports, per configuration, the *candlestick* profile of
+the pooled errors: 25th percentile, median, 75th percentile, 95th
+percentile, and the arithmetic mean (the paper pays most attention to the
+mean).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "relative_error_floor",
+    "relative_errors",
+    "absolute_errors",
+    "ErrorProfile",
+]
+
+#: The paper's denominator-floor coefficient: rho = 0.001 * |D|.
+RHO_FRACTION = 0.001
+
+
+def relative_error_floor(n_points: int) -> float:
+    """The denominator floor ``rho = 0.001 * |D|`` for a dataset of size N."""
+    if n_points < 0:
+        raise ValueError(f"n_points must be non-negative, got {n_points}")
+    return RHO_FRACTION * n_points
+
+
+def absolute_errors(estimates: np.ndarray, truths: np.ndarray) -> np.ndarray:
+    """Element-wise absolute error ``|Q(r) - A(r)|``."""
+    estimates = np.asarray(estimates, dtype=float)
+    truths = np.asarray(truths, dtype=float)
+    if estimates.shape != truths.shape:
+        raise ValueError(
+            f"shape mismatch: estimates {estimates.shape} vs truths {truths.shape}"
+        )
+    return np.abs(estimates - truths)
+
+
+def relative_errors(
+    estimates: np.ndarray, truths: np.ndarray, n_points: int
+) -> np.ndarray:
+    """Element-wise relative error with the paper's denominator floor."""
+    errors = absolute_errors(estimates, truths)
+    floor = relative_error_floor(n_points)
+    if floor <= 0:
+        raise ValueError("relative error undefined for an empty dataset")
+    denominators = np.maximum(np.asarray(truths, dtype=float), floor)
+    return errors / denominators
+
+
+@dataclass(frozen=True)
+class ErrorProfile:
+    """Candlestick summary of an error sample.
+
+    Mirrors the five pieces of information in the paper's candlestick
+    plots: 25th percentile, median, 75th percentile, 95th percentile, and
+    the arithmetic mean.
+    """
+
+    p25: float
+    median: float
+    p75: float
+    p95: float
+    mean: float
+    count: int
+
+    @classmethod
+    def from_errors(cls, errors: np.ndarray) -> "ErrorProfile":
+        errors = np.asarray(errors, dtype=float)
+        if errors.size == 0:
+            raise ValueError("cannot summarise an empty error sample")
+        p25, median, p75, p95 = np.percentile(errors, [25.0, 50.0, 75.0, 95.0])
+        return cls(
+            p25=float(p25),
+            median=float(median),
+            p75=float(p75),
+            p95=float(p95),
+            mean=float(errors.mean()),
+            count=int(errors.size),
+        )
+
+    def as_row(self) -> tuple[float, float, float, float, float]:
+        """(p25, median, p75, p95, mean) — the candlestick's five values."""
+        return (self.p25, self.median, self.p75, self.p95, self.mean)
+
+    def __str__(self) -> str:
+        return (
+            f"p25={self.p25:.4g} med={self.median:.4g} p75={self.p75:.4g} "
+            f"p95={self.p95:.4g} mean={self.mean:.4g} (n={self.count})"
+        )

@@ -1,0 +1,60 @@
+"""Unit tests for the Section IV-C dimensionality analysis."""
+
+import pytest
+
+from repro.analysis.dimensionality import (
+    border_fraction,
+    border_fraction_1d,
+    border_fraction_2d,
+    hierarchy_benefit_ratio,
+    paper_example,
+)
+
+
+class TestPaperExample:
+    def test_exact_numbers(self):
+        """M = 10,000, b = 4: 2-D border 0.08, 1-D border 0.0008."""
+        example = paper_example()
+        assert example["2d"] == pytest.approx(0.08)
+        assert example["1d"] == pytest.approx(0.0008)
+        assert example["ratio"] == pytest.approx(100.0)
+
+
+class TestBorderFraction:
+    def test_1d_formula(self):
+        assert border_fraction_1d(1_000, 10) == pytest.approx(2 * 10 / 1_000)
+
+    def test_2d_formula(self):
+        # 4 * sqrt(b) / sqrt(M)
+        assert border_fraction_2d(10_000, 4) == pytest.approx(4 * 2 / 100)
+
+    def test_grows_with_dimension(self):
+        fractions = [border_fraction(10_000, 4, d) for d in (1, 2, 3, 4)]
+        assert all(a < b for a, b in zip(fractions, fractions[1:]))
+
+    def test_capped_at_one(self):
+        assert border_fraction(16, 8, 3) <= 1.0
+
+    def test_shrinks_with_more_cells(self):
+        assert border_fraction_2d(1_000_000, 4) < border_fraction_2d(10_000, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            border_fraction(100, 4, 0)
+        with pytest.raises(ValueError):
+            border_fraction(0, 4, 2)
+        with pytest.raises(ValueError):
+            border_fraction(4, 100, 2)
+
+
+class TestBenefitRatio:
+    def test_1d_benefit_near_total(self):
+        assert hierarchy_benefit_ratio(10_000, 4, 1) > 0.99
+
+    def test_2d_benefit_smaller(self):
+        one_d = hierarchy_benefit_ratio(10_000, 4, 1)
+        two_d = hierarchy_benefit_ratio(10_000, 4, 2)
+        assert two_d < one_d
+
+    def test_never_negative(self):
+        assert hierarchy_benefit_ratio(16, 16, 5) == 0.0

@@ -1,0 +1,84 @@
+"""Unit tests for the two-source error model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.error_model import (
+    measure_decomposition,
+    optimal_grid_size_numeric,
+    predicted_noise_error,
+    predicted_nonuniformity_error,
+    predicted_total_error,
+)
+from repro.core.guidelines import guideline1_grid_size
+from repro.queries.workload import QueryWorkload
+
+
+class TestPredictions:
+    def test_noise_error_linear_in_m(self):
+        assert predicted_noise_error(200, 1.0, 0.25) == pytest.approx(
+            2 * predicted_noise_error(100, 1.0, 0.25)
+        )
+
+    def test_noise_error_inverse_in_epsilon(self):
+        assert predicted_noise_error(100, 0.5, 0.25) == pytest.approx(
+            2 * predicted_noise_error(100, 1.0, 0.25)
+        )
+
+    def test_nonuniformity_inverse_in_m(self):
+        assert predicted_nonuniformity_error(200, 1e6, 0.25) == pytest.approx(
+            predicted_nonuniformity_error(100, 1e6, 0.25) / 2
+        )
+
+    def test_total_is_sum(self):
+        total = predicted_total_error(100, 1e6, 1.0, 0.25)
+        assert total == pytest.approx(
+            predicted_noise_error(100, 1.0, 0.25)
+            + predicted_nonuniformity_error(100, 1e6, 0.25)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            predicted_noise_error(0, 1.0, 0.25)
+        with pytest.raises(ValueError):
+            predicted_noise_error(10, 1.0, 1.5)
+
+
+class TestNumericOptimum:
+    @pytest.mark.parametrize("n, epsilon", [(1e6, 1.0), (1e6, 0.1), (9e3, 1.0)])
+    def test_matches_guideline1(self, n, epsilon):
+        """Brute force over the model lands on the closed form (+-1)."""
+        numeric = optimal_grid_size_numeric(n, epsilon)
+        closed = guideline1_grid_size(n, epsilon)
+        assert abs(numeric - closed) <= max(2, round(closed * 0.01))
+
+
+class TestMeasuredDecomposition:
+    @pytest.fixture
+    def workload(self, small_skewed) -> QueryWorkload:
+        return QueryWorkload.generate(
+            small_skewed, 0.5, 0.5, rng=1, queries_per_size=10
+        )
+
+    def test_components_positive(self, small_skewed, workload):
+        decomposition = measure_decomposition(small_skewed, 16, 1.0, workload, rng=0)
+        assert decomposition.noise_error > 0
+        assert decomposition.nonuniformity_error > 0
+        assert decomposition.total_error > 0
+
+    def test_coarse_grid_nonuniformity_dominated(self, small_skewed, workload):
+        decomposition = measure_decomposition(small_skewed, 2, 1.0, workload, rng=0)
+        assert decomposition.dominant() == "nonuniformity"
+
+    def test_fine_grid_noise_dominated(self, small_skewed, workload):
+        decomposition = measure_decomposition(
+            small_skewed, 256, 0.05, workload, rng=0
+        )
+        assert decomposition.dominant() == "noise"
+
+    def test_tradeoff_direction(self, small_skewed, workload):
+        """Noise error grows and non-uniformity shrinks with finer grids."""
+        coarse = measure_decomposition(small_skewed, 4, 0.5, workload, rng=0)
+        fine = measure_decomposition(small_skewed, 64, 0.5, workload, rng=0)
+        assert fine.noise_error > coarse.noise_error
+        assert fine.nonuniformity_error < coarse.nonuniformity_error

@@ -1,0 +1,159 @@
+"""Unit tests for the 1-D flat vs hierarchy comparison machinery."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.one_dim import (
+    compare_methods,
+    flat_histogram,
+    hierarchical_histogram,
+    range_query,
+)
+from repro.privacy.budget import PrivacyBudget
+
+
+@pytest.fixture
+def buckets(rng) -> np.ndarray:
+    return rng.integers(0, 200, size=128).astype(float)
+
+
+class TestFlatHistogram:
+    def test_shape_and_noise(self, buckets, rng):
+        released = flat_histogram(buckets, 1.0, rng)
+        assert released.shape == buckets.shape
+        assert not np.array_equal(released, buckets)
+
+    def test_budget_single_spend(self, buckets, rng):
+        budget = PrivacyBudget(1.0)
+        flat_histogram(buckets, 1.0, rng, budget=budget)
+        assert budget.spent == pytest.approx(1.0)
+        assert len(budget.ledger) == 1
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            flat_histogram(np.empty(0), 1.0, rng)
+        with pytest.raises(ValueError):
+            flat_histogram(np.zeros((2, 2)), 1.0, rng)
+
+
+class TestHierarchicalHistogram:
+    def test_shape(self, buckets, rng):
+        released = hierarchical_histogram(buckets, 1.0, rng)
+        assert released.shape == buckets.shape
+
+    def test_power_of_two_required(self, rng):
+        with pytest.raises(ValueError):
+            hierarchical_histogram(np.ones(100), 1.0, rng)
+
+    def test_budget_split_across_levels(self, buckets, rng):
+        budget = PrivacyBudget(1.0)
+        hierarchical_histogram(buckets, 1.0, rng, budget=budget)
+        assert budget.spent == pytest.approx(1.0)
+        assert len(budget.ledger) == 8  # log2(128) + 1 levels
+
+    def test_single_bucket(self, rng):
+        released = hierarchical_histogram(np.array([50.0]), 1.0, rng)
+        assert released.shape == (1,)
+
+    def test_high_epsilon_recovers_counts(self, buckets):
+        rng = np.random.default_rng(0)
+        released = hierarchical_histogram(buckets, 1e7, rng)
+        np.testing.assert_allclose(released, buckets, atol=0.01)
+
+
+class TestRangeQuery:
+    def test_whole_range(self, buckets):
+        assert range_query(buckets, 0, buckets.size) == pytest.approx(
+            buckets.sum()
+        )
+
+    def test_single_bucket(self):
+        counts = np.array([1.0, 2.0, 3.0, 4.0])
+        assert range_query(counts, 1, 2) == pytest.approx(2.0)
+
+    def test_fractional_ends(self):
+        counts = np.array([10.0, 20.0])
+        # Half of bucket 0 + a quarter of bucket 1.
+        assert range_query(counts, 0.5, 1.25) == pytest.approx(10.0)
+
+    def test_empty_interval(self, buckets):
+        assert range_query(buckets, 3.0, 3.0) == 0.0
+        assert range_query(buckets, 5.0, 2.0) == 0.0
+
+    def test_clamped_to_domain(self):
+        counts = np.array([5.0, 5.0])
+        assert range_query(counts, -10, 10) == pytest.approx(10.0)
+
+    def test_additive(self, buckets):
+        whole = range_query(buckets, 3.3, 90.7)
+        left = range_query(buckets, 3.3, 40.0)
+        right = range_query(buckets, 40.0, 90.7)
+        assert whole == pytest.approx(left + right)
+
+
+class TestComparison:
+    def test_hierarchy_wins_in_large_1d_domains(self, rng):
+        """Section IV-C's premise: 1-D hierarchies clearly beat flat
+        histograms once the domain is large."""
+        counts = rng.integers(0, 100, size=4096).astype(float)
+        comparison = compare_methods(counts, epsilon=0.5, rng=1, n_trials=4)
+        assert comparison.improvement > 1.8
+
+    def test_benefit_grows_with_domain_size(self, rng):
+        """The hierarchy payoff grows with the number of buckets — the
+        reason 2-D grids (whose per-axis domain is only sqrt(M)) see so
+        little of it."""
+        small = compare_methods(
+            rng.integers(0, 100, size=64).astype(float),
+            epsilon=0.5, rng=1, n_trials=4,
+        )
+        large = compare_methods(
+            rng.integers(0, 100, size=4096).astype(float),
+            epsilon=0.5, rng=1, n_trials=4,
+        )
+        assert large.improvement > small.improvement
+
+    def test_comparison_fields(self, rng):
+        counts = rng.integers(0, 50, size=64).astype(float)
+        comparison = compare_methods(
+            counts, epsilon=1.0, rng=2, n_queries=50, n_trials=2
+        )
+        assert comparison.flat_error > 0
+        assert comparison.hierarchy_error > 0
+
+
+class TestWaveletHistogram:
+    def test_shape_and_budget(self, buckets, rng):
+        from repro.analysis.one_dim import wavelet_histogram
+
+        budget = PrivacyBudget(1.0)
+        released = wavelet_histogram(buckets, 1.0, rng, budget=budget)
+        assert released.shape == buckets.shape
+        assert budget.spent == pytest.approx(1.0)
+
+    def test_power_of_two_required(self, rng):
+        from repro.analysis.one_dim import wavelet_histogram
+
+        with pytest.raises(ValueError):
+            wavelet_histogram(np.ones(100), 1.0, rng)
+
+    def test_high_epsilon_recovers_counts(self, buckets):
+        from repro.analysis.one_dim import wavelet_histogram
+
+        released = wavelet_histogram(buckets, 1e7, np.random.default_rng(0))
+        np.testing.assert_allclose(released, buckets, atol=0.01)
+
+    def test_wavelet_competitive_with_flat_on_long_ranges(self, rng):
+        """1-D wavelets shine on long ranges (Xiao et al.)."""
+        from repro.analysis.one_dim import flat_histogram, wavelet_histogram
+
+        counts = rng.integers(0, 100, size=2048).astype(float)
+        truth = range_query(counts, 100, 1900)
+        flat_errors, wavelet_errors = [], []
+        for seed in range(15):
+            trial_rng = np.random.default_rng(seed)
+            flat = flat_histogram(counts, 0.5, trial_rng)
+            wavelet = wavelet_histogram(counts, 0.5, trial_rng)
+            flat_errors.append(abs(range_query(flat, 100, 1900) - truth))
+            wavelet_errors.append(abs(range_query(wavelet, 100, 1900) - truth))
+        assert np.mean(wavelet_errors) < np.mean(flat_errors)

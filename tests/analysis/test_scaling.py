@@ -1,0 +1,102 @@
+"""Unit tests for the scaling-law analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.scaling import (
+    epsilon_sweep,
+    log_log_slope,
+    size_sweep,
+)
+from repro.core.uniform_grid import UniformGridBuilder
+from repro.datasets.synthetic import make_gaussian_mixture
+from repro.queries.workload import QueryWorkload
+
+
+class TestLogLogSlope:
+    def test_exact_power_law(self):
+        xs = [1.0, 2.0, 4.0, 8.0]
+        ys = [1.0, 0.5, 0.25, 0.125]  # y = 1/x
+        assert log_log_slope(xs, ys) == pytest.approx(-1.0)
+
+    def test_sqrt_law(self):
+        xs = [1.0, 4.0, 16.0]
+        ys = [1.0, 2.0, 4.0]  # y = sqrt(x)
+        assert log_log_slope(xs, ys) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            log_log_slope([1.0], [1.0])
+        with pytest.raises(ValueError):
+            log_log_slope([1.0, -2.0], [1.0, 1.0])
+        with pytest.raises(ValueError):
+            log_log_slope([1.0, 2.0], [0.0, 1.0])
+
+
+class TestEpsilonSweep:
+    def test_error_decreases_with_epsilon(self, small_skewed, small_workload):
+        sweep = epsilon_sweep(
+            UniformGridBuilder(), small_skewed, small_workload,
+            epsilons=[0.05, 0.2, 0.8, 3.2], n_trials=3, seed=0,
+        )
+        errors = sweep.mean_relative_errors
+        # Monotone decrease end-to-end (adjacent pairs can be noisy).
+        assert errors[0] > errors[-1]
+        assert sweep.slope() < -0.2
+
+    def test_slope_near_model_prediction(self, small_skewed, small_workload):
+        """UG at the guideline size: error ~ eps^(-1/2), roughly."""
+        sweep = epsilon_sweep(
+            UniformGridBuilder(), small_skewed, small_workload,
+            epsilons=[0.1, 0.4, 1.6, 6.4], n_trials=4, seed=1,
+        )
+        assert -0.9 < sweep.slope() < -0.2
+
+    def test_sorted_output(self, small_skewed, small_workload):
+        sweep = epsilon_sweep(
+            UniformGridBuilder(grid_size=8), small_skewed, small_workload,
+            epsilons=[1.0, 0.1], n_trials=1, seed=0,
+        )
+        assert sweep.values == [0.1, 1.0]
+
+    def test_validation(self, small_skewed, small_workload):
+        with pytest.raises(ValueError):
+            epsilon_sweep(
+                UniformGridBuilder(), small_skewed, small_workload, epsilons=[]
+            )
+        with pytest.raises(ValueError):
+            epsilon_sweep(
+                UniformGridBuilder(), small_skewed, small_workload,
+                epsilons=[0.0, 1.0],
+            )
+
+
+class TestSizeSweep:
+    def test_relative_error_falls_with_n(self):
+        def make_dataset(n):
+            return make_gaussian_mixture(n, n_clusters=8, rng=5)
+
+        def make_workload(dataset):
+            return QueryWorkload.generate(
+                dataset, 0.5, 0.5, rng=6, queries_per_size=10
+            )
+
+        sweep = size_sweep(
+            UniformGridBuilder(), make_dataset, make_workload,
+            sizes=[2_000, 8_000, 32_000], epsilon=0.5, n_trials=3, seed=2,
+        )
+        assert sweep.mean_relative_errors[0] > sweep.mean_relative_errors[-1]
+        assert sweep.slope() < -0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            size_sweep(UniformGridBuilder(), None, None, sizes=[], epsilon=1.0)
+
+    def test_rows(self, small_skewed, small_workload):
+        sweep = epsilon_sweep(
+            UniformGridBuilder(grid_size=4), small_skewed, small_workload,
+            epsilons=[0.5], n_trials=1,
+        )
+        rows = sweep.as_rows()
+        assert len(rows) == 1
+        assert rows[0][0] == 0.5

@@ -1,0 +1,92 @@
+"""Unit tests for the uniformity measurement and c-estimation tools."""
+
+import math
+
+import pytest
+
+from repro.analysis.uniformity import (
+    estimate_c,
+    nonuniformity_coefficient,
+    uniformity_profile,
+)
+from repro.datasets.synthetic import make_gaussian_mixture, make_uniform
+
+
+class TestNonuniformityCoefficient:
+    def test_uniform_data_high_coefficient(self):
+        uniform = make_uniform(20_000, rng=0)
+        skewed = make_gaussian_mixture(20_000, n_clusters=8, rng=0)
+        c0_uniform = nonuniformity_coefficient(uniform, 16, rng=1)
+        c0_skewed = nonuniformity_coefficient(skewed, 16, rng=1)
+        assert c0_uniform > c0_skewed
+
+    def test_empty_dataset_infinite(self):
+        import numpy as np
+
+        from repro.core.dataset import GeoDataset
+        from repro.core.geometry import Domain2D
+
+        empty = GeoDataset(np.empty((0, 2)), Domain2D.unit())
+        assert math.isinf(nonuniformity_coefficient(empty, 8, rng=0))
+
+    def test_validation(self):
+        uniform = make_uniform(100, rng=0)
+        with pytest.raises(ValueError):
+            nonuniformity_coefficient(uniform, 4, rng=0, samples_per_cell=0)
+
+
+class TestEstimateC:
+    def test_clamped_range(self):
+        uniform = make_uniform(20_000, rng=0)
+        c = estimate_c(uniform, rng=1)
+        assert 2.0 <= c <= 50.0
+
+    def test_uniform_gets_larger_c_than_skewed(self):
+        """The paper: uniform data calls for large c, skewed for small."""
+        uniform = make_uniform(20_000, rng=0)
+        skewed = make_gaussian_mixture(
+            20_000, n_clusters=6, rng=0, sigma_range=(0.005, 0.02)
+        )
+        assert estimate_c(uniform, rng=1) > estimate_c(skewed, rng=1)
+
+    def test_default_ten_in_plausible_band(self):
+        """For moderately skewed geodata, the estimate brackets c = 10."""
+        from repro.datasets.synthetic import make_landmark
+
+        c = estimate_c(make_landmark(30_000, rng=0), rng=1)
+        assert 2.0 <= c <= 50.0
+
+
+class TestUniformityProfile:
+    def test_uniform_profile(self):
+        profile = uniformity_profile(make_uniform(50_000, rng=0))
+        assert profile.empty_fraction < 0.05
+        assert profile.density_cv < 0.5
+        assert profile.entropy_ratio > 0.95
+        assert profile.is_highly_uniform()
+
+    def test_skewed_profile(self):
+        profile = uniformity_profile(
+            make_gaussian_mixture(50_000, n_clusters=5, rng=0)
+        )
+        assert profile.density_cv > 1.0
+        assert not profile.is_highly_uniform()
+
+    def test_road_is_flagged_less_uniform_than_pure_uniform(self):
+        """Road: uniform inside states but with big blanks."""
+        from repro.datasets.synthetic import make_road
+
+        road = uniformity_profile(make_road(30_000, rng=0))
+        uniform = uniformity_profile(make_uniform(30_000, rng=0))
+        assert road.empty_fraction > uniform.empty_fraction
+
+    def test_empty_dataset(self):
+        import numpy as np
+
+        from repro.core.dataset import GeoDataset
+        from repro.core.geometry import Domain2D
+
+        empty = GeoDataset(np.empty((0, 2)), Domain2D.unit())
+        profile = uniformity_profile(empty)
+        assert profile.empty_fraction == 1.0
+        assert profile.entropy_ratio == 0.0

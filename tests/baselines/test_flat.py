@@ -1,0 +1,66 @@
+"""Unit tests for the trivial baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.flat import ExactGridBuilder, NoisyTotalBuilder
+from repro.core.geometry import Rect
+from repro.privacy.budget import PrivacyBudget
+
+
+class TestNoisyTotal:
+    def test_single_cell(self, small_skewed, rng):
+        synopsis = NoisyTotalBuilder().fit(small_skewed, 1.0, rng)
+        assert synopsis.grid_size == (1, 1)
+
+    def test_label(self):
+        assert NoisyTotalBuilder().label() == "U1"
+
+    def test_area_scaling(self, small_uniform, rng):
+        """On uniform data the 1x1 grid answers by area fraction."""
+        synopsis = NoisyTotalBuilder().fit(small_uniform, 10.0, rng)
+        quarter = synopsis.answer(Rect(0.0, 0.0, 0.5, 0.5))
+        assert quarter == pytest.approx(small_uniform.size / 4, rel=0.1)
+
+    def test_optimal_for_uniform_data(self, small_uniform, small_skewed):
+        """The paper's 'extreme c' point: for uniform data U1 is great,
+        for skewed data it is bad."""
+        query_uniform = Rect(0.2, 0.2, 0.7, 0.5)
+        query_skewed = Rect(0.2, 0.2, 0.7, 0.5)
+        rng = np.random.default_rng(0)
+        uniform_synopsis = NoisyTotalBuilder().fit(small_uniform, 1.0, rng)
+        skewed_synopsis = NoisyTotalBuilder().fit(small_skewed, 1.0, rng)
+        uniform_error = abs(
+            uniform_synopsis.answer(query_uniform)
+            - small_uniform.count_in(query_uniform)
+        ) / small_uniform.size
+        skewed_error = abs(
+            skewed_synopsis.answer(query_skewed)
+            - small_skewed.count_in(query_skewed)
+        ) / small_skewed.size
+        assert uniform_error < skewed_error
+
+
+class TestExactGrid:
+    def test_no_budget_spent(self, small_skewed, rng):
+        budget = PrivacyBudget(1.0)
+        ExactGridBuilder(grid_size=8).fit(small_skewed, 1.0, rng, budget=budget)
+        assert budget.spent == 0.0
+
+    def test_counts_exact(self, small_skewed, rng):
+        synopsis = ExactGridBuilder(grid_size=8).fit(small_skewed, 1.0, rng)
+        exact = synopsis.layout.histogram(small_skewed.points)
+        np.testing.assert_array_equal(synopsis.counts, exact)
+
+    def test_label(self):
+        assert ExactGridBuilder(grid_size=8).label() == "Exact8"
+
+    def test_pure_nonuniformity_error_shrinks_with_m(self, small_skewed, rng):
+        """Finer exact grids have lower uniformity-assumption error."""
+        query = Rect(0.13, 0.21, 0.77, 0.69)
+        truth = small_skewed.count_in(query)
+        errors = []
+        for m in (2, 8, 32):
+            synopsis = ExactGridBuilder(grid_size=m).fit(small_skewed, 1.0, rng)
+            errors.append(abs(synopsis.answer(query) - truth))
+        assert errors[0] >= errors[1] >= errors[2] or errors[2] < 1.0

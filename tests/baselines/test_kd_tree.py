@@ -1,0 +1,209 @@
+"""Unit tests for the KD-tree baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.kd_tree import (
+    KDHybridBuilder,
+    KDStandardBuilder,
+    KDTreeBuilder,
+    default_tree_depth,
+)
+from repro.core.geometry import Rect
+from repro.privacy.budget import PrivacyBudget
+
+
+class TestDefaultDepth:
+    def test_million_points_about_16(self):
+        assert default_tree_depth(1_000_000) == 16
+        assert default_tree_depth(2_000_000) == 16
+
+    def test_scales_with_budget(self):
+        """Small epsilon means shallower trees (less budget per level)."""
+        assert default_tree_depth(9_000, 0.1) < default_tree_depth(9_000, 1.0)
+        assert default_tree_depth(9_000, 0.1) == 6
+
+    def test_clamped(self):
+        assert default_tree_depth(1) == 4
+        assert default_tree_depth(10) == 4
+        assert default_tree_depth(10**12) == 16
+
+
+class TestConfiguration:
+    def test_labels(self):
+        assert KDStandardBuilder().label() == "Kst"
+        assert KDHybridBuilder().label() == "Khy"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KDTreeBuilder(depth=0)
+        with pytest.raises(ValueError):
+            KDTreeBuilder(quadtree_levels=-1)
+        with pytest.raises(ValueError):
+            KDTreeBuilder(median_fraction=1.0)
+
+    def test_standard_has_no_quadtree_levels(self):
+        assert KDStandardBuilder().quadtree_levels == 0
+
+    def test_hybrid_presets(self):
+        builder = KDHybridBuilder()
+        assert builder.quadtree_levels > 0
+        assert builder.geometric_budget
+        assert builder.constrained_inference
+
+
+class TestTreeShape:
+    def test_respects_max_depth(self, small_skewed, rng):
+        builder = KDTreeBuilder(depth=4, min_split_count=0.0, median_fraction=0.2)
+        synopsis = builder.fit(small_skewed, 1.0, rng)
+        assert synopsis.height() == 4
+        assert synopsis.leaf_count() == 16
+
+    def test_quadtree_levels_make_quadrants(self, small_skewed, rng):
+        builder = KDTreeBuilder(
+            depth=1, quadtree_levels=1, min_split_count=0.0, median_fraction=0.0
+        )
+        synopsis = builder.fit(small_skewed, 1.0, rng)
+        root = synopsis.root
+        assert len(root.children) == 4
+        # Quadrants split at the midpoint.
+        assert root.children[0].rect.x_hi == pytest.approx(0.5)
+
+    def test_kd_levels_make_binary_splits(self, small_skewed, rng):
+        builder = KDTreeBuilder(depth=1, min_split_count=0.0, median_fraction=0.2)
+        synopsis = builder.fit(small_skewed, 1.0, rng)
+        assert len(synopsis.root.children) == 2
+
+    def test_min_split_count_prunes(self, small_uniform, rng):
+        eager = KDTreeBuilder(depth=8, min_split_count=0.0, median_fraction=0.2)
+        lazy = KDTreeBuilder(depth=8, min_split_count=500.0, median_fraction=0.2)
+        assert (
+            lazy.fit(small_uniform, 1.0, rng).leaf_count()
+            < eager.fit(small_uniform, 1.0, rng).leaf_count()
+        )
+
+    def test_children_partition_parent(self, small_skewed, rng):
+        builder = KDTreeBuilder(depth=6, median_fraction=0.2)
+        synopsis = builder.fit(small_skewed, 1.0, rng)
+        for node in synopsis.root.iter_nodes():
+            if node.is_leaf:
+                continue
+            child_area = sum(child.rect.area for child in node.children)
+            assert child_area == pytest.approx(node.rect.area, rel=1e-9)
+            for child in node.children:
+                assert node.rect.contains_rect(child.rect)
+
+    def test_median_splits_near_data_median(self, rng):
+        """With lots of budget the root split hugs the x median."""
+        from repro.core.dataset import GeoDataset
+        from repro.core.geometry import Domain2D
+
+        # 90% of points in the left tenth of the domain.
+        xs = np.concatenate([rng.uniform(0.0, 0.1, 900), rng.uniform(0.1, 1.0, 100)])
+        ys = rng.random(1_000)
+        dataset = GeoDataset(np.column_stack([xs, ys]), Domain2D.unit())
+        builder = KDTreeBuilder(depth=1, median_fraction=0.5, min_split_count=0.0)
+        synopsis = builder.fit(dataset, 100.0, rng)
+        split_x = synopsis.root.children[0].rect.x_hi
+        assert split_x < 0.2  # near the true median (~0.05), not 0.5
+
+
+class TestBudgetAccounting:
+    def test_total_spend_equals_epsilon(self, small_skewed, rng):
+        budget = PrivacyBudget(1.0)
+        KDHybridBuilder(depth=6).fit(small_skewed, 1.0, rng, budget=budget)
+        assert budget.spent == pytest.approx(1.0)
+
+    def test_standard_spends_median_budget(self, small_skewed, rng):
+        budget = PrivacyBudget(1.0)
+        KDStandardBuilder(depth=4).fit(small_skewed, 1.0, rng, budget=budget)
+        median_spend = sum(
+            entry.epsilon for entry in budget.ledger if "median" in entry.label
+        )
+        assert median_spend == pytest.approx(0.25)
+
+    def test_pure_quadtree_spends_no_median_budget(self, small_skewed, rng):
+        budget = PrivacyBudget(1.0)
+        KDTreeBuilder(depth=3, quadtree_levels=3, median_fraction=0.0).fit(
+            small_skewed, 1.0, rng, budget=budget
+        )
+        assert all("median" not in entry.label for entry in budget.ledger)
+
+
+class TestAccuracy:
+    def test_total_near_truth(self, small_skewed, rng):
+        synopsis = KDHybridBuilder(depth=6).fit(small_skewed, 1.0, rng)
+        assert synopsis.total() == pytest.approx(small_skewed.size, rel=0.1)
+
+    def test_hybrid_consistent_after_inference(self, small_skewed, rng):
+        synopsis = KDHybridBuilder(depth=5).fit(small_skewed, 1.0, rng)
+        for node in synopsis.root.iter_nodes():
+            if node.is_leaf:
+                continue
+            child_sum = sum(child.count for child in node.children)
+            assert node.count == pytest.approx(child_sum, rel=1e-6, abs=1e-6)
+
+    def test_hybrid_beats_standard_on_average(self, small_skewed, small_workload):
+        """The paper (after Cormode et al.): KD-hybrid outperforms KD-standard."""
+        from repro.experiments.runner import evaluate_builder
+
+        standard = evaluate_builder(
+            KDStandardBuilder(depth=8), small_skewed, small_workload, 0.5,
+            n_trials=3, seed=2,
+        )
+        hybrid = evaluate_builder(
+            KDHybridBuilder(depth=8), small_skewed, small_workload, 0.5,
+            n_trials=3, seed=2,
+        )
+        assert hybrid.mean_relative() < standard.mean_relative()
+
+    def test_deterministic_given_rng(self, small_skewed):
+        a = KDHybridBuilder(depth=5).fit(
+            small_skewed, 1.0, np.random.default_rng(9)
+        )
+        b = KDHybridBuilder(depth=5).fit(
+            small_skewed, 1.0, np.random.default_rng(9)
+        )
+        query = Rect(0.1, 0.1, 0.7, 0.8)
+        assert a.answer(query) == b.answer(query)
+
+
+class TestUniformitySplitStrategy:
+    def test_strategy_validated(self):
+        with pytest.raises(ValueError, match="split_strategy"):
+            KDTreeBuilder(split_strategy="nope")
+
+    def test_uniformity_tree_builds_and_answers(self, small_skewed, rng):
+        builder = KDTreeBuilder(
+            depth=5, split_strategy="uniformity", median_fraction=0.2,
+            min_split_count=0.0,
+        )
+        synopsis = builder.fit(small_skewed, 1.0, rng)
+        assert synopsis.height() == 5
+        assert synopsis.total() == pytest.approx(small_skewed.size, rel=0.2)
+
+    def test_uniformity_split_prefers_density_boundary(self, rng):
+        """With a sharp density step, the split should find the boundary."""
+        from repro.core.dataset import GeoDataset
+        from repro.core.geometry import Domain2D
+
+        # Dense slab on x in [0, 0.25], sparse elsewhere.
+        xs = np.concatenate(
+            [rng.uniform(0.0, 0.25, 4_000), rng.uniform(0.25, 1.0, 400)]
+        )
+        ys = rng.random(4_400)
+        dataset = GeoDataset(np.column_stack([xs, ys]), Domain2D.unit())
+        builder = KDTreeBuilder(
+            depth=1, split_strategy="uniformity", median_fraction=0.5,
+            min_split_count=0.0,
+        )
+        synopsis = builder.fit(dataset, 50.0, rng)
+        split_x = synopsis.root.children[0].rect.x_hi
+        assert 0.15 < split_x < 0.35
+
+    def test_budget_still_exact(self, small_skewed, rng):
+        budget = PrivacyBudget(1.0)
+        KDTreeBuilder(depth=4, split_strategy="uniformity").fit(
+            small_skewed, 1.0, rng, budget=budget
+        )
+        assert budget.spent == pytest.approx(1.0)

@@ -1,0 +1,59 @@
+"""Unit tests for the quadtree baseline."""
+
+import pytest
+
+from repro.baselines.quadtree import QuadtreeBuilder
+from repro.core.geometry import Rect
+from repro.privacy.budget import PrivacyBudget
+
+
+class TestStructure:
+    def test_label(self):
+        assert QuadtreeBuilder(depth=5).label() == "Quad5"
+
+    def test_full_tree_leaf_grid(self, small_skewed, rng):
+        synopsis = QuadtreeBuilder(
+            depth=3, min_split_count=0.0, constrained_inference=False
+        ).fit(small_skewed, 1.0, rng)
+        assert synopsis.leaf_count() == 4**3
+        assert synopsis.height() == 3
+
+    def test_all_quadrant_splits(self, small_skewed, rng):
+        synopsis = QuadtreeBuilder(depth=2, min_split_count=0.0).fit(
+            small_skewed, 1.0, rng
+        )
+        for node in synopsis.root.iter_nodes():
+            if not node.is_leaf:
+                assert len(node.children) == 4
+
+    def test_early_stop_on_sparse_regions(self, small_skewed, rng):
+        pruned = QuadtreeBuilder(depth=6, min_split_count=200.0).fit(
+            small_skewed, 1.0, rng
+        )
+        assert pruned.leaf_count() < 4**6
+
+
+class TestBudget:
+    def test_spends_exactly_epsilon(self, small_skewed, rng):
+        budget = PrivacyBudget(0.8)
+        QuadtreeBuilder(depth=4).fit(small_skewed, 0.8, rng, budget=budget)
+        assert budget.spent == pytest.approx(0.8)
+
+    def test_no_median_spend(self, small_skewed, rng):
+        budget = PrivacyBudget(1.0)
+        QuadtreeBuilder(depth=4).fit(small_skewed, 1.0, rng, budget=budget)
+        assert all("median" not in entry.label for entry in budget.ledger)
+
+
+class TestAccuracy:
+    def test_total_near_truth(self, small_skewed, rng):
+        synopsis = QuadtreeBuilder(depth=4).fit(small_skewed, 1.0, rng)
+        assert synopsis.total() == pytest.approx(small_skewed.size, rel=0.1)
+
+    def test_quadrant_query_exact_region(self, small_skewed, rng):
+        synopsis = QuadtreeBuilder(depth=3, min_split_count=0.0).fit(
+            small_skewed, 5.0, rng
+        )
+        quadrant = Rect(0.0, 0.0, 0.5, 0.5)
+        truth = small_skewed.count_in(quadrant)
+        assert synopsis.answer(quadrant) == pytest.approx(truth, rel=0.15)

@@ -1,0 +1,81 @@
+"""Unit tests for the spatial-tree synopsis substrate."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.tree import SpatialNode, TreeSynopsis, apply_tree_inference
+from repro.core.geometry import Domain2D, Rect
+
+
+def two_level_tree() -> SpatialNode:
+    """Root [0,1]^2 with 100 points split 70/30 left/right."""
+    left = SpatialNode(
+        rect=Rect(0.0, 0.0, 0.5, 1.0), noisy_count=70.0, variance=2.0,
+        count=70.0, depth=1,
+    )
+    right = SpatialNode(
+        rect=Rect(0.5, 0.0, 1.0, 1.0), noisy_count=30.0, variance=2.0,
+        count=30.0, depth=1,
+    )
+    return SpatialNode(
+        rect=Rect(0.0, 0.0, 1.0, 1.0), noisy_count=100.0, variance=2.0,
+        count=100.0, children=[left, right],
+    )
+
+
+class TestStructureQueries:
+    def test_counts(self):
+        root = two_level_tree()
+        assert root.node_count() == 3
+        assert root.leaf_count() == 2
+        assert root.height() == 1
+
+    def test_iter_leaves(self):
+        root = two_level_tree()
+        assert [leaf.count for leaf in root.iter_leaves()] == [70.0, 30.0]
+
+
+class TestQueryAnswering:
+    @pytest.fixture
+    def synopsis(self) -> TreeSynopsis:
+        return TreeSynopsis(Domain2D.unit(), 1.0, two_level_tree())
+
+    def test_full_domain_uses_root(self, synopsis):
+        assert synopsis.answer(Rect(0.0, 0.0, 1.0, 1.0)) == 100.0
+
+    def test_contained_child(self, synopsis):
+        assert synopsis.answer(Rect(0.0, 0.0, 0.5, 1.0)) == 70.0
+
+    def test_partial_leaf_uniformity(self, synopsis):
+        # Left half of the left child = quarter of the domain.
+        assert synopsis.answer(Rect(0.0, 0.0, 0.25, 1.0)) == pytest.approx(35.0)
+
+    def test_straddling_query(self, synopsis):
+        # Covers right half of left leaf + left half of right leaf.
+        estimate = synopsis.answer(Rect(0.25, 0.0, 0.75, 1.0))
+        assert estimate == pytest.approx(0.5 * 70.0 + 0.5 * 30.0)
+
+    def test_disjoint(self, synopsis):
+        assert synopsis.answer(Rect(2.0, 2.0, 3.0, 3.0)) == 0.0
+
+    def test_synthetic_points(self, synopsis, rng):
+        cloud = synopsis.synthetic_points(rng)
+        assert cloud.shape == (100, 2)
+        left_mask = cloud[:, 0] <= 0.5
+        assert left_mask.sum() == 70
+
+
+class TestTreeInference:
+    def test_inference_updates_counts(self, rng):
+        root = two_level_tree()
+        root.noisy_count = 120.0  # inconsistent with children (100)
+        apply_tree_inference(root)
+        child_sum = sum(child.count for child in root.children)
+        assert root.count == pytest.approx(child_sum)
+        assert 100.0 < root.count < 120.0
+
+    def test_inference_preserves_consistent_tree(self):
+        root = two_level_tree()
+        apply_tree_inference(root)
+        assert root.count == pytest.approx(100.0)
+        assert root.children[0].count == pytest.approx(70.0)

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import GeoDataset
+from repro.core.geometry import Domain2D
+from repro.datasets.synthetic import make_gaussian_mixture
+from repro.queries.workload import QueryWorkload
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def unit_domain() -> Domain2D:
+    return Domain2D.unit()
+
+
+@pytest.fixture
+def small_uniform(rng) -> GeoDataset:
+    """2,000 uniform points on the unit square."""
+    points = rng.random((2_000, 2))
+    return GeoDataset(points, Domain2D.unit(), name="uniform-small")
+
+
+@pytest.fixture
+def small_skewed() -> GeoDataset:
+    """10,000 points in a skewed Gaussian mixture on the unit square."""
+    return make_gaussian_mixture(10_000, n_clusters=12, rng=7)
+
+
+@pytest.fixture
+def small_workload(small_skewed) -> QueryWorkload:
+    """A compact q1..q6 workload over the skewed dataset."""
+    return QueryWorkload.generate(
+        small_skewed, q6_width=0.5, q6_height=0.5,
+        rng=3, queries_per_size=20,
+    )

@@ -1,0 +1,122 @@
+"""Unit tests for repro.core.dataset."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import GeoDataset
+from repro.core.geometry import Domain2D, Rect
+
+
+class TestConstruction:
+    def test_basic(self, rng):
+        points = rng.random((100, 2))
+        dataset = GeoDataset(points, Domain2D.unit(), name="test")
+        assert dataset.size == 100
+        assert len(dataset) == 100
+        assert dataset.name == "test"
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            GeoDataset(np.zeros((5, 3)), Domain2D.unit())
+
+    def test_rejects_points_outside_domain(self):
+        points = np.array([[0.5, 0.5], [1.5, 0.5]])
+        with pytest.raises(ValueError):
+            GeoDataset(points, Domain2D.unit())
+
+    def test_points_read_only(self, rng):
+        dataset = GeoDataset(rng.random((10, 2)), Domain2D.unit())
+        with pytest.raises(ValueError):
+            dataset.points[0, 0] = 99.0
+
+    def test_from_points_infers_domain(self, rng):
+        points = rng.uniform(5.0, 9.0, size=(50, 2))
+        dataset = GeoDataset.from_points(points)
+        bounds = dataset.domain.bounds
+        assert bounds.x_lo <= points[:, 0].min()
+        assert bounds.x_hi >= points[:, 0].max()
+
+    def test_from_points_clip(self):
+        points = np.array([[2.0, 0.5], [0.5, -1.0]])
+        dataset = GeoDataset.from_points(points, Domain2D.unit(), clip=True)
+        assert dataset.points[:, 0].max() <= 1.0
+        assert dataset.points[:, 1].min() >= 0.0
+
+    def test_from_points_empty_needs_domain(self):
+        with pytest.raises(ValueError):
+            GeoDataset.from_points(np.empty((0, 2)))
+        dataset = GeoDataset.from_points(np.empty((0, 2)), Domain2D.unit())
+        assert dataset.size == 0
+
+
+class TestCounting:
+    def test_count_in_full_domain(self, small_uniform):
+        assert small_uniform.count_in(small_uniform.domain.bounds) == 2_000
+
+    def test_count_in_empty_region(self, small_uniform):
+        # The domain is the unit square; a region outside it is empty.
+        assert small_uniform.count_in(Rect(2.0, 2.0, 3.0, 3.0)) == 0
+
+    def test_count_in_half(self, rng):
+        points = np.column_stack([np.linspace(0.0, 0.99, 100), np.full(100, 0.5)])
+        dataset = GeoDataset(points, Domain2D.unit())
+        assert dataset.count_in(Rect(0.0, 0.0, 0.495, 1.0)) == 50
+
+    def test_count_many(self, small_uniform):
+        rects = [Rect(0.0, 0.0, 1.0, 1.0), Rect(0.0, 0.0, 0.0, 0.0)]
+        counts = small_uniform.count_many(rects)
+        assert counts[0] == 2_000
+        assert counts.shape == (2,)
+
+    def test_additivity(self, small_skewed):
+        whole = small_skewed.count_in(Rect(0.2, 0.2, 0.8, 0.8))
+        # Split at x = 0.5: points exactly on the split line are counted in
+        # both halves, so left + right >= whole, with tiny overcount.
+        left = small_skewed.count_in(Rect(0.2, 0.2, 0.5, 0.8))
+        right = small_skewed.count_in(Rect(0.5, 0.2, 0.8, 0.8))
+        on_line = small_skewed.count_in(Rect(0.5, 0.2, 0.5, 0.8))
+        assert left + right - on_line == whole
+
+
+class TestSubsetsAndSampling:
+    def test_subset(self, small_uniform):
+        region = Rect(0.0, 0.0, 0.5, 0.5)
+        subset = small_uniform.subset(region)
+        assert subset.size == small_uniform.count_in(region)
+        assert subset.domain.bounds == region
+
+    def test_sample(self, small_uniform, rng):
+        sample = small_uniform.sample(100, rng)
+        assert sample.size == 100
+        assert sample.domain == small_uniform.domain
+
+    def test_sample_too_many(self, small_uniform, rng):
+        with pytest.raises(ValueError):
+            small_uniform.sample(10_000, rng)
+
+
+class TestPersistence:
+    def test_npz_roundtrip(self, small_uniform, tmp_path):
+        path = tmp_path / "data.npz"
+        small_uniform.save(path)
+        loaded = GeoDataset.load(path)
+        np.testing.assert_array_equal(loaded.points, small_uniform.points)
+        assert loaded.domain == small_uniform.domain
+        assert loaded.name == small_uniform.name
+
+    def test_csv_roundtrip(self, rng):
+        dataset = GeoDataset(rng.random((25, 2)), Domain2D.unit())
+        buffer = io.StringIO()
+        dataset.to_csv(buffer)
+        buffer.seek(0)
+        loaded = GeoDataset.from_csv(buffer, domain=Domain2D.unit())
+        np.testing.assert_allclose(loaded.points, dataset.points)
+
+    def test_csv_file(self, rng, tmp_path):
+        dataset = GeoDataset(rng.random((10, 2)), Domain2D.unit())
+        path = tmp_path / "points.csv"
+        dataset.to_csv(path)
+        loaded = GeoDataset.from_csv(path, domain=Domain2D.unit())
+        assert loaded.size == 10

@@ -1,0 +1,201 @@
+"""Unit tests for repro.core.grid."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import GeoDataset
+from repro.core.geometry import Domain2D, Rect
+from repro.core.grid import GridLayout
+
+
+@pytest.fixture
+def grid_4x4() -> GridLayout:
+    return GridLayout(Domain2D.unit(), 4)
+
+
+class TestLayoutGeometry:
+    def test_shape(self):
+        layout = GridLayout(Domain2D.unit(), 3, 5)
+        assert layout.shape == (3, 5)
+        assert layout.n_cells == 15
+
+    def test_square_default(self):
+        layout = GridLayout(Domain2D.unit(), 7)
+        assert layout.shape == (7, 7)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            GridLayout(Domain2D.unit(), 0)
+
+    def test_edges(self, grid_4x4):
+        np.testing.assert_allclose(
+            grid_4x4.x_edges, [0.0, 0.25, 0.5, 0.75, 1.0]
+        )
+
+    def test_cell_dimensions(self):
+        layout = GridLayout(Domain2D(0.0, 0.0, 8.0, 4.0), 4, 2)
+        assert layout.cell_width == pytest.approx(2.0)
+        assert layout.cell_height == pytest.approx(2.0)
+
+    def test_cell_rect(self, grid_4x4):
+        rect = grid_4x4.cell_rect(1, 2)
+        assert rect.as_tuple() == (0.25, 0.5, 0.5, 0.75)
+
+    def test_cell_rect_out_of_range(self, grid_4x4):
+        with pytest.raises(IndexError):
+            grid_4x4.cell_rect(4, 0)
+
+    def test_cells_tile_the_domain(self, grid_4x4):
+        total = sum(
+            grid_4x4.cell_rect(i, j).area for i in range(4) for j in range(4)
+        )
+        assert total == pytest.approx(1.0)
+
+
+class TestCellIndices:
+    def test_interior_points(self, grid_4x4):
+        points = np.array([[0.1, 0.1], [0.9, 0.9], [0.3, 0.6]])
+        ix, iy = grid_4x4.cell_indices(points)
+        assert ix.tolist() == [0, 3, 1]
+        assert iy.tolist() == [0, 3, 2]
+
+    def test_far_boundary_belongs_to_last_cell(self, grid_4x4):
+        ix, iy = grid_4x4.cell_indices(np.array([[1.0, 1.0]]))
+        assert (ix[0], iy[0]) == (3, 3)
+
+    def test_origin_belongs_to_first_cell(self, grid_4x4):
+        ix, iy = grid_4x4.cell_indices(np.array([[0.0, 0.0]]))
+        assert (ix[0], iy[0]) == (0, 0)
+
+
+class TestHistogram:
+    def test_total_preserved(self, grid_4x4, rng):
+        points = rng.random((500, 2))
+        histogram = grid_4x4.histogram(points)
+        assert histogram.sum() == 500
+
+    def test_empty(self, grid_4x4):
+        histogram = grid_4x4.histogram(np.empty((0, 2)))
+        assert histogram.shape == (4, 4)
+        assert histogram.sum() == 0
+
+    def test_known_placement(self, grid_4x4):
+        points = np.array([[0.1, 0.1], [0.1, 0.15], [0.9, 0.9]])
+        histogram = grid_4x4.histogram(points)
+        assert histogram[0, 0] == 2
+        assert histogram[3, 3] == 1
+
+    def test_histogram_matches_count_in(self, rng):
+        """Each cell count equals the dataset's exact rectangle count."""
+        dataset = GeoDataset(rng.random((300, 2)), Domain2D.unit())
+        layout = GridLayout(Domain2D.unit(), 3)
+        histogram = layout.histogram(dataset.points)
+        # Interior of cells: shrink each rect a hair to avoid boundary
+        # double counting differences between closed rects and half-open
+        # binning.
+        for i in range(3):
+            for j in range(3):
+                cell = layout.cell_rect(i, j)
+                inner = Rect(
+                    cell.x_lo + 1e-12, cell.y_lo + 1e-12,
+                    cell.x_hi - 1e-12, cell.y_hi - 1e-12,
+                )
+                assert abs(histogram[i, j] - dataset.count_in(inner)) <= 2
+
+
+class TestCoverage:
+    def test_full_domain(self, grid_4x4):
+        x_slice, y_slice, fx, fy = grid_4x4.coverage(Rect(0.0, 0.0, 1.0, 1.0))
+        assert (x_slice, y_slice) == (slice(0, 4), slice(0, 4))
+        np.testing.assert_allclose(fx, np.ones(4))
+        np.testing.assert_allclose(fy, np.ones(4))
+
+    def test_single_cell_partial(self, grid_4x4):
+        x_slice, y_slice, fx, fy = grid_4x4.coverage(
+            Rect(0.0, 0.0, 0.125, 0.25)
+        )
+        assert (x_slice, y_slice) == (slice(0, 1), slice(0, 1))
+        np.testing.assert_allclose(fx, [0.5])
+        np.testing.assert_allclose(fy, [1.0])
+
+    def test_outside(self, grid_4x4):
+        _, _, fx, fy = grid_4x4.coverage(Rect(2.0, 2.0, 3.0, 3.0))
+        assert fx.size == 0 and fy.size == 0
+
+    def test_cells_touched(self, grid_4x4):
+        assert grid_4x4.cells_touched(Rect(0.0, 0.0, 1.0, 1.0)) == 16
+        assert grid_4x4.cells_touched(Rect(0.1, 0.1, 0.2, 0.2)) == 1
+        assert grid_4x4.cells_touched(Rect(0.1, 0.1, 0.4, 0.4)) == 4
+
+    def test_edge_aligned_query(self, grid_4x4):
+        """A query exactly on cell boundaries covers whole cells only."""
+        x_slice, y_slice, fx, fy = grid_4x4.coverage(
+            Rect(0.25, 0.25, 0.75, 0.75)
+        )
+        assert (x_slice, y_slice) == (slice(1, 3), slice(1, 3))
+        np.testing.assert_allclose(fx, np.ones(2))
+        np.testing.assert_allclose(fy, np.ones(2))
+
+
+class TestEstimate:
+    def test_full_domain_returns_total(self, grid_4x4, rng):
+        counts = rng.random((4, 4)) * 10
+        estimate = grid_4x4.estimate(counts, Rect(0.0, 0.0, 1.0, 1.0))
+        assert estimate == pytest.approx(counts.sum())
+
+    def test_half_domain_uniform_counts(self, grid_4x4):
+        counts = np.ones((4, 4))
+        estimate = grid_4x4.estimate(counts, Rect(0.0, 0.0, 0.5, 1.0))
+        assert estimate == pytest.approx(8.0)
+
+    def test_fractional_cell(self, grid_4x4):
+        counts = np.zeros((4, 4))
+        counts[0, 0] = 100.0
+        # Covers exactly a quarter of cell (0, 0).
+        estimate = grid_4x4.estimate(counts, Rect(0.0, 0.0, 0.125, 0.125))
+        assert estimate == pytest.approx(25.0)
+
+    def test_additivity_over_split(self, grid_4x4, rng):
+        """Estimates add when a query is split at any x coordinate."""
+        counts = rng.random((4, 4)) * 50
+        whole = grid_4x4.estimate(counts, Rect(0.1, 0.2, 0.9, 0.8))
+        left = grid_4x4.estimate(counts, Rect(0.1, 0.2, 0.33, 0.8))
+        right = grid_4x4.estimate(counts, Rect(0.33, 0.2, 0.9, 0.8))
+        assert whole == pytest.approx(left + right, rel=1e-9)
+
+    def test_shape_mismatch(self, grid_4x4):
+        with pytest.raises(ValueError):
+            grid_4x4.estimate(np.ones((3, 3)), Rect(0.0, 0.0, 1.0, 1.0))
+
+    def test_exact_grid_perfect_on_aligned_queries(self, rng):
+        """With exact counts, cell-aligned queries have zero error."""
+        points = rng.random((1_000, 2))
+        dataset = GeoDataset(points, Domain2D.unit())
+        layout = GridLayout(Domain2D.unit(), 8)
+        histogram = layout.histogram(points)
+        query = Rect(0.25, 0.125, 0.75, 0.875)  # aligned to 1/8 edges
+        estimate = layout.estimate(histogram, query)
+        # Points exactly on the query boundary may differ; tolerance 0 is
+        # achievable with random continuous data.
+        assert estimate == pytest.approx(dataset.count_in(query))
+
+
+class TestSamplePoints:
+    def test_counts_respected(self, grid_4x4, rng):
+        counts = np.zeros((4, 4))
+        counts[1, 2] = 5
+        counts[3, 0] = 3
+        points = grid_4x4.sample_points(counts, rng)
+        assert points.shape == (8, 2)
+        in_cell_12 = grid_4x4.cell_rect(1, 2).mask(points[:, 0], points[:, 1])
+        assert in_cell_12.sum() == 5
+
+    def test_negative_counts_dropped(self, grid_4x4, rng):
+        counts = np.full((4, 4), -2.0)
+        assert grid_4x4.sample_points(counts, rng).shape == (0, 2)
+
+    def test_rounding(self, grid_4x4, rng):
+        counts = np.zeros((4, 4))
+        counts[0, 0] = 2.6
+        points = grid_4x4.sample_points(counts, rng)
+        assert points.shape == (3, 2)

@@ -1,0 +1,159 @@
+"""Unit tests for the paper's grid-size guidelines."""
+
+import math
+
+import pytest
+
+from repro.core.guidelines import (
+    DEFAULT_ALPHA,
+    DEFAULT_C,
+    DEFAULT_C2,
+    adaptive_first_level_size,
+    ag_cell_error_objective,
+    guideline1_grid_size,
+    guideline2_cell_grid_size,
+    ug_error_objective,
+)
+
+
+class TestConstants:
+    def test_paper_values(self):
+        assert DEFAULT_C == 10.0
+        assert DEFAULT_C2 == 5.0
+        assert DEFAULT_ALPHA == 0.5
+
+
+class TestGuideline1:
+    """Table II's 'UG suggested' column is the ground truth here."""
+
+    @pytest.mark.parametrize(
+        "n, epsilon, expected",
+        [
+            (1_600_000, 1.0, 400),  # road
+            (1_600_000, 0.1, 126),  # road
+            (1_000_000, 1.0, 316),  # checkin
+            (1_000_000, 0.1, 100),  # checkin
+            (870_000, 1.0, 295),  # landmark (paper rounds to 300)
+            (870_000, 0.1, 93),  # landmark (paper rounds to 95)
+            (9_000, 1.0, 30),  # storage
+            (9_000, 0.1, 9),  # storage (paper rounds to 10)
+        ],
+    )
+    def test_table2_sizes(self, n, epsilon, expected):
+        assert guideline1_grid_size(n, epsilon) == expected
+
+    def test_scaling_with_n(self):
+        """m scales as sqrt(N): quadrupling N doubles m."""
+        m1 = guideline1_grid_size(100_000, 1.0)
+        m4 = guideline1_grid_size(400_000, 1.0)
+        assert m4 == pytest.approx(2 * m1, abs=1)
+
+    def test_scaling_with_epsilon(self):
+        m1 = guideline1_grid_size(1_000_000, 0.25)
+        m4 = guideline1_grid_size(1_000_000, 1.0)
+        assert m4 == pytest.approx(2 * m1, abs=1)
+
+    def test_minimum_one(self):
+        assert guideline1_grid_size(0, 1.0) == 1
+        assert guideline1_grid_size(5, 0.01) == 1
+
+    def test_negative_noisy_n_treated_as_zero(self):
+        assert guideline1_grid_size(-100.0, 1.0) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            guideline1_grid_size(100, 0.0)
+        with pytest.raises(ValueError):
+            guideline1_grid_size(100, 1.0, c=0.0)
+
+    def test_minimises_objective(self):
+        """The closed form sits at the objective's discrete minimum."""
+        n, epsilon = 500_000, 0.5
+        m_star = guideline1_grid_size(n, epsilon)
+        best = min(
+            range(max(1, m_star - 50), m_star + 50),
+            key=lambda m: ug_error_objective(m, n, epsilon, query_fraction=0.25),
+        )
+        assert abs(best - m_star) <= 1
+
+
+class TestGuideline2:
+    def test_paper_formula(self):
+        # m2 = ceil(sqrt(N' * eps2 / c2))
+        assert guideline2_cell_grid_size(500, 0.5) == math.ceil(
+            math.sqrt(500 * 0.5 / 5.0)
+        )
+
+    def test_negative_count_no_split(self):
+        assert guideline2_cell_grid_size(-10.0, 0.5) == 1
+
+    def test_zero_count_no_split(self):
+        assert guideline2_cell_grid_size(0.0, 0.5) == 1
+
+    def test_monotone_in_count(self):
+        sizes = [
+            guideline2_cell_grid_size(n, 0.5) for n in (0, 10, 100, 1_000, 10_000)
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            guideline2_cell_grid_size(10, 0.0)
+        with pytest.raises(ValueError):
+            guideline2_cell_grid_size(10, 0.5, c2=-1.0)
+
+    def test_minimises_cell_objective(self):
+        noisy_count, eps2 = 2_000.0, 0.5
+        m2_star = guideline2_cell_grid_size(noisy_count, eps2)
+        best = min(
+            range(1, m2_star + 30),
+            key=lambda m: ag_cell_error_objective(m, noisy_count, eps2),
+        )
+        assert abs(best - m2_star) <= 1
+
+
+class TestFirstLevelSize:
+    @pytest.mark.parametrize(
+        "n, epsilon, expected",
+        [
+            (1_000_000, 0.1, 25),  # checkin, paper: suggested m1 = 25
+            (1_000_000, 1.0, 79),  # checkin, paper: suggested m1 = 79
+            (870_000, 1.0, 74),  # landmark (paper reports 75 from UG=300)
+            (870_000, 0.1, 24),  # landmark, paper: suggested m1 = 24
+            (1_600_000, 1.0, 100),  # road, paper uses A100,5
+            (9_000, 1.0, 10),  # storage: the floor of 10 kicks in
+            (9_000, 0.1, 10),  # storage
+        ],
+    )
+    def test_paper_values(self, n, epsilon, expected):
+        assert adaptive_first_level_size(n, epsilon) == expected
+
+    def test_floor_of_ten(self):
+        assert adaptive_first_level_size(100, 0.1) == 10
+
+    def test_quarter_of_ug(self):
+        n, epsilon = 4_000_000, 1.0
+        m_ug = guideline1_grid_size(n, epsilon)
+        m1 = adaptive_first_level_size(n, epsilon)
+        assert m1 == math.ceil(m_ug / 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            adaptive_first_level_size(100, -1.0)
+
+
+class TestObjectives:
+    def test_ug_objective_convex_shape(self):
+        """The objective decreases then increases around the optimum."""
+        n, epsilon = 1_000_000, 1.0
+        values = [
+            ug_error_objective(m, n, epsilon, query_fraction=0.25)
+            for m in (10, 100, 316, 1_000, 5_000)
+        ]
+        assert values[0] > values[2] < values[4]
+
+    def test_objective_validation(self):
+        with pytest.raises(ValueError):
+            ug_error_objective(0, 100, 1.0)
+        with pytest.raises(ValueError):
+            ag_cell_error_objective(-1, 100, 1.0)

@@ -1,0 +1,122 @@
+"""Unit tests for count post-processing."""
+
+import numpy as np
+import pytest
+
+from repro.core.postprocess import (
+    POSTPROCESS_CHOICES,
+    apply_postprocess,
+    clamp_nonnegative,
+    project_nonnegative_preserving_total,
+)
+
+
+class TestClamp:
+    def test_negatives_zeroed(self):
+        out = clamp_nonnegative(np.array([-1.0, 2.0, -0.5, 3.0]))
+        np.testing.assert_array_equal(out, [0.0, 2.0, 0.0, 3.0])
+
+    def test_nonnegative_unchanged(self, rng):
+        counts = rng.random((4, 4))
+        np.testing.assert_array_equal(clamp_nonnegative(counts), counts)
+
+    def test_biases_total_up(self, rng):
+        counts = rng.normal(0.0, 1.0, size=100)
+        assert clamp_nonnegative(counts).sum() >= counts.sum()
+
+
+class TestProjection:
+    def test_preserves_total(self, rng):
+        counts = rng.normal(5.0, 10.0, size=(8, 8))
+        projected = project_nonnegative_preserving_total(counts)
+        assert projected.sum() == pytest.approx(counts.sum())
+        assert projected.min() >= 0.0
+
+    def test_already_nonnegative_unchanged(self, rng):
+        counts = rng.random((5, 5)) + 0.1
+        projected = project_nonnegative_preserving_total(counts)
+        np.testing.assert_allclose(projected, counts)
+
+    def test_negative_total_gives_zeros(self):
+        counts = np.array([-5.0, 1.0, -3.0])
+        projected = project_nonnegative_preserving_total(counts)
+        np.testing.assert_array_equal(projected, np.zeros(3))
+
+    def test_single_negative_redistributed(self):
+        counts = np.array([4.0, 4.0, -2.0])
+        projected = project_nonnegative_preserving_total(counts)
+        np.testing.assert_allclose(projected, [3.0, 3.0, 0.0])
+
+    def test_preserves_shape(self, rng):
+        counts = rng.normal(size=(3, 4, 5))
+        assert project_nonnegative_preserving_total(counts).shape == (3, 4, 5)
+
+    def test_cascading_deficit(self):
+        """Redistribution that drives another cell negative still converges."""
+        counts = np.array([10.0, 0.5, -6.0])
+        projected = project_nonnegative_preserving_total(counts)
+        assert projected.min() >= 0.0
+        assert projected.sum() == pytest.approx(4.5)
+
+
+class TestDispatch:
+    def test_modes(self, rng):
+        counts = rng.normal(size=10)
+        np.testing.assert_array_equal(apply_postprocess(counts, "none"), counts)
+        assert apply_postprocess(counts, "clamp").min() >= 0.0
+        assert apply_postprocess(counts, "project").min() >= 0.0
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError, match="postprocess"):
+            apply_postprocess(np.zeros(3), "magic")
+
+    def test_choices_constant(self):
+        assert POSTPROCESS_CHOICES == ("none", "clamp", "project")
+
+
+class TestBuilderIntegration:
+    def test_projected_ug_counts_nonnegative(self, small_skewed, rng):
+        from repro.core.uniform_grid import UniformGridBuilder
+
+        synopsis = UniformGridBuilder(grid_size=32, postprocess="project").fit(
+            small_skewed, 0.2, rng
+        )
+        assert synopsis.counts.min() >= 0.0
+        # The noisy total is preserved; it should still be near the truth.
+        assert synopsis.total() == pytest.approx(small_skewed.size, rel=0.2)
+
+    def test_clamped_ug(self, small_skewed, rng):
+        from repro.core.uniform_grid import UniformGridBuilder
+
+        synopsis = UniformGridBuilder(grid_size=32, postprocess="clamp").fit(
+            small_skewed, 0.2, rng
+        )
+        assert synopsis.counts.min() >= 0.0
+
+    def test_invalid_mode_rejected_at_construction(self):
+        from repro.core.uniform_grid import UniformGridBuilder
+
+        with pytest.raises(ValueError):
+            UniformGridBuilder(postprocess="bogus")
+
+    def test_aspect_adaptive_squareish_cells(self, rng):
+        from repro.core.dataset import GeoDataset
+        from repro.core.geometry import Domain2D
+        from repro.core.uniform_grid import UniformGridBuilder
+
+        # A 4:1 domain: aspect-adaptive cells should be ~square.
+        domain = Domain2D(0.0, 0.0, 4.0, 1.0)
+        points = np.column_stack(
+            [rng.uniform(0, 4, 5_000), rng.uniform(0, 1, 5_000)]
+        )
+        dataset = GeoDataset(points, domain)
+        synopsis = UniformGridBuilder(grid_size=16, aspect_adaptive=True).fit(
+            dataset, 1.0, rng
+        )
+        mx, my = synopsis.grid_size
+        assert mx == 32 and my == 8  # 16 * sqrt(4), 16 / sqrt(4)
+        assert synopsis.layout.cell_width == pytest.approx(
+            synopsis.layout.cell_height
+        )
+        # Cell budget preserved: mx * my == m^2.
+        assert mx * my == 256

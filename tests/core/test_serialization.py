@@ -1,0 +1,102 @@
+"""Unit tests for synopsis serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.kd_tree import KDHybridBuilder
+from repro.core.adaptive_grid import AdaptiveGridBuilder
+from repro.core.geometry import Rect
+from repro.core.serialization import load_synopsis, save_synopsis
+from repro.core.uniform_grid import UniformGridBuilder
+
+QUERIES = [
+    Rect(0.0, 0.0, 1.0, 1.0),
+    Rect(0.1, 0.2, 0.6, 0.9),
+    Rect(0.33, 0.33, 0.34, 0.34),
+    Rect(0.0, 0.5, 1.0, 0.75),
+]
+
+
+def assert_same_answers(a, b):
+    for query in QUERIES:
+        assert a.answer(query) == pytest.approx(b.answer(query), rel=1e-12)
+
+
+class TestUniformGridRoundtrip:
+    def test_roundtrip(self, small_skewed, rng, tmp_path):
+        synopsis = UniformGridBuilder(grid_size=16).fit(small_skewed, 1.0, rng)
+        path = tmp_path / "ug.npz"
+        save_synopsis(synopsis, path)
+        restored = load_synopsis(path)
+        np.testing.assert_array_equal(restored.counts, synopsis.counts)
+        assert restored.epsilon == synopsis.epsilon
+        assert restored.domain == synopsis.domain
+        assert_same_answers(synopsis, restored)
+
+    def test_restored_supports_synthetic_points(self, small_skewed, rng, tmp_path):
+        synopsis = UniformGridBuilder(grid_size=8).fit(small_skewed, 1.0, rng)
+        path = tmp_path / "ug.npz"
+        save_synopsis(synopsis, path)
+        restored = load_synopsis(path)
+        cloud = restored.synthetic_points(np.random.default_rng(0))
+        assert cloud.shape[1] == 2
+
+
+class TestAdaptiveGridRoundtrip:
+    def test_roundtrip(self, small_skewed, rng, tmp_path):
+        synopsis = AdaptiveGridBuilder(first_level_size=5).fit(
+            small_skewed, 1.0, rng
+        )
+        path = tmp_path / "ag.npz"
+        save_synopsis(synopsis, path)
+        restored = load_synopsis(path)
+        assert restored.first_level_size == synopsis.first_level_size
+        for i in range(5):
+            for j in range(5):
+                assert restored.cell_grid_size(i, j) == synopsis.cell_grid_size(i, j)
+                assert restored.cell_total(i, j) == pytest.approx(
+                    synopsis.cell_total(i, j)
+                )
+        assert_same_answers(synopsis, restored)
+
+    def test_consistency_preserved(self, small_skewed, rng, tmp_path):
+        synopsis = AdaptiveGridBuilder(first_level_size=4).fit(
+            small_skewed, 1.0, rng
+        )
+        path = tmp_path / "ag.npz"
+        save_synopsis(synopsis, path)
+        restored = load_synopsis(path)
+        for i in range(4):
+            for j in range(4):
+                assert restored.cell_counts(i, j).sum() == pytest.approx(
+                    restored.cell_total(i, j)
+                )
+
+
+class TestTreeRoundtrip:
+    def test_roundtrip(self, small_skewed, rng, tmp_path):
+        synopsis = KDHybridBuilder(depth=6).fit(small_skewed, 1.0, rng)
+        path = tmp_path / "tree.npz"
+        save_synopsis(synopsis, path)
+        restored = load_synopsis(path)
+        assert restored.node_count() == synopsis.node_count()
+        assert restored.leaf_count() == synopsis.leaf_count()
+        assert restored.height() == synopsis.height()
+        assert_same_answers(synopsis, restored)
+
+
+class TestErrors:
+    def test_unknown_type_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_synopsis(object(), tmp_path / "x.npz")  # type: ignore[arg-type]
+
+    def test_wrong_version_rejected(self, small_skewed, rng, tmp_path):
+        synopsis = UniformGridBuilder(grid_size=4).fit(small_skewed, 1.0, rng)
+        path = tmp_path / "ug.npz"
+        save_synopsis(synopsis, path)
+        with np.load(path) as archive:
+            data = {key: archive[key] for key in archive.files}
+        data["format_version"] = np.array(99)
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="version"):
+            load_synopsis(path)

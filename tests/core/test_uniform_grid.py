@@ -1,0 +1,131 @@
+"""Unit tests for the Uniform Grid method."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import Rect
+from repro.core.uniform_grid import UniformGridBuilder, UniformGridSynopsis
+from repro.privacy.budget import PrivacyBudget
+
+
+class TestBuilderConfig:
+    def test_default_uses_guideline(self, small_skewed, rng):
+        synopsis = UniformGridBuilder().fit(small_skewed, 1.0, rng)
+        # N = 10_000, eps = 1 -> m = sqrt(1000) ~ 32.
+        assert synopsis.grid_size == (32, 32)
+
+    def test_fixed_size(self, small_skewed, rng):
+        synopsis = UniformGridBuilder(grid_size=16).fit(small_skewed, 1.0, rng)
+        assert synopsis.grid_size == (16, 16)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            UniformGridBuilder(grid_size=0)
+
+    def test_invalid_estimation_fraction(self):
+        with pytest.raises(ValueError):
+            UniformGridBuilder(n_estimation_fraction=1.0)
+
+    def test_labels(self):
+        assert UniformGridBuilder(grid_size=64).label() == "U64"
+        assert "UG" in UniformGridBuilder().label()
+
+    def test_invalid_epsilon(self, small_skewed, rng):
+        with pytest.raises(ValueError):
+            UniformGridBuilder().fit(small_skewed, 0.0, rng)
+
+
+class TestBudgetAccounting:
+    def test_whole_budget_on_histogram(self, small_skewed, rng):
+        budget = PrivacyBudget(1.0)
+        UniformGridBuilder(grid_size=8).fit(small_skewed, 1.0, rng, budget=budget)
+        assert budget.spent == pytest.approx(1.0)
+        assert len(budget.ledger) == 1
+
+    def test_n_estimation_splits_budget(self, small_skewed, rng):
+        budget = PrivacyBudget(1.0)
+        UniformGridBuilder(n_estimation_fraction=0.05).fit(
+            small_skewed, 1.0, rng, budget=budget
+        )
+        assert budget.spent == pytest.approx(1.0)
+        labels = [entry.label for entry in budget.ledger]
+        assert "N estimate" in labels
+
+
+class TestAccuracy:
+    def test_total_near_truth(self, small_skewed, rng):
+        synopsis = UniformGridBuilder(grid_size=16).fit(small_skewed, 1.0, rng)
+        # Total noise std = sqrt(256 * 2) / 1 ~ 23.
+        assert synopsis.total() == pytest.approx(small_skewed.size, abs=200)
+
+    def test_high_epsilon_answers_converge(self, small_skewed):
+        rng = np.random.default_rng(0)
+        synopsis = UniformGridBuilder(grid_size=8).fit(small_skewed, 1e6, rng)
+        query = Rect(0.0, 0.0, 0.5, 0.5)  # aligned to the 8x8 grid
+        truth = small_skewed.count_in(query)
+        assert synopsis.answer(query) == pytest.approx(truth, abs=1.0)
+
+    def test_noise_decreases_with_epsilon(self, small_skewed):
+        query = Rect(0.0, 0.0, 0.5, 0.5)
+        truth = small_skewed.count_in(query)
+
+        def mean_error(epsilon: float) -> float:
+            errors = []
+            for seed in range(30):
+                synopsis = UniformGridBuilder(grid_size=8).fit(
+                    small_skewed, epsilon, np.random.default_rng(seed)
+                )
+                errors.append(abs(synopsis.answer(query) - truth))
+            return float(np.mean(errors))
+
+        assert mean_error(10.0) < mean_error(0.1)
+
+    def test_counts_noisy_not_exact(self, small_skewed, rng):
+        """The released counts must differ from the exact histogram."""
+        synopsis = UniformGridBuilder(grid_size=8).fit(small_skewed, 1.0, rng)
+        exact = synopsis.layout.histogram(small_skewed.points)
+        assert not np.allclose(synopsis.counts, exact)
+
+    def test_deterministic_given_rng(self, small_skewed):
+        a = UniformGridBuilder(grid_size=8).fit(
+            small_skewed, 1.0, np.random.default_rng(5)
+        )
+        b = UniformGridBuilder(grid_size=8).fit(
+            small_skewed, 1.0, np.random.default_rng(5)
+        )
+        np.testing.assert_array_equal(a.counts, b.counts)
+
+
+class TestSyntheticData:
+    def test_synthetic_size_near_truth(self, small_skewed, rng):
+        synopsis = UniformGridBuilder(grid_size=16).fit(small_skewed, 1.0, rng)
+        cloud = synopsis.synthetic_points(rng)
+        assert cloud.shape[1] == 2
+        # Negative cells are dropped, so the cloud is roughly N +- noise.
+        assert abs(cloud.shape[0] - small_skewed.size) < 1_500
+
+    def test_synthetic_points_inside_domain(self, small_skewed, rng):
+        synopsis = UniformGridBuilder(grid_size=8).fit(small_skewed, 1.0, rng)
+        cloud = synopsis.synthetic_points(rng)
+        bounds = small_skewed.domain.bounds
+        assert bounds.mask(cloud[:, 0], cloud[:, 1]).all()
+
+
+class TestQueryMechanics:
+    def test_empty_intersection(self, small_skewed, rng):
+        synopsis = UniformGridBuilder(grid_size=8).fit(small_skewed, 1.0, rng)
+        assert synopsis.answer(Rect(5.0, 5.0, 6.0, 6.0)) == 0.0
+
+    def test_answer_many_matches_answer(self, small_skewed, rng):
+        synopsis = UniformGridBuilder(grid_size=8).fit(small_skewed, 1.0, rng)
+        rects = [Rect(0.0, 0.0, 0.3, 0.3), Rect(0.2, 0.4, 0.9, 0.8)]
+        many = synopsis.answer_many(rects)
+        singles = [synopsis.answer(rect) for rect in rects]
+        np.testing.assert_allclose(many, singles)
+
+    def test_counts_shape_validated(self, small_skewed, rng):
+        synopsis = UniformGridBuilder(grid_size=4).fit(small_skewed, 1.0, rng)
+        with pytest.raises(ValueError):
+            UniformGridSynopsis(
+                small_skewed.domain, 1.0, synopsis.layout, np.ones((3, 3))
+            )

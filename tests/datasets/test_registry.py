@@ -1,0 +1,62 @@
+"""Unit tests for the dataset registry."""
+
+import pytest
+
+from repro.datasets.registry import (
+    DATASETS,
+    dataset_names,
+    get_spec,
+    load_dataset,
+)
+
+
+class TestRegistryContents:
+    def test_four_datasets_in_paper_order(self):
+        assert dataset_names() == ["road", "checkin", "landmark", "storage"]
+
+    def test_paper_sizes_recorded(self):
+        assert DATASETS["road"].paper_n == 1_600_000
+        assert DATASETS["checkin"].paper_n == 1_000_000
+        assert DATASETS["storage"].paper_n == 9_000
+
+    def test_q6_from_table2(self):
+        assert (DATASETS["road"].q6_width, DATASETS["road"].q6_height) == (16.0, 16.0)
+        assert (DATASETS["checkin"].q6_width, DATASETS["checkin"].q6_height) == (
+            192.0, 96.0,
+        )
+        assert (DATASETS["landmark"].q6_width, DATASETS["landmark"].q6_height) == (
+            40.0, 20.0,
+        )
+        assert (DATASETS["storage"].q6_width, DATASETS["storage"].q6_height) == (
+            40.0, 20.0,
+        )
+
+    def test_storage_keeps_paper_n(self):
+        """The only dataset small enough to run at the paper's full size."""
+        assert DATASETS["storage"].default_n == DATASETS["storage"].paper_n
+
+
+class TestLookup:
+    def test_get_spec(self):
+        assert get_spec("road").name == "road"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="available"):
+            get_spec("nope")
+
+    def test_load_dataset_custom_n(self):
+        dataset = load_dataset("storage", n=500, rng=0)
+        assert dataset.size == 500
+        assert dataset.name == "storage"
+
+
+class TestWorkloadConstruction:
+    def test_workload_q6_fits_domain(self):
+        for name in dataset_names():
+            spec = get_spec(name)
+            dataset = spec.make(n=1_000, rng=0)
+            workload = spec.workload(dataset, rng=1, queries_per_size=3)
+            assert workload.total_queries() == 18
+            q6 = workload.query_sets[-1].size
+            assert q6.width == spec.q6_width
+            assert q6.height == spec.q6_height

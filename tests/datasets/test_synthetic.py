@@ -1,0 +1,139 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import Rect
+from repro.core.grid import GridLayout
+from repro.datasets.synthetic import (
+    CHECKIN_DOMAIN,
+    LANDMARK_DOMAIN,
+    ROAD_DOMAIN,
+    make_checkin,
+    make_gaussian_mixture,
+    make_landmark,
+    make_road,
+    make_storage,
+    make_uniform,
+)
+
+
+def empty_fraction(dataset, grid: int = 48) -> float:
+    layout = GridLayout(dataset.domain, grid)
+    return float(np.mean(layout.histogram(dataset.points) == 0))
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize(
+        "maker", [make_road, make_checkin, make_landmark, make_storage]
+    )
+    def test_size_and_domain(self, maker):
+        dataset = maker(5_000, rng=0)
+        assert dataset.size == 5_000
+        bounds = dataset.domain.bounds
+        assert bounds.mask(dataset.xs, dataset.ys).all()
+
+    @pytest.mark.parametrize(
+        "maker", [make_road, make_checkin, make_landmark, make_storage]
+    )
+    def test_deterministic(self, maker):
+        a = maker(2_000, rng=42)
+        b = maker(2_000, rng=42)
+        np.testing.assert_array_equal(a.points, b.points)
+
+    @pytest.mark.parametrize(
+        "maker", [make_road, make_checkin, make_landmark, make_storage]
+    )
+    def test_different_seeds_differ(self, maker):
+        a = maker(2_000, rng=1)
+        b = maker(2_000, rng=2)
+        assert not np.array_equal(a.points, b.points)
+
+
+class TestRoad:
+    def test_domain_matches_table2(self):
+        dataset = make_road(1_000, rng=0)
+        assert dataset.domain.width == pytest.approx(25.0)
+        assert dataset.domain.height == pytest.approx(20.0)
+        assert dataset.domain == ROAD_DOMAIN
+
+    def test_two_dense_regions_with_blank_between(self):
+        dataset = make_road(50_000, rng=0)
+        washington = Rect(-124.6, 45.6, -117.0, 49.0)
+        new_mexico = Rect(-109.0, 31.4, -103.0, 37.0)
+        middle_blank = Rect(-116.0, 38.0, -110.0, 44.0)
+        assert dataset.count_in(washington) > 20_000
+        assert dataset.count_in(new_mexico) > 10_000
+        assert dataset.count_in(middle_blank) == 0
+
+    def test_large_empty_fraction(self):
+        dataset = make_road(50_000, rng=0)
+        assert empty_fraction(dataset) > 0.5
+
+
+class TestCheckin:
+    def test_domain_matches_table2(self):
+        dataset = make_checkin(1_000, rng=0)
+        assert dataset.domain.width == pytest.approx(360.0)
+        assert dataset.domain.height == pytest.approx(150.0)
+        assert dataset.domain == CHECKIN_DOMAIN
+
+    def test_oceans_sparse(self):
+        dataset = make_checkin(50_000, rng=0)
+        mid_atlantic = Rect(-40.0, -20.0, -20.0, 10.0)
+        mid_pacific = Rect(-170.0, -30.0, -140.0, 5.0)
+        assert dataset.count_in(mid_atlantic) < dataset.size * 0.002
+        assert dataset.count_in(mid_pacific) < dataset.size * 0.002
+
+    def test_continents_populated(self):
+        dataset = make_checkin(50_000, rng=0)
+        europe = Rect(-10.0, 36.0, 40.0, 60.0)
+        north_america = Rect(-125.0, 25.0, -65.0, 50.0)
+        assert dataset.count_in(europe) > dataset.size * 0.1
+        assert dataset.count_in(north_america) > dataset.size * 0.1
+
+    def test_heavy_skew(self):
+        """Power-law cities: top 1% of cells hold a large mass share."""
+        from repro.experiments.figure1 import dataset_statistics
+
+        stats = dataset_statistics(make_checkin(100_000, rng=0))
+        assert stats["top1pct_mass_fraction"] > 0.2
+
+
+class TestLandmarkAndStorage:
+    def test_domains(self):
+        assert make_landmark(100, rng=0).domain == LANDMARK_DOMAIN
+        assert make_storage(100, rng=0).domain == LANDMARK_DOMAIN
+
+    def test_storage_default_size_from_paper(self):
+        assert make_storage(rng=0).size == 9_000
+
+    def test_east_denser_than_west(self):
+        dataset = make_landmark(50_000, rng=0)
+        east = Rect(-95.0, 25.5, -70.5, 49.0)
+        west = Rect(-124.5, 25.5, -100.0, 49.0)
+        assert dataset.count_in(east) > dataset.count_in(west)
+
+    def test_storage_same_process_smaller_n(self):
+        landmark = make_landmark(20_000, rng=0)
+        storage = make_storage(2_000, rng=0)
+        # Both concentrate on the US mainland region.
+        mainland = Rect(-124.5, 25.5, -70.5, 49.0)
+        assert landmark.count_in(mainland) > 0.95 * landmark.size
+        assert storage.count_in(mainland) > 0.95 * storage.size
+
+
+class TestGenericGenerators:
+    def test_uniform_is_uniform(self):
+        dataset = make_uniform(40_000, rng=0)
+        quadrant = Rect(0.0, 0.0, 0.5, 0.5)
+        assert dataset.count_in(quadrant) == pytest.approx(10_000, rel=0.05)
+
+    def test_mixture_is_skewed(self):
+        mixture = make_gaussian_mixture(40_000, n_clusters=10, rng=0)
+        uniform = make_uniform(40_000, rng=0)
+        assert empty_fraction(mixture) > empty_fraction(uniform)
+
+    def test_mixture_cluster_count_param(self):
+        dataset = make_gaussian_mixture(1_000, n_clusters=3, rng=0)
+        assert dataset.name == "mixture3"

@@ -1,0 +1,151 @@
+"""Unit tests for dataset transforms."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import GeoDataset
+from repro.core.geometry import Domain2D, Rect
+from repro.datasets.transforms import (
+    crop,
+    jitter,
+    merge,
+    mirror_x,
+    normalise_to_unit,
+    rotate90,
+    split_by_line,
+    thin,
+)
+
+
+@pytest.fixture
+def square(rng) -> GeoDataset:
+    return GeoDataset(rng.random((1_000, 2)), Domain2D.unit(), name="sq")
+
+
+class TestCrop:
+    def test_points_and_domain(self, square):
+        region = Rect(0.0, 0.0, 0.5, 0.5)
+        cropped = crop(square, region)
+        assert cropped.domain.bounds == region
+        assert cropped.size == square.count_in(region)
+
+    def test_original_untouched(self, square):
+        crop(square, Rect(0.0, 0.0, 0.5, 0.5))
+        assert square.size == 1_000
+
+
+class TestMerge:
+    def test_sizes_add(self, rng):
+        a = GeoDataset(rng.random((100, 2)), Domain2D.unit())
+        b = GeoDataset(rng.random((50, 2)) + 2.0, Domain2D(2.0, 2.0, 3.0, 3.0))
+        merged = merge([a, b])
+        assert merged.size == 150
+        assert merged.domain.bounds.contains_rect(a.domain.bounds)
+        assert merged.domain.bounds.contains_rect(b.domain.bounds)
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            merge([])
+
+
+class TestNormalise:
+    def test_into_unit(self, rng):
+        dataset = GeoDataset(
+            np.column_stack([rng.uniform(-5, 5, 100), rng.uniform(10, 30, 100)]),
+            Domain2D(-5.0, 10.0, 5.0, 30.0),
+        )
+        unit = normalise_to_unit(dataset)
+        assert unit.domain == Domain2D.unit()
+        assert unit.xs.min() >= 0.0 and unit.xs.max() <= 1.0
+
+    def test_preserves_relative_structure(self, rng):
+        dataset = GeoDataset(
+            np.column_stack([rng.uniform(0, 10, 200), rng.uniform(0, 10, 200)]),
+            Domain2D(0.0, 0.0, 10.0, 10.0),
+        )
+        unit = normalise_to_unit(dataset)
+        left_original = dataset.count_in(Rect(0.0, 0.0, 5.0, 10.0))
+        left_unit = unit.count_in(Rect(0.0, 0.0, 0.5, 1.0))
+        assert left_original == left_unit
+
+
+class TestJitterAndThin:
+    def test_jitter_moves_points(self, square, rng):
+        jittered = jitter(square, 0.01, rng)
+        assert jittered.size == square.size
+        assert not np.array_equal(jittered.points, square.points)
+
+    def test_jitter_zero_sigma_identity(self, square, rng):
+        same = jitter(square, 0.0, rng)
+        np.testing.assert_array_equal(same.points, square.points)
+
+    def test_jitter_stays_in_domain(self, square, rng):
+        jittered = jitter(square, 0.5, rng)
+        bounds = square.domain.bounds
+        assert bounds.mask(jittered.xs, jittered.ys).all()
+
+    def test_jitter_negative_rejected(self, square, rng):
+        with pytest.raises(ValueError):
+            jitter(square, -0.1, rng)
+
+    def test_thin_fraction(self, square, rng):
+        thinned = thin(square, 0.3, rng)
+        assert 200 < thinned.size < 400
+
+    def test_thin_one_keeps_all(self, square, rng):
+        assert thin(square, 1.0, rng).size == square.size
+
+    def test_thin_validation(self, square, rng):
+        with pytest.raises(ValueError):
+            thin(square, 0.0, rng)
+        with pytest.raises(ValueError):
+            thin(square, 1.5, rng)
+
+
+class TestSymmetries:
+    def test_mirror_involution(self, square):
+        double = mirror_x(mirror_x(square))
+        np.testing.assert_allclose(double.points, square.points, atol=1e-12)
+
+    def test_mirror_swaps_halves(self, square):
+        left = square.count_in(Rect(0.0, 0.0, 0.4, 1.0))
+        mirrored = mirror_x(square)
+        right = mirrored.count_in(Rect(0.6, 0.0, 1.0, 1.0))
+        assert left == right
+
+    def test_rotate_preserves_count(self, square):
+        assert rotate90(square).size == square.size
+
+    def test_rotate_four_times_identity_on_square_domain(self, square):
+        rotated = square
+        for _ in range(4):
+            rotated = rotate90(rotated)
+        np.testing.assert_allclose(rotated.points, square.points, atol=1e-9)
+
+    def test_rotate_swaps_domain_extents(self, rng):
+        dataset = GeoDataset(
+            np.column_stack([rng.uniform(0, 4, 50), rng.uniform(0, 2, 50)]),
+            Domain2D(0.0, 0.0, 4.0, 2.0),
+        )
+        rotated = rotate90(dataset)
+        assert rotated.domain.width == pytest.approx(2.0)
+        assert rotated.domain.height == pytest.approx(4.0)
+
+
+class TestSplit:
+    def test_partition(self, square):
+        left, right = split_by_line(square, 0.3)
+        assert left.size + right.size == square.size
+        assert left.xs.max() <= 0.3
+        assert right.xs.min() > 0.3
+
+    def test_domains(self, square):
+        left, right = split_by_line(square, 0.3)
+        assert left.domain.bounds.x_hi == 0.3
+        assert right.domain.bounds.x_lo == 0.3
+
+    def test_split_outside_rejected(self, square):
+        with pytest.raises(ValueError):
+            split_by_line(square, 1.5)
+        with pytest.raises(ValueError):
+            split_by_line(square, 0.0)

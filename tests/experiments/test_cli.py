@@ -1,0 +1,65 @@
+"""Unit tests for the ``python -m repro`` experiment CLI."""
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["figure5"])
+        assert args.dataset == "storage"
+        assert args.epsilon == 1.0
+        assert args.queries_per_size == 200
+
+    def test_dataset_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure5", "--dataset", "nope"])
+
+    def test_experiment_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure99"])
+
+    def test_epsilons_multi(self):
+        args = build_parser().parse_args(["table2", "--epsilons", "1.0", "0.5"])
+        assert args.epsilons == [1.0, 0.5]
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_figure2_small(self, capsys):
+        code = main(
+            [
+                "figure2", "--dataset", "storage", "--epsilon", "1.0",
+                "--n-points", "2000", "--queries-per-size", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "Khy" in out
+
+    def test_table2_small(self, capsys):
+        code = main(
+            [
+                "table2", "--datasets", "storage", "--epsilons", "1.0",
+                "--n-points", "2000", "--queries-per-size", "4",
+            ]
+        )
+        assert code == 0
+        assert "UG suggested" in capsys.readouterr().out
+
+    def test_figure6_small(self, capsys):
+        code = main(
+            [
+                "figure6", "--dataset", "storage", "--epsilon", "1.0",
+                "--n-points", "2000", "--queries-per-size", "4",
+            ]
+        )
+        assert code == 0
+        assert "absolute" in capsys.readouterr().out

@@ -1,0 +1,130 @@
+"""Smoke/shape tests for the per-figure experiment modules.
+
+These run the same code paths as the benchmark targets but at a tiny scale
+(small N, few queries) so the suite stays fast; the paper-scale shape
+assertions live in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    table2,
+)
+
+SMALL = dict(n_points=4_000, queries_per_size=6)
+
+
+class TestFigure1:
+    def test_runs_and_reports_all_datasets(self):
+        report = figure1.run(
+            n_points={name: 2_000 for name in ("road", "checkin", "landmark", "storage")},
+            render_maps=False,
+        )
+        assert "road" in report.render()
+        assert set(report.data["statistics"]) == {
+            "road", "checkin", "landmark", "storage",
+        }
+
+    def test_density_map_dimensions(self):
+        from repro.datasets.synthetic import make_storage
+
+        art = figure1.density_map(make_storage(1_000, rng=0), columns=30, rows=10)
+        lines = art.splitlines()
+        assert len(lines) == 10
+        assert all(len(line) == 30 for line in lines)
+
+    def test_statistics_fields(self):
+        from repro.datasets.synthetic import make_storage
+
+        stats = figure1.dataset_statistics(make_storage(1_000, rng=0))
+        assert set(stats) == {
+            "n_points", "empty_cell_fraction",
+            "top1pct_mass_fraction", "max_cell_fraction",
+        }
+
+
+class TestTable2:
+    def test_runs_single_dataset(self):
+        report = table2.run(
+            dataset_names=["storage"], epsilons=(1.0,),
+            queries_per_size=6, ladder_steps=1,
+        )
+        text = report.render()
+        assert "storage" in text
+        assert "UG suggested" in text
+        details = report.data["details"]["storage@eps=1"]
+        assert details["ug_suggested"] == 30
+
+    def test_candidate_ladder(self):
+        assert table2.candidate_ladder(100, n_steps=1) == [50, 100, 200]
+        assert table2.candidate_ladder(1, n_steps=1) == [1, 2]
+
+    def test_candidate_ladder_validation(self):
+        with pytest.raises(ValueError):
+            table2.candidate_ladder(0)
+
+
+class TestFigure2:
+    def test_report_structure(self):
+        report = figure2.run("storage", 1.0, ug_sizes=[8, 16], **SMALL)
+        text = report.render()
+        assert "Kst" in text and "Khy" in text and "U16" in text
+        assert set(report.data["results"]) == {"Kst", "Khy", "U8", "U16"}
+
+
+class TestFigure3:
+    def test_report_structure(self):
+        report = figure3.run(
+            "storage", 1.0, leaf_size=16,
+            hierarchies=[(2, 2), (4, 2)], **SMALL,
+        )
+        assert "H2,2" in report.render()
+        assert "W16" in report.render()
+
+
+class TestFigure4:
+    def test_vary_m1(self):
+        report = figure4.run_vary_m1("storage", 1.0, m1_values=[5, 10], **SMALL)
+        assert report.data["suggested_m1"] == 10
+        assert set(report.data["results"]) == {"A5,5", "A10,5"}
+
+    def test_vary_alpha_c2(self):
+        report = figure4.run_vary_alpha_c2(
+            "storage", 1.0, m1=8, alphas=(0.5,), c2_values=(5.0, 10.0), **SMALL
+        )
+        assert len(report.data["mean_grid"]) == 2
+        assert (0.5, 5.0) in report.data["mean_grid"]
+
+    def test_versus_ug(self):
+        report = figure4.run_versus_ug(
+            "storage", 1.0, ug_size=16, ag_m1_values=[8], **SMALL
+        )
+        assert set(report.data["results"]) == {"U16", "W16", "A8,5"}
+
+
+class TestFigures5And6:
+    def test_figure5_six_methods(self):
+        report = figure5.run(
+            "storage", 1.0, best_ug_size=16, best_ag_m1=8, **SMALL
+        )
+        assert len(report.data["results"]) == 6
+        sizes = report.data["sizes"]
+        assert sizes["best_ug"] == 16
+        assert sizes["suggested_ug"] == 20  # sqrt(4000/10)
+
+    def test_figure5_auto_sweep(self):
+        report = figure5.run("storage", 1.0, sweep_steps=1, **SMALL)
+        assert report.data["sizes"]["best_ug"] >= 1
+
+    def test_figure6_absolute(self):
+        report = figure6.run(
+            "storage", 1.0, best_ug_size=16, best_ag_m1=8, **SMALL
+        )
+        assert "absolute" in report.title
+        assert "Figure 6" in report.title

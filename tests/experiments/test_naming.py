@@ -1,0 +1,69 @@
+"""Unit tests for the Table I notation parser."""
+
+import pytest
+
+from repro.baselines.hierarchy import HierarchicalGridBuilder
+from repro.baselines.kd_tree import KDHybridBuilder, KDStandardBuilder
+from repro.baselines.privelet import PriveletBuilder
+from repro.core.adaptive_grid import AdaptiveGridBuilder
+from repro.core.uniform_grid import UniformGridBuilder
+from repro.experiments.naming import NOTATION_HELP, parse_notation
+
+
+class TestParsing:
+    def test_kd_variants(self):
+        assert isinstance(parse_notation("Kst"), KDStandardBuilder)
+        assert isinstance(parse_notation("Khy"), KDHybridBuilder)
+
+    def test_ug(self):
+        builder = parse_notation("U64")
+        assert isinstance(builder, UniformGridBuilder)
+        assert builder.grid_size == 64
+
+    def test_ug_auto(self):
+        assert parse_notation("UG").grid_size is None
+
+    def test_privelet(self):
+        builder = parse_notation("W360")
+        assert isinstance(builder, PriveletBuilder)
+        assert builder.grid_size == 360
+
+    def test_hierarchy(self):
+        builder = parse_notation("H2,3")
+        assert isinstance(builder, HierarchicalGridBuilder)
+        assert builder.branching == 2
+        assert builder.depth == 3
+        assert builder.leaf_grid_size == 360
+
+    def test_hierarchy_custom_leaf(self):
+        builder = parse_notation("H4,2", hierarchy_leaf_size=64)
+        assert builder.leaf_grid_size == 64
+
+    def test_ag(self):
+        builder = parse_notation("A16,5")
+        assert isinstance(builder, AdaptiveGridBuilder)
+        assert builder.first_level_size == 16
+        assert builder.c2 == 5.0
+
+    def test_ag_fractional_c2(self):
+        assert parse_notation("A16,2.5").c2 == 2.5
+
+    def test_ag_alpha_passthrough(self):
+        assert parse_notation("A16,5", alpha=0.25).alpha == 0.25
+
+    def test_whitespace_tolerated(self):
+        assert parse_notation(" U8 ").grid_size == 8
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="notation"):
+            parse_notation("X42")
+        with pytest.raises(ValueError):
+            parse_notation("U")
+
+    def test_roundtrip_labels(self):
+        """parse(label).label() == label for the grid-family notations."""
+        for label in ("U64", "W360", "A16,5", "H2,3", "Kst", "Khy"):
+            assert parse_notation(label).label() == label
+
+    def test_help_table_complete(self):
+        assert set(NOTATION_HELP) == {"Kst", "Khy", "Um", "Wm", "Hb,d", "Am1,c2"}

@@ -1,0 +1,59 @@
+"""Unit tests for the text report rendering."""
+
+import pytest
+
+from repro.core.uniform_grid import UniformGridBuilder
+from repro.experiments.report import format_table, mean_by_size_table, profile_table
+from repro.experiments.runner import evaluate_builders
+
+
+@pytest.fixture
+def two_results(small_skewed, small_workload):
+    return evaluate_builders(
+        [UniformGridBuilder(grid_size=8), UniformGridBuilder(grid_size=32)],
+        small_skewed, small_workload, 1.0,
+    )
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["a", "bbb"], [["1", "2"], ["333", "4"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        # All rows align to the same width.
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_title(self):
+        table = format_table(["x"], [["1"]], title="hello")
+        assert table.startswith("hello")
+
+
+class TestMeanBySizeTable:
+    def test_structure(self, two_results):
+        table = mean_by_size_table(two_results)
+        lines = table.splitlines()
+        assert "size" in lines[0]
+        assert "U8" in lines[0] and "U32" in lines[0]
+        # 6 sizes + header + separator + "all" row.
+        assert len(lines) == 9
+        assert lines[-1].startswith("all")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_by_size_table([])
+
+
+class TestProfileTable:
+    def test_relative(self, two_results):
+        table = profile_table(two_results)
+        assert "median" in table.splitlines()[0]
+        assert "U8" in table
+
+    def test_absolute(self, two_results):
+        relative = profile_table(two_results)
+        absolute = profile_table(two_results, absolute=True)
+        assert relative != absolute
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            profile_table([])

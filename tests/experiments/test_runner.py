@@ -1,0 +1,88 @@
+"""Unit tests for the experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.flat import ExactGridBuilder
+from repro.core.uniform_grid import UniformGridBuilder
+from repro.experiments.runner import evaluate_builder, evaluate_builders
+
+
+class TestEvaluateBuilder:
+    def test_result_structure(self, small_skewed, small_workload):
+        result = evaluate_builder(
+            UniformGridBuilder(grid_size=8), small_skewed, small_workload, 1.0
+        )
+        assert result.label == "U8"
+        assert result.size_labels == ["q1", "q2", "q3", "q4", "q5", "q6"]
+        for label in result.size_labels:
+            assert result.relative_by_size[label].shape == (20,)
+            assert result.absolute_by_size[label].shape == (20,)
+
+    def test_trials_pool(self, small_skewed, small_workload):
+        result = evaluate_builder(
+            UniformGridBuilder(grid_size=8), small_skewed, small_workload, 1.0,
+            n_trials=3,
+        )
+        assert result.relative_by_size["q1"].shape == (60,)
+        assert result.pooled_relative().shape == (360,)
+
+    def test_reproducible(self, small_skewed, small_workload):
+        a = evaluate_builder(
+            UniformGridBuilder(grid_size=8), small_skewed, small_workload, 1.0,
+            seed=5,
+        )
+        b = evaluate_builder(
+            UniformGridBuilder(grid_size=8), small_skewed, small_workload, 1.0,
+            seed=5,
+        )
+        np.testing.assert_array_equal(a.pooled_relative(), b.pooled_relative())
+
+    def test_custom_label(self, small_skewed, small_workload):
+        result = evaluate_builder(
+            UniformGridBuilder(grid_size=8), small_skewed, small_workload, 1.0,
+            label="custom",
+        )
+        assert result.label == "custom"
+
+    def test_exact_builder_zero_error_on_nothing(self, small_skewed, small_workload):
+        """Exact grid at very fine resolution has near-zero relative error."""
+        result = evaluate_builder(
+            ExactGridBuilder(grid_size=256), small_skewed, small_workload, 1.0
+        )
+        assert result.mean_relative() < 0.05
+
+    def test_invalid_trials(self, small_skewed, small_workload):
+        with pytest.raises(ValueError):
+            evaluate_builder(
+                UniformGridBuilder(grid_size=8), small_skewed, small_workload,
+                1.0, n_trials=0,
+            )
+
+    def test_profiles(self, small_skewed, small_workload):
+        result = evaluate_builder(
+            UniformGridBuilder(grid_size=8), small_skewed, small_workload, 1.0
+        )
+        relative = result.relative_profile()
+        absolute = result.absolute_profile()
+        assert relative.count == 120
+        assert absolute.count == 120
+        assert result.mean_relative() == pytest.approx(relative.mean)
+        assert result.mean_absolute() == pytest.approx(absolute.mean)
+
+    def test_mean_by_size_keys(self, small_skewed, small_workload):
+        result = evaluate_builder(
+            UniformGridBuilder(grid_size=8), small_skewed, small_workload, 1.0
+        )
+        means = result.mean_relative_by_size()
+        assert set(means) == set(result.size_labels)
+        assert all(value >= 0 for value in means.values())
+
+
+class TestEvaluateBuilders:
+    def test_shared_workload(self, small_skewed, small_workload):
+        results = evaluate_builders(
+            [UniformGridBuilder(grid_size=4), UniformGridBuilder(grid_size=16)],
+            small_skewed, small_workload, 1.0,
+        )
+        assert [result.label for result in results] == ["U4", "U16"]

@@ -1,0 +1,184 @@
+"""Integration tests: cross-module behaviour and the paper's headline claims
+at small scale.  Heavier paper-scale reproductions live in benchmarks/.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AdaptiveGridBuilder,
+    HierarchicalGridBuilder,
+    KDHybridBuilder,
+    NoisyTotalBuilder,
+    PriveletBuilder,
+    UniformGridBuilder,
+    make_storage,
+    make_uniform,
+)
+from repro.core.guidelines import guideline1_grid_size
+from repro.experiments.runner import evaluate_builder, evaluate_builders
+from repro.queries.workload import QueryWorkload
+
+
+@pytest.fixture(scope="module")
+def storage_setup():
+    dataset = make_storage(9_000, rng=5)
+    workload = QueryWorkload.generate(
+        dataset, q6_width=40.0, q6_height=20.0, rng=6, queries_per_size=40
+    )
+    return dataset, workload
+
+
+class TestGuideline1EndToEnd:
+    def test_suggested_size_competitive(self, storage_setup):
+        """UG at the suggested size beats clearly wrong sizes."""
+        dataset, workload = storage_setup
+        epsilon = 1.0
+        suggested = guideline1_grid_size(dataset.size, epsilon)
+        means = {}
+        for m in (1, max(2, suggested // 8), suggested, suggested * 8):
+            result = evaluate_builder(
+                UniformGridBuilder(grid_size=m), dataset, workload, epsilon,
+                n_trials=3, seed=0,
+            )
+            means[m] = result.mean_relative()
+        assert means[suggested] < means[1]
+        assert means[suggested] < means[suggested * 8]
+
+    def test_error_curve_is_unimodal_ish(self, storage_setup):
+        """Error decreases then increases across a wide size sweep."""
+        dataset, workload = storage_setup
+        sizes = [2, 8, 30, 120, 480]
+        errors = [
+            evaluate_builder(
+                UniformGridBuilder(grid_size=m), dataset, workload, 1.0,
+                n_trials=3, seed=1,
+            ).mean_relative()
+            for m in sizes
+        ]
+        best = int(np.argmin(errors))
+        assert 0 < best < len(sizes) - 1
+
+
+class TestHeadlineComparisons:
+    def test_ag_beats_noisy_total_and_coarse_ug(self, storage_setup):
+        dataset, workload = storage_setup
+        results = evaluate_builders(
+            [NoisyTotalBuilder(), UniformGridBuilder(grid_size=4), AdaptiveGridBuilder()],
+            dataset, workload, 0.5, n_trials=3, seed=2,
+        )
+        flat, coarse, adaptive = (result.mean_relative() for result in results)
+        assert adaptive < flat
+        assert adaptive < coarse
+
+    def test_ag_at_least_matches_ug(self, storage_setup):
+        """AG's mean relative error is within a whisker of UG's or better."""
+        dataset, workload = storage_setup
+        ug = evaluate_builder(
+            UniformGridBuilder(), dataset, workload, 1.0, n_trials=5, seed=3
+        )
+        ag = evaluate_builder(
+            AdaptiveGridBuilder(), dataset, workload, 1.0, n_trials=5, seed=3
+        )
+        assert ag.mean_relative() <= ug.mean_relative() * 1.05
+
+    def test_all_methods_answer_all_queries(self, storage_setup):
+        dataset, workload = storage_setup
+        builders = [
+            UniformGridBuilder(grid_size=16),
+            AdaptiveGridBuilder(first_level_size=10),
+            KDHybridBuilder(depth=6),
+            PriveletBuilder(grid_size=16),
+            HierarchicalGridBuilder(16, branching=2, depth=2),
+        ]
+        for builder in builders:
+            synopsis = builder.fit(dataset, 1.0, np.random.default_rng(0))
+            estimates = synopsis.answer_many(workload.all_rects())
+            assert np.isfinite(estimates).all()
+
+    def test_hierarchy_benefit_small_in_2d(self, storage_setup):
+        """Figure 3's shape: H(b,d) is at best a modest win over plain UG."""
+        dataset, workload = storage_setup
+        leaf = 32
+        ug = evaluate_builder(
+            UniformGridBuilder(grid_size=leaf), dataset, workload, 1.0,
+            n_trials=5, seed=4,
+        )
+        hierarchy = evaluate_builder(
+            HierarchicalGridBuilder(leaf, branching=2, depth=2),
+            dataset, workload, 1.0, n_trials=5, seed=4,
+        )
+        # No dramatic improvement (and no dramatic regression either).
+        ratio = hierarchy.mean_relative() / ug.mean_relative()
+        assert 0.5 < ratio < 1.6
+
+
+class TestUniformDataRegime:
+    def test_single_cell_optimal_for_uniform(self):
+        """The paper's 'extreme c' limit: for uniform data, U1 is as good
+        as any fine grid."""
+        dataset = make_uniform(20_000, rng=8)
+        workload = QueryWorkload.generate(
+            dataset, q6_width=0.5, q6_height=0.5, rng=9, queries_per_size=40
+        )
+        flat = evaluate_builder(
+            NoisyTotalBuilder(), dataset, workload, 0.2, n_trials=5, seed=5
+        )
+        fine = evaluate_builder(
+            UniformGridBuilder(grid_size=64), dataset, workload, 0.2,
+            n_trials=5, seed=5,
+        )
+        assert flat.mean_relative() < fine.mean_relative()
+
+
+class TestSyntheticRelease:
+    def test_synthetic_data_supports_queries(self, storage_setup):
+        """Release -> synthetic points -> re-query pipeline stays accurate."""
+        from repro.core.dataset import GeoDataset
+
+        dataset, workload = storage_setup
+        rng = np.random.default_rng(11)
+        synopsis = AdaptiveGridBuilder().fit(dataset, 1.0, rng)
+        cloud = synopsis.synthetic_points(rng)
+        synthetic = GeoDataset.from_points(
+            cloud, domain=dataset.domain, name="synthetic", clip=True
+        )
+        # Large queries answered from the synthetic data track the truth.
+        q6 = workload.query_sets[-1]
+        truths = q6.true_answers
+        synthetic_answers = synthetic.count_many(q6.rects)
+        relative = np.abs(synthetic_answers - truths) / np.maximum(truths, 9.0)
+        assert np.median(relative) < 0.25
+
+
+class TestDifferentialPrivacySmoke:
+    def test_neighbouring_datasets_similar_outputs(self):
+        """A crude DP sanity check: the distribution of a released cell
+        count shifts by at most ~1 between neighbouring datasets.
+
+        This is not a formal DP verification, but it catches gross bugs
+        such as adding noise with the wrong scale or leaking exact counts.
+        """
+        rng = np.random.default_rng(0)
+        base = rng.random((500, 2))
+        neighbour = np.vstack([base, [[0.05, 0.05]]])  # one extra tuple
+
+        from repro.core.dataset import GeoDataset
+        from repro.core.geometry import Domain2D
+
+        d1 = GeoDataset(base, Domain2D.unit())
+        d2 = GeoDataset(neighbour, Domain2D.unit())
+
+        def released_cell(dataset, seed):
+            synopsis = UniformGridBuilder(grid_size=4).fit(
+                dataset, 1.0, np.random.default_rng(seed)
+            )
+            return synopsis.counts[0, 0]
+
+        samples_1 = np.array([released_cell(d1, s) for s in range(400)])
+        samples_2 = np.array([released_cell(d2, s + 10_000) for s in range(400)])
+        # Means differ by the one added tuple plus noise; far apart means
+        # a broken mechanism (e.g. multiplied counts).
+        assert abs(samples_1.mean() - samples_2.mean()) < 2.0
+        # And the released values are genuinely noisy.
+        assert samples_1.std() > 0.5

@@ -1,0 +1,97 @@
+"""Unit tests for repro.privacy.budget."""
+
+import pytest
+
+from repro.privacy.budget import BudgetExceededError, PrivacyBudget
+
+
+class TestConstruction:
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            PrivacyBudget(0.0)
+        with pytest.raises(ValueError):
+            PrivacyBudget(-1.0)
+
+    def test_fresh_budget_unspent(self):
+        budget = PrivacyBudget(1.0)
+        assert budget.spent == 0.0
+        assert budget.remaining == 1.0
+        assert not budget.exhausted()
+
+
+class TestSpending:
+    def test_spend_accumulates(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.3, "a")
+        budget.spend(0.2, "b")
+        assert budget.spent == pytest.approx(0.5)
+        assert budget.remaining == pytest.approx(0.5)
+
+    def test_ledger_records_labels(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.5, "level-1")
+        assert budget.ledger[0].label == "level-1"
+        assert budget.ledger[0].epsilon == 0.5
+
+    def test_overdraft_raises(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.9)
+        with pytest.raises(BudgetExceededError):
+            budget.spend(0.2)
+
+    def test_exact_exhaustion_ok(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.5)
+        budget.spend(0.5)
+        assert budget.exhausted()
+
+    def test_float_accumulation_tolerated(self):
+        """Ten 0.1 spends must exactly exhaust a budget of 1.0."""
+        budget = PrivacyBudget(1.0)
+        for _ in range(10):
+            budget.spend(0.1)
+        assert budget.exhausted()
+
+    def test_non_positive_spend_rejected(self):
+        budget = PrivacyBudget(1.0)
+        with pytest.raises(ValueError):
+            budget.spend(0.0)
+        with pytest.raises(ValueError):
+            budget.spend(-0.5)
+
+    def test_remaining_never_negative(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(1.0)
+        assert budget.remaining == 0.0
+
+    def test_can_spend(self):
+        budget = PrivacyBudget(1.0)
+        assert budget.can_spend(1.0)
+        assert not budget.can_spend(1.1)
+        assert not budget.can_spend(0.0)
+        budget.spend(0.6)
+        assert budget.can_spend(0.4)
+        assert not budget.can_spend(0.5)
+
+
+class TestSplit:
+    def test_split_shares(self):
+        shares = PrivacyBudget(2.0).split({"a": 0.5, "b": 0.25})
+        assert shares == {"a": 1.0, "b": 0.5}
+
+    def test_split_does_not_spend(self):
+        budget = PrivacyBudget(1.0)
+        budget.split({"a": 1.0})
+        assert budget.spent == 0.0
+
+    def test_split_over_one_rejected(self):
+        with pytest.raises(ValueError):
+            PrivacyBudget(1.0).split({"a": 0.7, "b": 0.7})
+
+    def test_split_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PrivacyBudget(1.0).split({})
+
+    def test_split_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PrivacyBudget(1.0).split({"a": -0.1})

@@ -1,0 +1,77 @@
+"""Unit tests for repro.privacy.composition."""
+
+import pytest
+
+from repro.privacy.composition import (
+    geometric_allocation,
+    parallel_epsilon,
+    sequential_epsilon,
+    uniform_allocation,
+)
+
+
+class TestSequential:
+    def test_sums(self):
+        assert sequential_epsilon([0.1, 0.2, 0.3]) == pytest.approx(0.6)
+
+    def test_empty(self):
+        assert sequential_epsilon([]) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            sequential_epsilon([0.1, -0.1])
+
+
+class TestParallel:
+    def test_max(self):
+        assert parallel_epsilon([0.1, 0.5, 0.3]) == 0.5
+
+    def test_empty(self):
+        assert parallel_epsilon([]) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            parallel_epsilon([-0.1])
+
+
+class TestUniformAllocation:
+    def test_even_split(self):
+        shares = uniform_allocation(1.0, 4)
+        assert shares == [0.25] * 4
+
+    def test_sums_to_total(self):
+        assert sum(uniform_allocation(0.7, 7)) == pytest.approx(0.7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_allocation(1.0, 0)
+        with pytest.raises(ValueError):
+            uniform_allocation(0.0, 3)
+
+
+class TestGeometricAllocation:
+    def test_sums_to_total(self):
+        shares = geometric_allocation(1.0, 5)
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_increasing_toward_leaves(self):
+        shares = geometric_allocation(1.0, 5)
+        assert all(a < b for a, b in zip(shares, shares[1:]))
+
+    def test_ratio(self):
+        shares = geometric_allocation(1.0, 3, ratio=2.0)
+        assert shares[1] / shares[0] == pytest.approx(2.0)
+        assert shares[2] / shares[1] == pytest.approx(2.0)
+
+    def test_default_ratio_is_cube_root_two(self):
+        shares = geometric_allocation(1.0, 2)
+        assert shares[1] / shares[0] == pytest.approx(2.0 ** (1.0 / 3.0))
+
+    def test_single_level(self):
+        assert geometric_allocation(0.5, 1) == [0.5]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            geometric_allocation(1.0, 0)
+        with pytest.raises(ValueError):
+            geometric_allocation(1.0, 3, ratio=-1.0)

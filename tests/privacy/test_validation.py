@@ -1,0 +1,114 @@
+"""Unit tests for the empirical DP audit harness."""
+
+import numpy as np
+import pytest
+
+from repro.privacy.validation import (
+    audit_scalar_mechanism,
+    laplace_epsilon_bound,
+)
+
+
+def correct_laplace_mechanism(epsilon: float):
+    """A properly calibrated count release: counts 100 vs 101."""
+
+    def mechanism(world: int, rng: np.random.Generator) -> float:
+        count = 100.0 + world
+        return count + rng.laplace(0.0, 1.0 / epsilon)
+
+    return mechanism
+
+
+def broken_no_noise_mechanism(world: int, rng: np.random.Generator) -> float:
+    """The classic bug: releasing the exact count."""
+    return 100.0 + world
+
+
+def broken_underscaled_mechanism(world: int, rng: np.random.Generator) -> float:
+    """Noise calibrated for eps = 10 while claiming eps = 1."""
+    return 100.0 + world + rng.laplace(0.0, 1.0 / 10.0)
+
+
+class TestLaplaceBound:
+    def test_exact_formula(self):
+        assert laplace_epsilon_bound(1.0, 1.0) == 1.0
+        assert laplace_epsilon_bound(1.0, 2.0) == 0.5
+        assert laplace_epsilon_bound(-3.0, 1.5) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            laplace_epsilon_bound(1.0, 0.0)
+
+
+class TestAudit:
+    def test_correct_mechanism_passes(self):
+        result = audit_scalar_mechanism(
+            correct_laplace_mechanism(1.0), claimed_epsilon=1.0,
+            rng=0, n_samples=8_000,
+        )
+        assert result.passed, str(result)
+
+    def test_correct_mechanism_small_epsilon_passes(self):
+        result = audit_scalar_mechanism(
+            correct_laplace_mechanism(0.2), claimed_epsilon=0.2,
+            rng=1, n_samples=8_000,
+        )
+        assert result.passed, str(result)
+
+    def test_noiseless_release_fails(self):
+        result = audit_scalar_mechanism(
+            broken_no_noise_mechanism, claimed_epsilon=1.0,
+            rng=2, n_samples=4_000,
+        )
+        assert not result.passed, str(result)
+
+    def test_underscaled_noise_fails(self):
+        result = audit_scalar_mechanism(
+            broken_underscaled_mechanism, claimed_epsilon=1.0,
+            rng=3, n_samples=8_000,
+        )
+        assert not result.passed, str(result)
+
+    def test_result_renders(self):
+        result = audit_scalar_mechanism(
+            correct_laplace_mechanism(1.0), claimed_epsilon=1.0,
+            rng=4, n_samples=2_000,
+        )
+        assert "claimed eps" in str(result)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            audit_scalar_mechanism(
+                correct_laplace_mechanism(1.0), claimed_epsilon=0.0, rng=0
+            )
+        with pytest.raises(ValueError):
+            audit_scalar_mechanism(
+                correct_laplace_mechanism(1.0), claimed_epsilon=1.0,
+                rng=0, n_samples=10,
+            )
+
+
+class TestEndToEndSynopsisAudit:
+    def test_ug_cell_release_passes_audit(self):
+        """Audit a real UG cell release on neighbouring datasets."""
+        from repro.core.dataset import GeoDataset
+        from repro.core.geometry import Domain2D
+        from repro.core.uniform_grid import UniformGridBuilder
+
+        base = np.random.default_rng(7).random((300, 2))
+        neighbour = np.vstack([base, [[0.01, 0.01]]])
+        datasets = (
+            GeoDataset(base, Domain2D.unit()),
+            GeoDataset(neighbour, Domain2D.unit()),
+        )
+
+        def mechanism(world: int, rng: np.random.Generator) -> float:
+            synopsis = UniformGridBuilder(grid_size=2).fit(
+                datasets[world], 0.5, rng
+            )
+            return float(synopsis.counts[0, 0])
+
+        result = audit_scalar_mechanism(
+            mechanism, claimed_epsilon=0.5, rng=5, n_samples=3_000
+        )
+        assert result.passed, str(result)

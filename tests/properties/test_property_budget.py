@@ -1,0 +1,66 @@
+"""Property-based tests for budget accounting and allocations."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.privacy.budget import BudgetExceededError, PrivacyBudget
+from repro.privacy.composition import geometric_allocation, uniform_allocation
+
+epsilons = st.floats(min_value=1e-3, max_value=10.0, allow_nan=False)
+
+
+@settings(max_examples=80)
+@given(epsilons, st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=1, max_size=20))
+def test_spend_within_budget_never_raises(total, fractions):
+    """Spending scaled shares that sum to <= total always succeeds."""
+    scale = total / sum(fractions)
+    budget = PrivacyBudget(total)
+    for fraction in fractions:
+        budget.spend(fraction * scale)
+    assert budget.spent == pytest.approx(total, rel=1e-9)
+    assert budget.exhausted()
+
+
+@settings(max_examples=80)
+@given(epsilons, st.floats(min_value=1.01, max_value=10.0))
+def test_overspend_always_raises(total, factor):
+    budget = PrivacyBudget(total)
+    with pytest.raises(BudgetExceededError):
+        budget.spend(total * factor)
+
+
+@settings(max_examples=80)
+@given(epsilons, st.integers(min_value=1, max_value=30))
+def test_uniform_allocation_sums_to_total(total, levels):
+    shares = uniform_allocation(total, levels)
+    assert len(shares) == levels
+    assert sum(shares) == pytest.approx(total)
+    assert all(share > 0 for share in shares)
+
+
+@settings(max_examples=80)
+@given(
+    epsilons,
+    st.integers(min_value=1, max_value=30),
+    st.floats(min_value=0.5, max_value=3.0),
+)
+def test_geometric_allocation_sums_to_total(total, levels, ratio):
+    shares = geometric_allocation(total, levels, ratio=ratio)
+    assert len(shares) == levels
+    assert sum(shares) == pytest.approx(total)
+    assert all(share > 0 for share in shares)
+
+
+@settings(max_examples=80)
+@given(epsilons, st.integers(min_value=2, max_value=20))
+def test_allocations_spendable(total, levels):
+    """Either allocation can be fully spent against its budget."""
+    for shares in (
+        uniform_allocation(total, levels),
+        geometric_allocation(total, levels),
+    ):
+        budget = PrivacyBudget(total)
+        for share in shares:
+            budget.spend(share)
+        assert budget.exhausted()

@@ -1,0 +1,103 @@
+"""Property-based tests for the geometry primitives."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.geometry import Domain2D, Rect
+
+coordinates = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def rects(draw) -> Rect:
+    x1, x2 = sorted((draw(coordinates), draw(coordinates)))
+    y1, y2 = sorted((draw(coordinates), draw(coordinates)))
+    return Rect(x1, y1, x2, y2)
+
+
+@given(rects(), rects())
+def test_overlap_area_symmetric(a: Rect, b: Rect):
+    assert a.overlap_area(b) == pytest.approx(b.overlap_area(a))
+
+
+@given(rects(), rects())
+def test_overlap_bounded_by_areas(a: Rect, b: Rect):
+    overlap = a.overlap_area(b)
+    assert overlap <= a.area + 1e-6 * max(1.0, a.area)
+    assert overlap <= b.area + 1e-6 * max(1.0, b.area)
+    assert overlap >= 0.0
+
+
+@given(rects())
+def test_self_overlap_is_area(rect: Rect):
+    assert rect.overlap_area(rect) == pytest.approx(rect.area)
+
+
+@given(rects(), rects())
+def test_intersection_consistent_with_predicate(a: Rect, b: Rect):
+    overlap = a.intersection(b)
+    if overlap is None:
+        assert not a.intersects(b)
+    else:
+        assert a.intersects(b)
+        assert a.contains_rect(overlap)
+        assert b.contains_rect(overlap)
+
+
+@given(rects(), rects())
+def test_containment_implies_intersection(a: Rect, b: Rect):
+    if a.contains_rect(b):
+        assert a.intersects(b)
+        assert a.overlap_area(b) == pytest.approx(b.area)
+
+
+@given(rects(), coordinates, coordinates)
+def test_translation_preserves_area(rect: Rect, dx: float, dy: float):
+    # Tolerance scales with the coordinate magnitudes: translating a
+    # near-degenerate rectangle far away legitimately loses the last ulps
+    # of its extent.
+    scale = 1.0 + abs(dx) + abs(dy) + abs(rect.x_hi) + abs(rect.y_hi)
+    tolerance = 1e-9 * scale * (1.0 + rect.width + rect.height)
+    assert rect.translated(dx, dy).area == pytest.approx(
+        rect.area, rel=1e-6, abs=tolerance
+    )
+
+
+@given(rects())
+def test_overlap_fraction_in_unit_interval(rect: Rect):
+    other = Rect(-1e7, -1e7, 1e7, 1e7)
+    fraction = rect.overlap_fraction(other)
+    assert 0.0 <= fraction <= 1.0 + 1e-9
+
+
+@settings(max_examples=50)
+@given(
+    st.floats(min_value=0.1, max_value=100.0),
+    st.floats(min_value=0.1, max_value=100.0),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_random_rect_always_inside(width_frac, height_frac, seed):
+    domain = Domain2D(-10.0, -5.0, 10.0, 5.0)
+    width = domain.width * width_frac / 100.0
+    height = domain.height * height_frac / 100.0
+    rng = np.random.default_rng(seed)
+    rect = domain.random_rect(width, height, rng)
+    assert domain.bounds.contains_rect(rect)
+
+
+@settings(max_examples=50)
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_normalise_into_unit_square(seed):
+    rng = np.random.default_rng(seed)
+    domain = Domain2D(-3.0, 2.0, 7.0, 11.0)
+    points = np.column_stack(
+        [rng.uniform(-3.0, 7.0, 20), rng.uniform(2.0, 11.0, 20)]
+    )
+    unit = domain.normalise(points)
+    assert unit.min() >= -1e-12
+    assert unit.max() <= 1.0 + 1e-12
+    np.testing.assert_allclose(domain.denormalise(unit), points, rtol=1e-9)

@@ -1,0 +1,111 @@
+"""Property-based tests for grid layout and the uniformity estimator."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.geometry import Domain2D, Rect
+from repro.core.grid import GridLayout
+
+grid_sizes = st.integers(min_value=1, max_value=24)
+unit_coords = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def unit_rects(draw) -> Rect:
+    x1, x2 = sorted((draw(unit_coords), draw(unit_coords)))
+    y1, y2 = sorted((draw(unit_coords), draw(unit_coords)))
+    return Rect(x1, y1, x2, y2)
+
+
+@settings(max_examples=60)
+@given(grid_sizes, grid_sizes, st.integers(min_value=0, max_value=2**32 - 1))
+def test_histogram_preserves_total(mx, my, seed):
+    rng = np.random.default_rng(seed)
+    points = rng.random((200, 2))
+    layout = GridLayout(Domain2D.unit(), mx, my)
+    assert layout.histogram(points).sum() == 200
+
+
+@settings(max_examples=60)
+@given(grid_sizes, unit_rects(), st.integers(min_value=0, max_value=2**32 - 1))
+def test_estimate_full_coverage_is_total(m, rect, seed):
+    """Estimating over the whole domain returns the exact count total."""
+    rng = np.random.default_rng(seed)
+    counts = rng.random((m, m)) * 10
+    layout = GridLayout(Domain2D.unit(), m)
+    assert layout.estimate(counts, Rect(0.0, 0.0, 1.0, 1.0)) == pytest.approx(
+        counts.sum()
+    )
+
+
+@settings(max_examples=60)
+@given(grid_sizes, unit_rects(), st.integers(min_value=0, max_value=2**32 - 1))
+def test_estimate_monotone_in_counts(m, rect, seed):
+    """Adding mass to any cell never decreases an estimate."""
+    rng = np.random.default_rng(seed)
+    counts = rng.random((m, m))
+    layout = GridLayout(Domain2D.unit(), m)
+    base = layout.estimate(counts, rect)
+    bumped = counts + rng.random((m, m))
+    assert layout.estimate(bumped, rect) >= base - 1e-9
+
+
+@settings(max_examples=60)
+@given(grid_sizes, unit_rects())
+def test_estimate_bounded_by_total(m, rect):
+    """With non-negative counts, an estimate never exceeds the total."""
+    counts = np.ones((m, m))
+    layout = GridLayout(Domain2D.unit(), m)
+    estimate = layout.estimate(counts, rect)
+    assert -1e-9 <= estimate <= counts.sum() + 1e-9
+
+
+@settings(max_examples=60)
+@given(
+    grid_sizes,
+    unit_rects(),
+    st.floats(min_value=0.05, max_value=0.95),
+)
+def test_estimate_additive_in_x_split(m, rect, split_frac):
+    """Splitting a query at any x produces two parts summing to the whole."""
+    counts = np.arange(m * m, dtype=float).reshape(m, m)
+    layout = GridLayout(Domain2D.unit(), m)
+    split = rect.x_lo + split_frac * rect.width
+    whole = layout.estimate(counts, rect)
+    left = layout.estimate(counts, Rect(rect.x_lo, rect.y_lo, split, rect.y_hi))
+    right = layout.estimate(counts, Rect(split, rect.y_lo, rect.x_hi, rect.y_hi))
+    assert whole == pytest.approx(left + right, abs=1e-6 * max(1.0, abs(whole)))
+
+
+@settings(max_examples=60)
+@given(grid_sizes, unit_rects())
+def test_uniform_counts_estimate_is_area_fraction(m, rect):
+    """For uniform counts, the estimate equals total * covered fraction."""
+    total = 1000.0
+    counts = np.full((m, m), total / (m * m))
+    layout = GridLayout(Domain2D.unit(), m)
+    expected = total * rect.area  # unit domain: fraction = area
+    assert layout.estimate(counts, rect) == pytest.approx(expected, abs=1e-6)
+
+
+@settings(max_examples=40)
+@given(grid_sizes, st.integers(min_value=0, max_value=2**32 - 1))
+def test_cell_indices_within_range(m, seed):
+    rng = np.random.default_rng(seed)
+    points = rng.random((100, 2))
+    layout = GridLayout(Domain2D.unit(), m)
+    ix, iy = layout.cell_indices(points)
+    assert ix.min() >= 0 and ix.max() < m
+    assert iy.min() >= 0 and iy.max() < m
+
+
+@settings(max_examples=40)
+@given(grid_sizes, unit_rects())
+def test_coverage_fractions_in_unit_interval(m, rect):
+    layout = GridLayout(Domain2D.unit(), m)
+    _, _, fx, fy = layout.coverage(rect)
+    if fx.size:
+        assert fx.min() >= 0.0 and fx.max() <= 1.0 + 1e-12
+        assert fy.min() >= 0.0 and fy.max() <= 1.0 + 1e-12

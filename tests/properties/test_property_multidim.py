@@ -1,0 +1,87 @@
+"""Property-based tests for the d-dimensional grid extension."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.extensions.multidim import (
+    NDBox,
+    NDGridLayout,
+    guideline1_nd_grid_size,
+)
+
+dimensions = st.integers(min_value=1, max_value=4)
+grid_sizes = st.integers(min_value=1, max_value=6)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@settings(max_examples=60)
+@given(dimensions, grid_sizes, seeds)
+def test_histogram_preserves_total(dimension, m, seed):
+    rng = np.random.default_rng(seed)
+    layout = NDGridLayout(NDBox.unit(dimension), m)
+    points = rng.random((100, dimension))
+    assert layout.histogram(points).sum() == 100
+
+
+@settings(max_examples=60)
+@given(dimensions, grid_sizes, seeds)
+def test_full_box_estimate_is_total(dimension, m, seed):
+    rng = np.random.default_rng(seed)
+    layout = NDGridLayout(NDBox.unit(dimension), m)
+    counts = rng.random(layout.shape) * 10
+    estimate = layout.estimate(counts, NDBox.unit(dimension))
+    assert estimate == pytest.approx(counts.sum(), rel=1e-9)
+
+
+@settings(max_examples=60)
+@given(dimensions, grid_sizes, seeds)
+def test_estimate_bounded_by_total_for_nonnegative(dimension, m, seed):
+    rng = np.random.default_rng(seed)
+    layout = NDGridLayout(NDBox.unit(dimension), m)
+    counts = rng.random(layout.shape)
+    lows = rng.random(dimension) * 0.5
+    highs = lows + rng.random(dimension) * 0.5
+    query = NDBox(lows, highs)
+    estimate = layout.estimate(counts, query)
+    assert -1e-9 <= estimate <= counts.sum() + 1e-9
+
+
+@settings(max_examples=60)
+@given(dimensions, seeds)
+def test_uniform_counts_estimate_is_volume_fraction(dimension, seed):
+    rng = np.random.default_rng(seed)
+    m = 4
+    layout = NDGridLayout(NDBox.unit(dimension), m)
+    total = 1000.0
+    counts = np.full(layout.shape, total / layout.n_cells)
+    lows = rng.random(dimension) * 0.5
+    highs = lows + rng.random(dimension) * 0.5
+    query = NDBox(lows, highs)
+    expected = total * query.volume  # unit domain
+    assert layout.estimate(counts, query) == pytest.approx(expected, rel=1e-6)
+
+
+@settings(max_examples=60)
+@given(
+    st.floats(min_value=1e2, max_value=1e9),
+    st.floats(min_value=0.01, max_value=10.0),
+    dimensions,
+)
+def test_guideline_monotonicity(n, epsilon, dimension):
+    """More data or budget never shrinks the per-axis grid."""
+    base = guideline1_nd_grid_size(n, epsilon, dimension)
+    more_data = guideline1_nd_grid_size(n * 4, epsilon, dimension)
+    more_budget = guideline1_nd_grid_size(n, epsilon * 4, dimension)
+    assert more_data >= base
+    assert more_budget >= base
+
+
+@settings(max_examples=60)
+@given(st.floats(min_value=1e3, max_value=1e8), st.floats(min_value=0.05, max_value=5.0))
+def test_guideline_2d_consistency(n, epsilon):
+    """The d = 2 case equals the paper's Guideline 1 everywhere."""
+    from repro.core.guidelines import guideline1_grid_size
+
+    assert guideline1_nd_grid_size(n, epsilon, 2) == guideline1_grid_size(n, epsilon)

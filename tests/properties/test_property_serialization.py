@@ -1,0 +1,63 @@
+"""Property-based round-trip tests for synopsis serialisation."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.adaptive_grid import AdaptiveGridBuilder
+from repro.core.dataset import GeoDataset
+from repro.core.geometry import Domain2D, Rect
+from repro.core.serialization import load_synopsis, save_synopsis
+from repro.core.uniform_grid import UniformGridBuilder
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _dataset(seed: int) -> GeoDataset:
+    rng = np.random.default_rng(seed)
+    return GeoDataset(rng.random((300, 2)), Domain2D.unit())
+
+
+def _query_grid() -> list[Rect]:
+    rects = [Rect(0.0, 0.0, 1.0, 1.0)]
+    for k in range(4):
+        lo = k * 0.2
+        rects.append(Rect(lo, lo / 2, lo + 0.3, lo / 2 + 0.4))
+    return rects
+
+
+@settings(max_examples=20, deadline=None)
+@given(seeds, st.integers(min_value=1, max_value=20))
+def test_ug_roundtrip_preserves_all_answers(tmp_path_factory, seed, grid_size):
+    dataset = _dataset(seed)
+    synopsis = UniformGridBuilder(grid_size=grid_size).fit(
+        dataset, 1.0, np.random.default_rng(seed)
+    )
+    path = tmp_path_factory.mktemp("ser") / "s.npz"
+    save_synopsis(synopsis, path)
+    restored = load_synopsis(path)
+    for rect in _query_grid():
+        assert restored.answer(rect) == pytest.approx(
+            synopsis.answer(rect), rel=1e-12, abs=1e-9
+        )
+
+
+@settings(max_examples=10, deadline=None)
+@given(seeds, st.integers(min_value=2, max_value=6))
+def test_ag_roundtrip_preserves_all_answers(tmp_path_factory, seed, m1):
+    dataset = _dataset(seed)
+    synopsis = AdaptiveGridBuilder(first_level_size=m1).fit(
+        dataset, 1.0, np.random.default_rng(seed)
+    )
+    path = tmp_path_factory.mktemp("ser") / "s.npz"
+    save_synopsis(synopsis, path)
+    restored = load_synopsis(path)
+    for rect in _query_grid():
+        assert restored.answer(rect) == pytest.approx(
+            synopsis.answer(rect), rel=1e-12, abs=1e-9
+        )
+    # Structure is preserved too.
+    for i in range(m1):
+        for j in range(m1):
+            assert restored.cell_grid_size(i, j) == synopsis.cell_grid_size(i, j)

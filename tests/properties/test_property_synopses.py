@@ -1,0 +1,103 @@
+"""Property-based tests over the synopsis implementations themselves."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.adaptive_grid import AdaptiveGridBuilder
+from repro.core.dataset import GeoDataset
+from repro.core.geometry import Domain2D, Rect
+from repro.core.uniform_grid import UniformGridBuilder
+from repro.privacy.budget import PrivacyBudget
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+unit_coords = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def unit_rects(draw) -> Rect:
+    x1, x2 = sorted((draw(unit_coords), draw(unit_coords)))
+    y1, y2 = sorted((draw(unit_coords), draw(unit_coords)))
+    return Rect(x1, y1, x2, y2)
+
+
+def _dataset(seed: int, n: int = 400) -> GeoDataset:
+    rng = np.random.default_rng(seed)
+    return GeoDataset(rng.random((n, 2)), Domain2D.unit())
+
+
+@settings(max_examples=25, deadline=None)
+@given(seeds, st.integers(min_value=1, max_value=20))
+def test_ug_budget_always_exactly_spent(seed, grid_size):
+    dataset = _dataset(seed)
+    budget = PrivacyBudget(1.0)
+    UniformGridBuilder(grid_size=grid_size).fit(
+        dataset, 1.0, np.random.default_rng(seed), budget=budget
+    )
+    assert budget.spent == pytest.approx(1.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seeds, st.floats(min_value=0.1, max_value=0.9))
+def test_ag_budget_always_exactly_spent(seed, alpha):
+    dataset = _dataset(seed)
+    budget = PrivacyBudget(1.0)
+    AdaptiveGridBuilder(first_level_size=4, alpha=alpha).fit(
+        dataset, 1.0, np.random.default_rng(seed), budget=budget
+    )
+    assert budget.spent == pytest.approx(1.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seeds, unit_rects())
+def test_ug_answer_additive_in_query_split(seed, rect):
+    """Released UG estimates are exactly additive under query splitting."""
+    dataset = _dataset(seed)
+    synopsis = UniformGridBuilder(grid_size=8).fit(
+        dataset, 1.0, np.random.default_rng(seed)
+    )
+    mid = (rect.x_lo + rect.x_hi) / 2.0
+    whole = synopsis.answer(rect)
+    left = synopsis.answer(Rect(rect.x_lo, rect.y_lo, mid, rect.y_hi))
+    right = synopsis.answer(Rect(mid, rect.y_lo, rect.x_hi, rect.y_hi))
+    assert whole == pytest.approx(left + right, abs=1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seeds, unit_rects())
+def test_ag_answer_additive_in_query_split(seed, rect):
+    dataset = _dataset(seed)
+    synopsis = AdaptiveGridBuilder(first_level_size=4).fit(
+        dataset, 1.0, np.random.default_rng(seed)
+    )
+    mid = (rect.x_lo + rect.x_hi) / 2.0
+    whole = synopsis.answer(rect)
+    left = synopsis.answer(Rect(rect.x_lo, rect.y_lo, mid, rect.y_hi))
+    right = synopsis.answer(Rect(mid, rect.y_lo, rect.x_hi, rect.y_hi))
+    assert whole == pytest.approx(left + right, abs=1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seeds)
+def test_ag_total_equals_cell_totals(seed):
+    dataset = _dataset(seed)
+    synopsis = AdaptiveGridBuilder(first_level_size=3).fit(
+        dataset, 1.0, np.random.default_rng(seed)
+    )
+    cells = sum(
+        synopsis.cell_total(i, j) for i in range(3) for j in range(3)
+    )
+    assert synopsis.total() == pytest.approx(cells, rel=1e-9, abs=1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seeds, unit_rects())
+def test_answers_finite(seed, rect):
+    dataset = _dataset(seed)
+    for builder in (
+        UniformGridBuilder(grid_size=6),
+        AdaptiveGridBuilder(first_level_size=3),
+    ):
+        synopsis = builder.fit(dataset, 0.5, np.random.default_rng(seed))
+        assert np.isfinite(synopsis.answer(rect))

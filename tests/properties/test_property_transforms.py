@@ -1,0 +1,108 @@
+"""Property-based tests for dataset transforms."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.dataset import GeoDataset
+from repro.core.geometry import Domain2D, Rect
+from repro.datasets.transforms import (
+    crop,
+    merge,
+    mirror_x,
+    normalise_to_unit,
+    rotate90,
+    split_by_line,
+    thin,
+)
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _dataset(seed: int, n: int = 200) -> GeoDataset:
+    rng = np.random.default_rng(seed)
+    return GeoDataset(rng.random((n, 2)), Domain2D.unit())
+
+
+@settings(max_examples=40)
+@given(seeds, st.floats(min_value=0.05, max_value=0.95))
+def test_split_partitions_points(seed, x_split):
+    dataset = _dataset(seed)
+    left, right = split_by_line(dataset, x_split)
+    assert left.size + right.size == dataset.size
+    if left.size:
+        assert left.xs.max() <= x_split
+    if right.size:
+        assert right.xs.min() > x_split
+
+
+@settings(max_examples=40)
+@given(seeds, st.floats(min_value=0.05, max_value=0.95))
+def test_split_then_merge_preserves_count(seed, x_split):
+    dataset = _dataset(seed)
+    left, right = split_by_line(dataset, x_split)
+    merged = merge([left, right])
+    assert merged.size == dataset.size
+    # The merged domain covers the original.
+    assert merged.domain.bounds.contains_rect(dataset.domain.bounds)
+
+
+@settings(max_examples=40)
+@given(seeds)
+def test_mirror_preserves_counts_in_mirrored_regions(seed):
+    dataset = _dataset(seed)
+    mirrored = mirror_x(dataset)
+    region = Rect(0.1, 0.2, 0.4, 0.8)
+    mirrored_region = Rect(0.6, 0.2, 0.9, 0.8)
+    assert dataset.count_in(region) == mirrored.count_in(mirrored_region)
+
+
+@settings(max_examples=40)
+@given(seeds)
+def test_rotate_preserves_pairwise_distances(seed):
+    dataset = _dataset(seed, n=30)
+    rotated = rotate90(dataset)
+    original = dataset.points
+    turned = rotated.points
+    d_original = np.linalg.norm(original[0] - original[1])
+    d_rotated = np.linalg.norm(turned[0] - turned[1])
+    assert d_rotated == pytest.approx(d_original, rel=1e-9)
+
+
+@settings(max_examples=40)
+@given(seeds, st.floats(min_value=0.1, max_value=1.0))
+def test_thin_never_grows(seed, fraction):
+    dataset = _dataset(seed)
+    thinned = thin(dataset, fraction, np.random.default_rng(seed))
+    assert thinned.size <= dataset.size
+    assert thinned.domain == dataset.domain
+
+
+@settings(max_examples=40)
+@given(seeds)
+def test_normalise_preserves_count_structure(seed):
+    rng = np.random.default_rng(seed)
+    points = np.column_stack(
+        [rng.uniform(-7, 13, 150), rng.uniform(3, 9, 150)]
+    )
+    dataset = GeoDataset(points, Domain2D(-7.0, 3.0, 13.0, 9.0))
+    unit = normalise_to_unit(dataset)
+    assert unit.size == dataset.size
+    # Quadrant counts map to quadrant counts.
+    original_quadrant = dataset.count_in(Rect(-7.0, 3.0, 3.0, 6.0))
+    unit_quadrant = unit.count_in(Rect(0.0, 0.0, 0.5, 0.5))
+    assert original_quadrant == unit_quadrant
+
+
+@settings(max_examples=40)
+@given(
+    seeds,
+    st.floats(min_value=0.1, max_value=0.8),
+    st.floats(min_value=0.1, max_value=0.8),
+)
+def test_crop_counts_match_count_in(seed, x_lo, y_lo):
+    dataset = _dataset(seed)
+    region = Rect(x_lo, y_lo, min(1.0, x_lo + 0.2), min(1.0, y_lo + 0.2))
+    cropped = crop(dataset, region)
+    assert cropped.size == dataset.count_in(region)

@@ -1,0 +1,81 @@
+"""Property-based tests for the Haar wavelet machinery."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.privelet import (
+    coefficient_weights,
+    generalised_sensitivity,
+    haar_forward,
+    haar_inverse,
+)
+
+log_sizes = st.integers(min_value=0, max_value=7)  # n = 1 .. 128
+values = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+
+
+@settings(max_examples=80)
+@given(log_sizes, st.integers(min_value=0, max_value=2**32 - 1))
+def test_roundtrip(log_n, seed):
+    rng = np.random.default_rng(seed)
+    vector = rng.normal(0, 100, size=2**log_n)
+    np.testing.assert_allclose(
+        haar_inverse(haar_forward(vector)), vector, rtol=1e-9, atol=1e-9
+    )
+
+
+@settings(max_examples=80)
+@given(log_sizes, st.integers(min_value=0, max_value=2**32 - 1))
+def test_linearity(log_n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=2**log_n)
+    b = rng.normal(size=2**log_n)
+    np.testing.assert_allclose(
+        haar_forward(2.0 * a - b),
+        2.0 * haar_forward(a) - haar_forward(b),
+        rtol=1e-9, atol=1e-9,
+    )
+
+
+@settings(max_examples=80)
+@given(log_sizes, values)
+def test_constant_vector_has_only_base(log_n, value):
+    coefficients = haar_forward(np.full(2**log_n, value))
+    assert coefficients[0] == pytest.approx(value, rel=1e-9, abs=1e-9)
+    np.testing.assert_allclose(
+        coefficients[1:], 0.0, atol=1e-9 * max(1.0, abs(value))
+    )
+
+
+@settings(max_examples=40)
+@given(log_sizes.filter(lambda h: h >= 1))
+def test_unit_impulse_sensitivity(log_n):
+    """Every leaf position realises the generalised sensitivity exactly."""
+    n = 2**log_n
+    weights = coefficient_weights(n)
+    for position in range(0, n, max(1, n // 4)):
+        delta = haar_forward(np.eye(n)[position])
+        weighted_l1 = float(np.sum(weights * np.abs(delta)))
+        assert weighted_l1 == pytest.approx(generalised_sensitivity(n))
+
+
+@settings(max_examples=40)
+@given(log_sizes)
+def test_weights_are_subtree_sizes(log_n):
+    n = 2**log_n
+    weights = coefficient_weights(n)
+    assert weights[0] == n
+    assert weights.min() >= 1.0
+    # Total across levels: n (base) + sum over levels of 2^l * n / 2^l.
+    assert weights.sum() == pytest.approx(n + log_n * n)
+
+
+@settings(max_examples=80)
+@given(log_sizes, st.integers(min_value=0, max_value=2**32 - 1))
+def test_mean_preserved(log_n, seed):
+    """The base coefficient is exactly the vector mean."""
+    rng = np.random.default_rng(seed)
+    vector = rng.normal(size=2**log_n)
+    assert haar_forward(vector)[0] == pytest.approx(vector.mean(), abs=1e-9)

@@ -1,0 +1,94 @@
+"""Unit tests for the vectorised batch query engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import Domain2D, Rect
+from repro.core.grid import GridLayout
+from repro.core.uniform_grid import UniformGridBuilder
+from repro.queries.engine import BatchQueryEngine
+
+
+@pytest.fixture
+def layout() -> GridLayout:
+    return GridLayout(Domain2D(-2.0, 1.0, 6.0, 5.0), 7, 5)
+
+
+@pytest.fixture
+def counts(layout, rng) -> np.ndarray:
+    return rng.normal(10.0, 4.0, size=layout.shape)
+
+
+class TestExactness:
+    def test_matches_per_query_estimate(self, layout, counts, rng):
+        """The prefix-sum path agrees with the bilinear-form path exactly."""
+        engine = BatchQueryEngine(layout, counts)
+        bounds = layout.domain.bounds
+        rects = []
+        for _ in range(300):
+            x = np.sort(rng.uniform(bounds.x_lo, bounds.x_hi, 2))
+            y = np.sort(rng.uniform(bounds.y_lo, bounds.y_hi, 2))
+            rects.append(Rect(x[0], y[0], x[1], y[1]))
+        batch = engine.answer_batch(rects)
+        singles = np.array([layout.estimate(counts, rect) for rect in rects])
+        np.testing.assert_allclose(batch, singles, rtol=1e-9, atol=1e-9)
+
+    def test_full_domain(self, layout, counts):
+        engine = BatchQueryEngine(layout, counts)
+        result = engine.answer_batch([layout.domain.bounds])
+        assert result[0] == pytest.approx(counts.sum())
+
+    def test_cell_aligned(self, layout, counts):
+        engine = BatchQueryEngine(layout, counts)
+        cell = layout.cell_rect(2, 3)
+        assert engine.answer_batch([cell])[0] == pytest.approx(counts[2, 3])
+
+    def test_out_of_domain_clipped(self, layout, counts):
+        engine = BatchQueryEngine(layout, counts)
+        huge = Rect(-100.0, -100.0, 100.0, 100.0)
+        assert engine.answer_batch([huge])[0] == pytest.approx(counts.sum())
+
+    def test_disjoint_is_zero(self, layout, counts):
+        engine = BatchQueryEngine(layout, counts)
+        outside = Rect(100.0, 100.0, 101.0, 101.0)
+        assert engine.answer_batch([outside])[0] == 0.0
+
+    def test_degenerate_is_zero(self, layout, counts):
+        engine = BatchQueryEngine(layout, counts)
+        line = Rect(0.0, 2.0, 0.0, 4.0)
+        assert engine.answer_batch([line])[0] == 0.0
+
+
+class TestInputs:
+    def test_array_input(self, layout, counts):
+        engine = BatchQueryEngine(layout, counts)
+        boxes = np.array([[0.0, 2.0, 1.0, 3.0], [-2.0, 1.0, 6.0, 5.0]])
+        result = engine.answer_batch(boxes)
+        assert result.shape == (2,)
+        assert result[1] == pytest.approx(counts.sum())
+
+    def test_empty_batch(self, layout, counts):
+        engine = BatchQueryEngine(layout, counts)
+        assert engine.answer_batch([]).shape == (0,)
+
+    def test_bad_array_shape(self, layout, counts):
+        engine = BatchQueryEngine(layout, counts)
+        with pytest.raises(ValueError):
+            engine.answer_batch(np.zeros((3, 3)))
+
+    def test_counts_shape_checked(self, layout):
+        with pytest.raises(ValueError):
+            BatchQueryEngine(layout, np.zeros((2, 2)))
+
+
+class TestSynopsisIntegration:
+    def test_answer_many_uses_engine_and_matches_answer(self, small_skewed, rng):
+        synopsis = UniformGridBuilder(grid_size=16).fit(small_skewed, 1.0, rng)
+        rects = [
+            Rect(0.1, 0.1, 0.4, 0.9),
+            Rect(0.0, 0.0, 1.0, 1.0),
+            Rect(0.33, 0.21, 0.34, 0.23),
+        ]
+        many = synopsis.answer_many(rects)
+        singles = np.array([synopsis.answer(rect) for rect in rects])
+        np.testing.assert_allclose(many, singles, rtol=1e-9)

@@ -1,0 +1,87 @@
+"""Unit tests for the error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.queries.metrics import (
+    ErrorProfile,
+    absolute_errors,
+    relative_error_floor,
+    relative_errors,
+)
+
+
+class TestAbsoluteErrors:
+    def test_basic(self):
+        errors = absolute_errors(np.array([1.0, 5.0]), np.array([3.0, 5.0]))
+        np.testing.assert_allclose(errors, [2.0, 0.0])
+
+    def test_symmetric(self):
+        a = absolute_errors(np.array([10.0]), np.array([3.0]))
+        b = absolute_errors(np.array([3.0]), np.array([10.0]))
+        assert a[0] == b[0]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            absolute_errors(np.zeros(3), np.zeros(4))
+
+
+class TestRelativeErrors:
+    def test_floor_value(self):
+        """rho = 0.001 * |D| exactly as the paper specifies."""
+        assert relative_error_floor(1_000_000) == 1_000.0
+        assert relative_error_floor(9_000) == 9.0
+
+    def test_basic(self):
+        errors = relative_errors(
+            np.array([110.0]), np.array([100.0]), n_points=10_000
+        )
+        assert errors[0] == pytest.approx(0.1)
+
+    def test_floor_applies_to_small_truths(self):
+        """True answer below rho: divide by rho, not the tiny truth."""
+        errors = relative_errors(np.array([5.0]), np.array([0.0]), n_points=10_000)
+        assert errors[0] == pytest.approx(5.0 / 10.0)
+
+    def test_no_division_by_zero(self):
+        errors = relative_errors(np.array([0.0]), np.array([0.0]), n_points=1_000)
+        assert np.isfinite(errors[0])
+        assert errors[0] == 0.0
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            relative_errors(np.array([1.0]), np.array([1.0]), n_points=0)
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            relative_error_floor(-5)
+
+
+class TestErrorProfile:
+    def test_percentiles(self):
+        errors = np.arange(1, 101, dtype=float)
+        profile = ErrorProfile.from_errors(errors)
+        assert profile.median == pytest.approx(50.5)
+        assert profile.p25 == pytest.approx(25.75)
+        assert profile.p95 == pytest.approx(95.05)
+        assert profile.mean == pytest.approx(50.5)
+        assert profile.count == 100
+
+    def test_ordering_invariant(self, rng):
+        profile = ErrorProfile.from_errors(rng.random(500))
+        assert profile.p25 <= profile.median <= profile.p75 <= profile.p95
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorProfile.from_errors(np.empty(0))
+
+    def test_as_row(self):
+        profile = ErrorProfile.from_errors(np.array([1.0, 2.0, 3.0]))
+        row = profile.as_row()
+        assert len(row) == 5
+        assert row[4] == pytest.approx(2.0)  # mean last
+
+    def test_str_renders(self):
+        profile = ErrorProfile.from_errors(np.array([1.0]))
+        text = str(profile)
+        assert "mean=" in text and "med=" in text

@@ -1,0 +1,96 @@
+"""Unit tests for workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.queries.workload import (
+    QuerySize,
+    QueryWorkload,
+    paper_query_sizes,
+)
+
+
+class TestPaperQuerySizes:
+    def test_doubling_ladder(self):
+        sizes = paper_query_sizes(16.0, 16.0)
+        widths = [size.width for size in sizes]
+        assert widths == [0.5, 1.0, 2.0, 4.0, 8.0, 16.0]
+
+    def test_table2_road(self):
+        """Road: q6 = 16 x 16 implies q1 = 0.5 x 0.5 (Table II)."""
+        sizes = paper_query_sizes(16.0, 16.0)
+        assert (sizes[0].width, sizes[0].height) == (0.5, 0.5)
+
+    def test_table2_checkin(self):
+        """Checkin: q6 = 192 x 96 implies q1 = 6 x 3 (Table II)."""
+        sizes = paper_query_sizes(192.0, 96.0)
+        assert (sizes[0].width, sizes[0].height) == (6.0, 3.0)
+
+    def test_labels(self):
+        labels = [size.label for size in paper_query_sizes(1.0, 1.0)]
+        assert labels == ["q1", "q2", "q3", "q4", "q5", "q6"]
+
+    def test_area_quadruples(self):
+        sizes = paper_query_sizes(8.0, 4.0)
+        for small, big in zip(sizes, sizes[1:]):
+            assert big.area == pytest.approx(4.0 * small.area)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paper_query_sizes(0.0, 1.0)
+        with pytest.raises(ValueError):
+            paper_query_sizes(1.0, 1.0, n_sizes=0)
+
+
+class TestWorkloadGeneration:
+    def test_counts_and_structure(self, small_skewed):
+        workload = QueryWorkload.generate(
+            small_skewed, 0.5, 0.5, rng=0, queries_per_size=10
+        )
+        assert workload.total_queries() == 60
+        assert workload.size_labels == ["q1", "q2", "q3", "q4", "q5", "q6"]
+        assert len(workload.all_rects()) == 60
+
+    def test_rects_inside_domain(self, small_skewed):
+        workload = QueryWorkload.generate(
+            small_skewed, 0.5, 0.5, rng=0, queries_per_size=25
+        )
+        bounds = small_skewed.domain.bounds
+        for rect in workload.all_rects():
+            assert bounds.contains_rect(rect)
+
+    def test_true_answers_match_dataset(self, small_skewed):
+        workload = QueryWorkload.generate(
+            small_skewed, 0.5, 0.5, rng=0, queries_per_size=5
+        )
+        for query_set in workload.query_sets:
+            for rect, answer in zip(query_set.rects, query_set.true_answers):
+                assert answer == small_skewed.count_in(rect)
+
+    def test_reproducible(self, small_skewed):
+        a = QueryWorkload.generate(small_skewed, 0.5, 0.5, rng=4, queries_per_size=5)
+        b = QueryWorkload.generate(small_skewed, 0.5, 0.5, rng=4, queries_per_size=5)
+        for set_a, set_b in zip(a.query_sets, b.query_sets):
+            assert set_a.rects == set_b.rects
+
+    def test_q6_too_large_rejected(self, small_skewed):
+        with pytest.raises(ValueError):
+            QueryWorkload.generate(small_skewed, 2.0, 0.5, rng=0)
+
+    def test_sizes_grow(self, small_skewed):
+        workload = QueryWorkload.generate(
+            small_skewed, 0.5, 0.5, rng=0, queries_per_size=5
+        )
+        areas = [query_set.size.area for query_set in workload.query_sets]
+        assert areas == sorted(areas)
+
+    def test_all_true_answers_concatenation(self, small_skewed):
+        workload = QueryWorkload.generate(
+            small_skewed, 0.5, 0.5, rng=0, queries_per_size=5
+        )
+        answers = workload.all_true_answers()
+        assert answers.shape == (30,)
+
+    def test_invalid_queries_per_size(self, small_skewed):
+        with pytest.raises(ValueError):
+            QueryWorkload.generate(small_skewed, 0.5, 0.5, rng=0, queries_per_size=0)
