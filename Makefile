@@ -1,0 +1,29 @@
+# Developer entry points. `make test` is the tier-1 verification command
+# referenced by ROADMAP.md.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: help test bench-quick serve serve-smoke quickstart
+
+help:
+	@echo "make test         run the full unit/property test suite (tier-1)"
+	@echo "make bench-quick  every paper experiment at quick scale, one report"
+	@echo "make serve        start the synopsis HTTP server on port 8731"
+	@echo "make serve-smoke  build + query + budget-refusal round trip over HTTP"
+	@echo "make quickstart   run examples/quickstart.py"
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-quick:
+	$(PYTHON) -m repro suite
+
+serve:
+	$(PYTHON) -m repro serve
+
+serve-smoke:
+	$(PYTHON) -m repro serve --smoke
+
+quickstart:
+	$(PYTHON) examples/quickstart.py

@@ -1,9 +1,74 @@
-"""Setup shim for environments without the `wheel` package.
+"""Packaging for the repro library (src/ layout, setuptools only).
 
-All metadata lives in pyproject.toml; this file only enables the legacy
-editable-install path (`pip install -e . --no-build-isolation`).
+Editable install for development::
+
+    pip install -e .
+
+Optional extras::
+
+    pip install -e ".[test]"        # pytest + hypothesis
+    pip install -e ".[benchmarks]"  # the benchmark suite's runner deps
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+_HERE = Path(__file__).parent
+
+
+def read_version() -> str:
+    init = _HERE / "src" / "repro" / "__init__.py"
+    match = re.search(r'^__version__ = "([^"]+)"', init.read_text(), re.MULTILINE)
+    if match is None:
+        raise RuntimeError("cannot find __version__ in src/repro/__init__.py")
+    return match.group(1)
+
+
+def read_readme() -> str:
+    readme = _HERE / "README.md"
+    return readme.read_text(encoding="utf-8") if readme.exists() else ""
+
+
+TEST_REQUIRES = ["pytest>=7.0", "hypothesis>=6.0"]
+# The benchmark suite runs through pytest; kept as a separate extra so a
+# serving-only install stays lean and future plotting deps have a home.
+BENCHMARK_REQUIRES = ["pytest>=7.0"]
+
+setup(
+    name="repro-dp-grids",
+    version=read_version(),
+    description=(
+        "Reproduction of 'Differentially Private Grids for Geospatial Data' "
+        "(Qardaji, Yang, Li; ICDE 2013) with a synopsis serving layer"
+    ),
+    long_description=read_readme(),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+    extras_require={
+        "test": TEST_REQUIRES,
+        "benchmarks": BENCHMARK_REQUIRES,
+        "dev": sorted(set(TEST_REQUIRES + BENCHMARK_REQUIRES)),
+    },
+    entry_points={
+        "console_scripts": [
+            "repro = repro.experiments.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Scientific/Engineering",
+        "Topic :: Security",
+    ],
+)

@@ -7,7 +7,10 @@ Qardaji, Yang, Li (ICDE 2013).  The package provides:
 * every baseline the paper compares against: KD-standard, KD-hybrid,
   quadtrees, grid hierarchies with constrained inference, and Privelet;
 * the evaluation machinery: the four (synthetic-analogue) datasets,
-  query workloads, error metrics, and per-figure experiment runners.
+  query workloads, error metrics, and per-figure experiment runners;
+* a serving layer (:mod:`repro.service`): build a release once, cache and
+  persist it, and answer batched rectangle queries over HTTP
+  (``python -m repro serve``) under per-dataset budget accounting.
 
 Quickstart::
 
@@ -48,14 +51,17 @@ from repro.datasets.synthetic import (
     make_uniform,
 )
 from repro.privacy.budget import BudgetExceededError, PrivacyBudget
+from repro.queries.engine import BatchQueryEngine, make_engine
 from repro.queries.metrics import ErrorProfile, absolute_errors, relative_errors
 from repro.queries.workload import QueryWorkload
+from repro.service import QueryService, ReleaseKey, SynopsisStore
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AdaptiveGridBuilder",
     "AdaptiveGridSynopsis",
+    "BatchQueryEngine",
     "BudgetExceededError",
     "DATASETS",
     "Domain2D",
@@ -71,10 +77,13 @@ __all__ = [
     "PrivacyBudget",
     "PriveletBuilder",
     "QuadtreeBuilder",
+    "QueryService",
     "QueryWorkload",
     "Rect",
+    "ReleaseKey",
     "Synopsis",
     "SynopsisBuilder",
+    "SynopsisStore",
     "UniformGridBuilder",
     "UniformGridSynopsis",
     "absolute_errors",
@@ -85,6 +94,7 @@ __all__ = [
     "load_dataset",
     "load_synopsis",
     "make_checkin",
+    "make_engine",
     "make_gaussian_mixture",
     "make_landmark",
     "make_road",

@@ -1,4 +1,9 @@
-"""``python -m repro`` — run the experiment CLI."""
+"""``python -m repro`` — run the experiment CLI or the synopsis server.
+
+``python -m repro <experiment>`` regenerates a paper table/figure;
+``python -m repro serve`` starts the HTTP serving layer (see
+:mod:`repro.service.cli`).
+"""
 
 import sys
 

@@ -25,9 +25,22 @@ from repro.core.grid import GridLayout
 from repro.core.synopsis import Synopsis
 from repro.core.uniform_grid import UniformGridSynopsis
 
-__all__ = ["save_synopsis", "load_synopsis"]
+__all__ = ["save_synopsis", "load_synopsis", "synopsis_nbytes"]
 
 _FORMAT_VERSION = 1
+
+
+def _pack(synopsis: Synopsis) -> dict[str, np.ndarray]:
+    """Dispatch to the per-type packer; raises ``TypeError`` for others."""
+    if isinstance(synopsis, UniformGridSynopsis):
+        return _pack_uniform(synopsis)
+    if isinstance(synopsis, AdaptiveGridSynopsis):
+        return _pack_adaptive(synopsis)
+    if isinstance(synopsis, TreeSynopsis):
+        return _pack_tree(synopsis)
+    raise TypeError(
+        f"cannot serialise synopsis of type {type(synopsis).__name__}"
+    )
 
 
 def save_synopsis(synopsis: Synopsis, path: str | Path) -> None:
@@ -35,18 +48,20 @@ def save_synopsis(synopsis: Synopsis, path: str | Path) -> None:
 
     Raises ``TypeError`` for synopsis types without a registered format.
     """
-    if isinstance(synopsis, UniformGridSynopsis):
-        payload = _pack_uniform(synopsis)
-    elif isinstance(synopsis, AdaptiveGridSynopsis):
-        payload = _pack_adaptive(synopsis)
-    elif isinstance(synopsis, TreeSynopsis):
-        payload = _pack_tree(synopsis)
-    else:
-        raise TypeError(
-            f"cannot serialise synopsis of type {type(synopsis).__name__}"
-        )
+    payload = _pack(synopsis)
     payload["format_version"] = np.array(_FORMAT_VERSION)
     np.savez_compressed(Path(path), **payload)
+
+
+def synopsis_nbytes(synopsis: Synopsis) -> int:
+    """Uncompressed in-memory footprint of a synopsis's released state.
+
+    Computed from the same payload :func:`save_synopsis` writes, so it is
+    defined for exactly the serialisable types.  The serving layer's
+    :class:`~repro.service.store.SynopsisStore` uses it to enforce its
+    cache size bound.
+    """
+    return sum(np.asarray(value).nbytes for value in _pack(synopsis).values())
 
 
 def load_synopsis(path: str | Path) -> Synopsis:

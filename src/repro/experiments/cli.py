@@ -9,6 +9,11 @@ Regenerate any of the paper's tables/figures from a shell::
 
 Reports print to stdout in the same tabular form the benchmark suite
 writes to ``benchmarks/output/``.
+
+The ``serve`` subcommand is routed to the serving layer instead
+(:mod:`repro.service.cli`)::
+
+    python -m repro serve --port 8731 --store-dir releases
 """
 
 from __future__ import annotations
@@ -38,6 +43,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Regenerate experiments from 'Differentially Private "
         "Grids for Geospatial Data' (ICDE 2013).",
+        epilog="To serve released synopses over HTTP instead, run "
+        "'repro serve --help'.",
     )
     parser.add_argument(
         "experiment",
@@ -76,12 +83,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["serve"]:
+        # The serving layer has its own option surface; hand the rest of
+        # the command line to it untouched.
+        from repro.service.cli import main as serve_main
+
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.experiment == "list":
         width = max(len(name) for name in EXPERIMENTS)
         for name in sorted(EXPERIMENTS):
             print(f"{name.ljust(width)}  {EXPERIMENTS[name]}")
+        print(f"\n{'serve'.ljust(width)}  start the synopsis HTTP server "
+              "(python -m repro serve --help)")
         return 0
 
     common = dict(

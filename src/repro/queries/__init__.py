@@ -1,6 +1,11 @@
 """Query workloads and error metrics (Section V-A methodology)."""
 
-from repro.queries.engine import BatchQueryEngine
+from repro.queries.engine import (
+    AdaptiveGridEngine,
+    BatchQueryEngine,
+    FallbackEngine,
+    make_engine,
+)
 from repro.queries.metrics import (
     ErrorProfile,
     absolute_errors,
@@ -15,8 +20,11 @@ from repro.queries.workload import (
 )
 
 __all__ = [
+    "AdaptiveGridEngine",
     "BatchQueryEngine",
     "ErrorProfile",
+    "FallbackEngine",
+    "make_engine",
     "QuerySize",
     "QueryWorkload",
     "SizedQuerySet",

@@ -21,6 +21,15 @@ evaluates a whole batch with eight vectorised gathers.
 
 :class:`BatchQueryEngine` wraps this; ``UniformGridSynopsis.answer_many``
 delegates to it automatically for large batches.
+
+For adaptive grids, whose released state is a different sub-grid per
+first-level cell, :class:`AdaptiveGridEngine` runs one prefix-sum engine
+per cell and sums the per-cell contributions — valid because constrained
+inference makes each cell's leaf sum equal its released total, so a fully
+covered cell contributes the same amount either way.  :func:`make_engine`
+picks the right engine for any supported synopsis, which is how the
+serving layer (:mod:`repro.service`) reuses one prepared engine across
+many incoming query batches.
 """
 
 from __future__ import annotations
@@ -30,7 +39,30 @@ import numpy as np
 from repro.core.geometry import Rect
 from repro.core.grid import GridLayout
 
-__all__ = ["BatchQueryEngine"]
+__all__ = ["BatchQueryEngine", "AdaptiveGridEngine", "FallbackEngine", "make_engine"]
+
+
+def rects_to_boxes(rects: "list[Rect] | np.ndarray") -> np.ndarray:
+    """Normalise a query batch to an ``(n, 4)`` float array.
+
+    Accepts a list of :class:`Rect`, a list of 4-number sequences, or an
+    already-shaped array of ``(x_lo, y_lo, x_hi, y_hi)`` rows.
+    """
+    if not isinstance(rects, np.ndarray):
+        rects = list(rects)  # materialise: generators must survive the scan
+        if all(hasattr(rect, "as_tuple") for rect in rects):
+            return np.array(
+                [rect.as_tuple() for rect in rects], dtype=float
+            ).reshape(-1, 4)
+        rects = np.asarray(rects, dtype=float)
+    boxes = np.asarray(rects, dtype=float)
+    if boxes.size == 0:
+        if boxes.ndim == 2 and boxes.shape[1] != 4:
+            raise ValueError(f"expected (n, 4) array, got {boxes.shape}")
+        return boxes.reshape(0, 4)
+    if boxes.ndim != 2 or boxes.shape[1] != 4:
+        raise ValueError(f"expected (n, 4) array, got {boxes.shape}")
+    return boxes
 
 
 class BatchQueryEngine:
@@ -87,14 +119,9 @@ class BatchQueryEngine:
         ``(x_lo, y_lo, x_hi, y_hi)`` rows.  Rectangles are clipped to the
         domain.
         """
-        if isinstance(rects, np.ndarray):
-            boxes = np.asarray(rects, dtype=float)
-            if boxes.ndim != 2 or boxes.shape[1] != 4:
-                raise ValueError(f"expected (n, 4) array, got {boxes.shape}")
-        else:
-            boxes = np.array([rect.as_tuple() for rect in rects], dtype=float)
-            if boxes.size == 0:
-                return np.empty(0)
+        boxes = rects_to_boxes(rects)
+        if boxes.size == 0:
+            return np.empty(0)
         bounds = self._layout.domain.bounds
         mx, my = self._layout.shape
         # Convert to cell units.
@@ -116,3 +143,128 @@ class BatchQueryEngine:
         )
         estimate[empty] = 0.0
         return estimate
+
+
+class AdaptiveGridEngine:
+    """Batch answering for :class:`~repro.core.adaptive_grid.AdaptiveGridSynopsis`.
+
+    One :class:`BatchQueryEngine` is prepared per first-level cell; a batch
+    is answered by summing each cell engine's (domain-clipped) estimates.
+    This equals ``synopsis.answer`` up to floating-point rounding: partial
+    cells use the same uniformity estimator, and for fully covered cells
+    the leaf sum equals the released total ``v'`` (constrained inference
+    enforces ``sum(u') == v'``; without inference the total is defined as
+    the leaf sum).
+
+    Preprocessing is O(total leaf cells); each batch then costs one
+    vectorised pass per first-level cell instead of a Python-level loop
+    per query, which is the regime service traffic lives in.
+    """
+
+    def __init__(self, synopsis):
+        m1x, m1y = synopsis.first_level_size
+        self._domain = synopsis.domain
+        self._shape = (m1x, m1y)
+        self._engines = [
+            BatchQueryEngine(synopsis.cell_layout(i, j), synopsis.cell_counts(i, j))
+            for i in range(m1x)
+            for j in range(m1y)
+        ]
+
+    @property
+    def n_cell_engines(self) -> int:
+        return len(self._engines)
+
+    def answer_batch(self, rects: list[Rect] | np.ndarray) -> np.ndarray:
+        """Uniformity estimates for every rectangle in the batch.
+
+        Each query is dispatched only to the first-level cells it
+        overlaps: the per-query cell-index ranges are computed in one
+        vectorised pass, and each overlapped cell engine evaluates just
+        its own sub-batch — total work scales with cells *touched*, not
+        with ``m1^2 * n``.
+        """
+        boxes = rects_to_boxes(rects)
+        if boxes.size == 0:
+            return np.empty(0)
+        # Pre-clip to the domain once so every cell engine sees the same
+        # effective query the scalar path evaluates.
+        bounds = self._domain.bounds
+        clipped = np.empty_like(boxes)
+        clipped[:, 0] = np.clip(boxes[:, 0], bounds.x_lo, bounds.x_hi)
+        clipped[:, 1] = np.clip(boxes[:, 1], bounds.y_lo, bounds.y_hi)
+        clipped[:, 2] = np.clip(boxes[:, 2], bounds.x_lo, bounds.x_hi)
+        clipped[:, 3] = np.clip(boxes[:, 3], bounds.y_lo, bounds.y_hi)
+
+        # First-level index ranges per query.  Edge-exact bounds may
+        # over-include a neighbouring cell, which then contributes a
+        # zero-width (zero) estimate — harmless.
+        mx, my = self._shape
+        cell_w = self._domain.width / mx
+        cell_h = self._domain.height / my
+        i_lo = np.clip(((clipped[:, 0] - bounds.x_lo) / cell_w).astype(np.int64), 0, mx - 1)
+        i_hi = np.clip(((clipped[:, 2] - bounds.x_lo) / cell_w).astype(np.int64), 0, mx - 1)
+        j_lo = np.clip(((clipped[:, 1] - bounds.y_lo) / cell_h).astype(np.int64), 0, my - 1)
+        j_hi = np.clip(((clipped[:, 3] - bounds.y_lo) / cell_h).astype(np.int64), 0, my - 1)
+
+        # Inverted rows (x_hi < x_lo or y_hi < y_lo) answer 0 but must be
+        # excluded from the dispatch bookkeeping: their reversed index
+        # ranges would write negative bands into the difference array and
+        # cancel *other* queries' contributions.
+        valid = (clipped[:, 2] >= clipped[:, 0]) & (clipped[:, 3] >= clipped[:, 1])
+
+        # 2-D difference array -> how many queries touch each cell; only
+        # touched cells get an engine pass.
+        touched = np.zeros((mx + 1, my + 1), dtype=np.int64)
+        np.add.at(touched, (i_lo[valid], j_lo[valid]), 1)
+        np.add.at(touched, (i_hi[valid] + 1, j_lo[valid]), -1)
+        np.add.at(touched, (i_lo[valid], j_hi[valid] + 1), -1)
+        np.add.at(touched, (i_hi[valid] + 1, j_hi[valid] + 1), 1)
+        counts = touched.cumsum(axis=0).cumsum(axis=1)[:mx, :my]
+
+        total = np.zeros(boxes.shape[0])
+        for i, j in np.argwhere(counts > 0):
+            mask = valid & (i_lo <= i) & (i <= i_hi) & (j_lo <= j) & (j <= j_hi)
+            total[mask] += self._engines[i * my + j].answer_batch(clipped[mask])
+        return total
+
+
+class FallbackEngine:
+    """Adapter giving any :class:`~repro.core.synopsis.Synopsis` the
+    ``answer_batch`` interface, via its scalar ``answer`` loop.
+
+    Used for synopsis types without a vectorised engine (e.g. spatial
+    trees) so the serving layer can treat every release uniformly.
+    """
+
+    def __init__(self, synopsis):
+        self._synopsis = synopsis
+
+    def answer_batch(self, rects: list[Rect] | np.ndarray) -> np.ndarray:
+        boxes = rects_to_boxes(rects)
+        # Same contract as the grid engines: inverted rows answer 0
+        # instead of raising from the Rect constructor.
+        out = np.zeros(boxes.shape[0])
+        for idx, row in enumerate(boxes):
+            if row[2] >= row[0] and row[3] >= row[1]:
+                out[idx] = self._synopsis.answer(Rect(*row))
+        return out
+
+
+def make_engine(synopsis):
+    """Build the fastest available batch engine for a released synopsis.
+
+    Grid-backed synopses get prefix-sum engines (:class:`BatchQueryEngine`
+    for uniform grids, :class:`AdaptiveGridEngine` for adaptive grids);
+    anything else falls back to the scalar loop.  The returned object
+    exposes ``answer_batch(rects) -> np.ndarray`` and holds no reference
+    to raw data, so it can be cached and shared across threads.
+    """
+    from repro.core.adaptive_grid import AdaptiveGridSynopsis
+    from repro.core.uniform_grid import UniformGridSynopsis
+
+    if isinstance(synopsis, UniformGridSynopsis):
+        return BatchQueryEngine(synopsis.layout, synopsis.counts)
+    if isinstance(synopsis, AdaptiveGridSynopsis):
+        return AdaptiveGridEngine(synopsis)
+    return FallbackEngine(synopsis)

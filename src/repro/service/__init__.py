@@ -1,0 +1,53 @@
+"""The synopsis serving layer: build a private release once, serve many.
+
+Everything below :mod:`repro.core` treats a synopsis as the output of one
+experiment run.  This package turns releases into long-lived, addressable
+artifacts behind a query API:
+
+* :class:`~repro.service.keys.ReleaseKey` — identity of one release:
+  ``(dataset, method, epsilon, seed)``;
+* :class:`~repro.service.store.SynopsisStore` — builds releases, caches
+  them under an LRU bounded by entries and bytes, persists them via
+  :mod:`repro.core.serialization`, and charges every build against a
+  per-dataset privacy budget, refusing overdrafts;
+* :class:`~repro.service.query_service.QueryService` — routes batched
+  rectangle queries to a prepared per-release engine
+  (:func:`~repro.queries.engine.make_engine`);
+* :mod:`~repro.service.server` — a stdlib-only JSON/HTTP adapter,
+  started with ``python -m repro serve``.
+
+Quickstart::
+
+    from repro.service import QueryService, ReleaseKey, SynopsisStore
+
+    store = SynopsisStore(store_dir="releases", dataset_budget=2.0)
+    service = QueryService(store)
+    key = ReleaseKey("storage", "AG", epsilon=1.0, seed=0)
+    store.build(key)
+    result = service.answer(key, [[-110.0, 30.0, -80.0, 45.0]], clamp=True)
+"""
+
+from repro.service.errors import (
+    BudgetRefused,
+    ReleaseNotFound,
+    ServiceError,
+    ValidationError,
+)
+from repro.service.keys import ReleaseKey, make_builder, method_names, register_method
+from repro.service.query_service import QueryResult, QueryService
+from repro.service.store import StoreStats, SynopsisStore
+
+__all__ = [
+    "BudgetRefused",
+    "QueryResult",
+    "QueryService",
+    "ReleaseKey",
+    "ReleaseNotFound",
+    "ServiceError",
+    "StoreStats",
+    "SynopsisStore",
+    "ValidationError",
+    "make_builder",
+    "method_names",
+    "register_method",
+]

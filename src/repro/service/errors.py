@@ -1,0 +1,64 @@
+"""Service-level exceptions with HTTP status mapping.
+
+Every error a serving-layer operation can raise carries the HTTP status
+code the adapter should answer with, so the HTTP handler needs exactly one
+``except ServiceError`` clause and the store / query service stay free of
+transport concerns.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServiceError",
+    "ValidationError",
+    "ReleaseNotFound",
+    "BudgetRefused",
+]
+
+
+class ServiceError(Exception):
+    """Base class for serving-layer failures.
+
+    ``status`` is the HTTP status code the error maps to; subclasses set
+    their own default and callers may override per instance.
+    """
+
+    status = 500
+
+    def __init__(self, message: str, status: int | None = None):
+        super().__init__(message)
+        if status is not None:
+            self.status = status
+
+    def to_payload(self) -> dict:
+        """JSON-serialisable body for an HTTP error response."""
+        return {"error": type(self).__name__, "detail": str(self)}
+
+
+class ValidationError(ServiceError):
+    """A request was malformed: missing fields, bad types, oversized batch."""
+
+    status = 400
+
+
+class ReleaseNotFound(ServiceError):
+    """No release for the requested key is cached or persisted.
+
+    Consumers should build the release first (``POST /releases``) or ask
+    for one of the keys ``GET /releases`` lists.
+    """
+
+    status = 404
+
+
+class BudgetRefused(ServiceError):
+    """Building the release would overdraw the dataset's privacy budget.
+
+    Raised *before* the sensitive data is touched.  Unlike
+    :class:`~repro.privacy.budget.BudgetExceededError`, which guards a
+    single mechanism's internal accounting, this guards the cumulative
+    epsilon spent across every release the store ever built from the same
+    dataset instance (sequential composition across builds).
+    """
+
+    status = 409

@@ -1,0 +1,169 @@
+"""Release keys and the servable-method registry.
+
+A *release key* identifies one published synopsis: which dataset instance
+was summarised, with which method, at what privacy level, and from which
+seed.  Keys are hashable (cache keys), orderable (stable listings), and
+round-trip through a filesystem-safe slug (persistence filenames).
+
+The method registry maps the short method names the paper uses (``UG``,
+``AG``) to builder factories.  It is intentionally open: downstream code
+can :func:`register_method` any :class:`~repro.core.synopsis.
+SynopsisBuilder` whose synopsis type :mod:`repro.core.serialization`
+supports.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.synopsis import SynopsisBuilder
+from repro.datasets.registry import DATASETS
+from repro.service.errors import ValidationError
+
+__all__ = [
+    "ReleaseKey",
+    "register_method",
+    "method_names",
+    "make_builder",
+]
+
+#: Registered servable methods: name -> zero-argument builder factory.
+_METHODS: dict[str, Callable[[], SynopsisBuilder]] = {}
+
+
+def register_method(name: str, factory: Callable[[], SynopsisBuilder]) -> None:
+    """Register (or replace) a servable synopsis method."""
+    if not name or any(ch in name for ch in "_|/\\ "):
+        raise ValueError(f"invalid method name {name!r}")
+    _METHODS[name] = factory
+
+
+def method_names() -> list[str]:
+    """Names of the servable methods, sorted."""
+    return sorted(_METHODS)
+
+
+def make_builder(method: str) -> SynopsisBuilder:
+    """Instantiate the builder for a registered method name."""
+    try:
+        factory = _METHODS[method]
+    except KeyError:
+        raise ValidationError(
+            f"unknown method {method!r}; servable methods: "
+            f"{', '.join(method_names())}"
+        ) from None
+    return factory()
+
+
+def _register_defaults() -> None:
+    from repro.core.adaptive_grid import AdaptiveGridBuilder
+    from repro.core.uniform_grid import UniformGridBuilder
+
+    register_method("UG", UniformGridBuilder)
+    register_method("AG", AdaptiveGridBuilder)
+
+
+_register_defaults()
+
+
+@dataclass(frozen=True, order=True)
+class ReleaseKey:
+    """Identity of one released synopsis.
+
+    ``dataset`` and ``seed`` together name the sensitive data instance
+    (the registry generator seeded with ``seed``); ``method`` and
+    ``epsilon`` describe the release built from it.  Budget accounting
+    therefore groups keys by ``(dataset, seed)`` — see
+    :class:`~repro.service.store.SynopsisStore`.
+    """
+
+    dataset: str
+    method: str
+    epsilon: float
+    seed: int
+
+    def __post_init__(self) -> None:
+        if self.dataset not in DATASETS:
+            raise ValidationError(
+                f"unknown dataset {self.dataset!r}; available: "
+                f"{', '.join(DATASETS)}"
+            )
+        if self.method not in _METHODS:
+            raise ValidationError(
+                f"unknown method {self.method!r}; servable methods: "
+                f"{', '.join(method_names())}"
+            )
+        if not (isinstance(self.epsilon, (int, float)) and self.epsilon > 0):
+            raise ValidationError(
+                f"epsilon must be a positive number, got {self.epsilon!r}"
+            )
+        if not (isinstance(self.seed, int) and self.seed >= 0):
+            raise ValidationError(
+                f"seed must be a non-negative integer, got {self.seed!r}"
+            )
+
+    @property
+    def data_id(self) -> str:
+        """Identifier of the sensitive dataset instance this key reads."""
+        return f"{self.dataset}|{self.seed}"
+
+    def slug(self) -> str:
+        """Filesystem-safe name that round-trips through :meth:`from_slug`.
+
+        Epsilon uses ``repr`` (shortest exact decimal), so distinct
+        epsilons never collide onto one persistence filename and the
+        round trip is lossless.
+        """
+        return (
+            f"{self.dataset}_{self.method}_eps{float(self.epsilon)!r}"
+            f"_seed{self.seed}"
+        )
+
+    @classmethod
+    def from_slug(cls, slug: str) -> "ReleaseKey":
+        parts = slug.split("_")
+        if (
+            len(parts) != 4
+            or not parts[2].startswith("eps")
+            or not parts[3].startswith("seed")
+        ):
+            raise ValidationError(f"malformed release slug {slug!r}")
+        try:
+            epsilon = float(parts[2][3:])
+            seed = int(parts[3][4:])
+        except ValueError:
+            raise ValidationError(f"malformed release slug {slug!r}") from None
+        return cls(dataset=parts[0], method=parts[1], epsilon=epsilon, seed=seed)
+
+    def to_payload(self) -> dict:
+        """JSON-friendly representation used in HTTP responses."""
+        return {
+            "dataset": self.dataset,
+            "method": self.method,
+            "epsilon": self.epsilon,
+            "seed": self.seed,
+        }
+
+    def build_rng(self) -> np.random.Generator:
+        """Deterministic RNG for building this release.
+
+        Streams are separated per key (dataset seed, method, epsilon) so
+        the same key always yields bit-identical releases while distinct
+        keys draw independent noise.  Epsilon enters the entropy as its
+        exact IEEE-754 bit pattern: *any* two distinct epsilons get
+        independent streams.  Quantizing here would let two
+        budget-approved releases at nearby epsilons share one noise draw,
+        and correlated noise at different scales cancels — an attacker
+        could recover the exact sensitive counts from the pair.
+        """
+        entropy = (
+            self.seed,
+            zlib.crc32(self.method.encode()),
+            struct.unpack("<Q", struct.pack("<d", float(self.epsilon)))[0],
+        )
+        return np.random.default_rng(np.random.SeedSequence(entropy))

@@ -1,0 +1,149 @@
+"""Routing batched rectangle queries to cached synopses.
+
+:class:`QueryService` is the read path of the serving layer.  It keeps one
+prepared batch engine per release (built by
+:func:`~repro.queries.engine.make_engine`, prefix sums precomputed) and
+routes each incoming batch to the engine of the requested key.  Engines
+are pure functions of released state, so concurrent batches against the
+same release run without locking — only the engine-cache bookkeeping is
+guarded.
+
+Answering queries is post-processing of a released synopsis: it spends no
+privacy budget, and the service never sees raw data at all.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.core.geometry import Rect
+from repro.core.synopsis import Synopsis
+from repro.queries.engine import make_engine, rects_to_boxes
+from repro.service.keys import ReleaseKey
+from repro.service.store import SynopsisStore
+
+__all__ = ["QueryResult", "QueryService"]
+
+
+class QueryResult:
+    """Estimates for one batch, with the metadata responses report."""
+
+    __slots__ = ("key", "estimates", "elapsed_ms")
+
+    def __init__(self, key: ReleaseKey, estimates: np.ndarray, elapsed_ms: float):
+        self.key = key
+        self.estimates = estimates
+        self.elapsed_ms = elapsed_ms
+
+    def to_payload(self) -> dict:
+        return {
+            "key": self.key.to_payload(),
+            "count": int(self.estimates.size),
+            "estimates": [float(value) for value in self.estimates],
+            "elapsed_ms": round(self.elapsed_ms, 3),
+        }
+
+
+class QueryService:
+    """Answers rectangle-query batches from a :class:`SynopsisStore`.
+
+    The engine cache is keyed by release key and invalidated by identity:
+    when the store hands back a different synopsis object (rebuilt, or
+    reloaded after eviction), the engine is rebuilt from it.  Whenever an
+    engine is (re)built, entries for keys the store no longer holds are
+    dropped, so the store's LRU bounds govern total memory.
+    """
+
+    def __init__(self, store: SynopsisStore):
+        self._store = store
+        self._engines: dict[ReleaseKey, tuple[Synopsis, object]] = {}
+        self._lock = threading.Lock()
+        self._engine_building: set[ReleaseKey] = set()
+        self._engine_done = threading.Condition(self._lock)
+        self._queries_answered = 0
+        self._batches_answered = 0
+
+    @property
+    def store(self) -> SynopsisStore:
+        return self._store
+
+    def engine_for(self, key: ReleaseKey):
+        """The cached batch engine for ``key``, (re)built as needed.
+
+        Raises :class:`~repro.service.errors.ReleaseNotFound` when the
+        store has no release for the key.
+        """
+        synopsis = self._store.get(key)
+        # Engines pin their synopsis; on every lookup keep only keys the
+        # store still holds, so the store's LRU bounds govern total
+        # memory (``key`` itself is always retained: get() just cached it).
+        retained = set(self._store.cached_keys())
+        with self._lock:
+            while True:
+                for stale in [k for k in self._engines if k not in retained]:
+                    del self._engines[stale]
+                cached = self._engines.get(key)
+                if cached is not None and cached[0] is synopsis:
+                    return cached[1]
+                if key not in self._engine_building:
+                    break
+                # Another thread is preparing this key's engine: one
+                # cold-start stampede must not build N duplicates.
+                self._engine_done.wait()
+            self._engine_building.add(key)
+        # Build outside the lock: prefix-sum preparation can take a few
+        # milliseconds for large releases and must not stall other keys.
+        try:
+            engine = make_engine(synopsis)
+        except BaseException:
+            with self._lock:
+                self._engine_building.discard(key)
+                self._engine_done.notify_all()
+            raise
+        # Re-snapshot at insert time: concurrent builds may have evicted
+        # this key while the engine was being prepared, and inserting an
+        # engine for an evicted key would pin its synopsis outside the
+        # store's byte bound.  (A residual race can still leave one stale
+        # entry; the sweep above clears it on the next lookup.)
+        still_cached = key in set(self._store.cached_keys())
+        with self._lock:
+            try:
+                if still_cached:
+                    self._engines[key] = (synopsis, engine)
+            finally:
+                self._engine_building.discard(key)
+                self._engine_done.notify_all()
+        return engine
+
+    def answer(
+        self,
+        key: ReleaseKey,
+        rects: list[Rect] | np.ndarray,
+        clamp: bool = False,
+    ) -> QueryResult:
+        """Estimates for a batch of rectangles against one release.
+
+        ``clamp`` zeroes negative estimates (post-processing; callers that
+        feed the counts onward usually want it, evaluation code does not).
+        """
+        boxes = rects_to_boxes(rects)
+        start = time.perf_counter()
+        estimates = self.engine_for(key).answer_batch(boxes)
+        if clamp:
+            estimates = np.maximum(estimates, 0.0)
+        elapsed_ms = (time.perf_counter() - start) * 1e3
+        with self._lock:
+            self._queries_answered += int(boxes.shape[0])
+            self._batches_answered += 1
+        return QueryResult(key, estimates, elapsed_ms)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "queries_answered": self._queries_answered,
+                "batches_answered": self._batches_answered,
+                "engines_cached": len(self._engines),
+            }

@@ -1,0 +1,119 @@
+"""Request schemas for the HTTP adapter.
+
+Dependency-free equivalents of the pydantic request models a FastAPI
+backend would declare: each ``parse_*`` function validates a decoded JSON
+payload and returns a frozen request object, raising
+:class:`~repro.service.errors.ValidationError` with a message that names
+the offending field.  Keeping parsing here leaves the HTTP handler as pure
+routing and lets tests exercise validation without a socket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.service.errors import ValidationError
+from repro.service.keys import ReleaseKey
+
+__all__ = [
+    "MAX_BATCH_SIZE",
+    "BuildRequest",
+    "QueryRequest",
+    "parse_build_request",
+    "parse_query_request",
+]
+
+#: Upper bound on rectangles per query request; protects the server from
+#: accidental multi-gigabyte batches (split client-side instead).
+MAX_BATCH_SIZE = 100_000
+
+
+@dataclass(frozen=True)
+class BuildRequest:
+    """``POST /releases`` — build (or fetch) one release."""
+
+    key: ReleaseKey
+    force: bool = False
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """``POST /query`` — answer a batch of rectangles from one release."""
+
+    key: ReleaseKey
+    boxes: np.ndarray  # (n, 4) float rows: x_lo, y_lo, x_hi, y_hi
+    clamp: bool = False
+
+
+def _require_mapping(payload) -> dict:
+    if not isinstance(payload, dict):
+        raise ValidationError(
+            f"request body must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _parse_key(payload: dict) -> ReleaseKey:
+    missing = [f for f in ("dataset", "method", "epsilon", "seed") if f not in payload]
+    if missing:
+        raise ValidationError(f"missing required field(s): {', '.join(missing)}")
+    dataset = payload["dataset"]
+    method = payload["method"]
+    if not isinstance(dataset, str):
+        raise ValidationError(f"'dataset' must be a string, got {dataset!r}")
+    if not isinstance(method, str):
+        raise ValidationError(f"'method' must be a string, got {method!r}")
+    epsilon = payload["epsilon"]
+    if isinstance(epsilon, bool) or not isinstance(epsilon, (int, float)):
+        raise ValidationError(f"'epsilon' must be a number, got {epsilon!r}")
+    seed = payload["seed"]
+    if isinstance(seed, bool) or not isinstance(seed, int):
+        raise ValidationError(f"'seed' must be an integer, got {seed!r}")
+    # ReleaseKey re-validates values (unknown names, epsilon <= 0, ...)
+    # and raises ValidationError itself.
+    return ReleaseKey(dataset=dataset, method=method, epsilon=float(epsilon), seed=seed)
+
+
+def _parse_flag(payload: dict, field: str) -> bool:
+    value = payload.get(field, False)
+    if not isinstance(value, bool):
+        raise ValidationError(f"{field!r} must be a boolean, got {value!r}")
+    return value
+
+
+def parse_build_request(payload) -> BuildRequest:
+    payload = _require_mapping(payload)
+    return BuildRequest(key=_parse_key(payload), force=_parse_flag(payload, "force"))
+
+
+def parse_query_request(payload) -> QueryRequest:
+    payload = _require_mapping(payload)
+    key = _parse_key(payload)
+    rects = payload.get("rects")
+    if not isinstance(rects, list) or not rects:
+        raise ValidationError(
+            "'rects' must be a non-empty list of [x_lo, y_lo, x_hi, y_hi] rows"
+        )
+    if len(rects) > MAX_BATCH_SIZE:
+        raise ValidationError(
+            f"batch of {len(rects)} rectangles exceeds the per-request "
+            f"limit of {MAX_BATCH_SIZE}; split it into smaller batches"
+        )
+    try:
+        boxes = np.array(rects, dtype=float)
+    except (TypeError, ValueError):
+        raise ValidationError("'rects' rows must contain only numbers") from None
+    if boxes.ndim != 2 or boxes.shape[1] != 4:
+        raise ValidationError(
+            f"each rectangle needs exactly 4 numbers "
+            f"(x_lo, y_lo, x_hi, y_hi); got shape {boxes.shape}"
+        )
+    if not np.all(np.isfinite(boxes)):
+        raise ValidationError("'rects' must contain only finite numbers")
+    if np.any(boxes[:, 2] < boxes[:, 0]) or np.any(boxes[:, 3] < boxes[:, 1]):
+        raise ValidationError(
+            "'rects' rows must satisfy x_lo <= x_hi and y_lo <= y_hi"
+        )
+    return QueryRequest(key=key, boxes=boxes, clamp=_parse_flag(payload, "clamp"))

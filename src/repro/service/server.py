@@ -1,0 +1,217 @@
+"""Stdlib-only HTTP adapter for the serving layer.
+
+A thin JSON-over-HTTP front end (``http.server``; no web framework) over
+:class:`~repro.service.query_service.QueryService`:
+
+====== ============ ====================================================
+Method Path         Meaning
+====== ============ ====================================================
+GET    /health      liveness + cache/stat counters
+GET    /releases    cached + persisted keys, budgets, store stats
+POST   /releases    build (or fetch) a release; 201 when a fit happened
+POST   /query       answer a batch of rectangles from one release
+====== ============ ====================================================
+
+Request/response bodies are JSON; see :mod:`repro.service.schemas` for the
+request fields.  Errors come back as ``{"error": <class>, "detail":
+<message>}`` with the status each :class:`~repro.service.errors.
+ServiceError` subclass carries (400 validation, 404 unknown release, 409
+budget refused).
+
+The server is a ``ThreadingHTTPServer``: each request runs on its own
+thread, which the store/service are built for — query batches against one
+cached release run concurrently without locking.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.service.errors import ServiceError, ValidationError
+from repro.service.query_service import QueryService
+from repro.service.schemas import parse_build_request, parse_query_request
+
+__all__ = ["SynopsisHTTPServer", "serve"]
+
+logger = logging.getLogger(__name__)
+
+#: Largest accepted request body (16 MiB ~= a full MAX_BATCH_SIZE batch).
+_MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class SynopsisHTTPServer(ThreadingHTTPServer):
+    """HTTP server bound to one :class:`QueryService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], service: QueryService):
+        super().__init__(address, _Handler)
+        self.service = service
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+    # Socket timeout (applied per connection by http.server): a client
+    # that stalls mid-request times out instead of pinning its handler
+    # thread forever (slowloris).
+    timeout = 30
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        # GET handlers never read a body; drain any the client attached
+        # so leftover bytes cannot desynchronise a keep-alive connection.
+        self._drain_body()
+        self._dispatch(
+            {
+                "/health": self._get_health,
+                "/releases": self._get_releases,
+            }
+        )
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        self._dispatch(
+            {
+                "/releases": self._post_releases,
+                "/query": self._post_query,
+            }
+        )
+
+    def _dispatch(self, routes) -> None:
+        path = self.path.split("?", 1)[0]  # tolerate query strings
+        handler = routes.get(path.rstrip("/") or "/")
+        try:
+            if handler is None:
+                raise ServiceError(
+                    f"no route {self.command} {self.path}; "
+                    f"available: {', '.join(sorted(routes))}",
+                    status=404,
+                )
+            handler()
+        except ServiceError as error:
+            self._send_json(error.status, error.to_payload())
+        except (TimeoutError, ConnectionError):
+            # Client stalled or vanished mid-request; there is no one
+            # left to answer — just release the connection.
+            self.close_connection = True
+        except Exception:  # pragma: no cover - defensive last resort
+            logger.exception("unhandled error serving %s %s", self.command, self.path)
+            self._send_json(
+                500, {"error": "InternalError", "detail": "internal server error"}
+            )
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+
+    def _get_health(self) -> None:
+        service = self.server.service
+        self._send_json(
+            200,
+            {
+                "status": "ok",
+                "releases_cached": len(service.store.cached_keys()),
+                **service.stats(),
+            },
+        )
+
+    def _get_releases(self) -> None:
+        self._send_json(200, self.server.service.store.to_payload())
+
+    def _post_releases(self) -> None:
+        request = parse_build_request(self._read_json())
+        synopsis, built = self.server.service.store.build(
+            request.key, force=request.force
+        )
+        self._send_json(
+            201 if built else 200,
+            {
+                "key": request.key.to_payload(),
+                "kind": type(synopsis).__name__,
+                "built": built,
+                "total_estimate": float(synopsis.total()),
+            },
+        )
+
+    def _post_query(self) -> None:
+        request = parse_query_request(self._read_json())
+        result = self.server.service.answer(
+            request.key, request.boxes, clamp=request.clamp
+        )
+        self._send_json(200, result.to_payload())
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _drain_body(self) -> None:
+        try:
+            length = int(self.headers.get("Content-Length", 0) or 0)
+        except ValueError:
+            length = 0
+        if length > _MAX_BODY_BYTES:
+            # Not worth reading gigabytes to keep one connection alive.
+            self.close_connection = True
+            return
+        while length > 0:
+            chunk = self.rfile.read(min(length, 65536))
+            if not chunk:
+                break
+            length -= len(chunk)
+
+    def _read_json(self):
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            raise ValidationError("malformed Content-Length header") from None
+        if length <= 0:
+            raise ValidationError("request requires a JSON body")
+        if length > _MAX_BODY_BYTES:
+            raise ValidationError(
+                f"request body of {length} bytes exceeds the "
+                f"{_MAX_BODY_BYTES}-byte limit"
+            )
+        body = self.rfile.read(length)
+        try:
+            return json.loads(body)
+        except json.JSONDecodeError as error:
+            raise ValidationError(f"request body is not valid JSON: {error}") from None
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if status >= 400:
+            # Error paths may leave the request body unread; on a
+            # keep-alive connection those bytes would be parsed as the
+            # next request line.  Closing keeps the protocol in sync.
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:
+        logger.debug("%s - %s", self.address_string(), format % args)
+
+
+def serve(
+    service: QueryService, host: str = "127.0.0.1", port: int = 8731
+) -> SynopsisHTTPServer:
+    """Bind a server for ``service`` (``port=0`` picks a free port).
+
+    The caller owns the loop: call ``serve_forever()`` (blocking) or run
+    it on a thread and ``shutdown()`` when done, as the tests do.
+    """
+    return SynopsisHTTPServer((host, port), service)

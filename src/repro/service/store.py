@@ -1,0 +1,429 @@
+"""The synopsis store: build once, serve many.
+
+:class:`SynopsisStore` owns the lifecycle of released synopses:
+
+* **build** — fit a registered method on a registry dataset instance,
+  deterministically from the release key;
+* **cache** — keep hot releases in memory under an LRU policy bounded both
+  by entry count and by total released-state bytes
+  (:func:`~repro.core.serialization.synopsis_nbytes`);
+* **persist** — write every build through to ``store_dir`` as the same
+  ``.npz`` artifact :mod:`repro.core.serialization` defines, so an evicted
+  release is reloaded from disk instead of being re-fit;
+* **account** — charge every fit against a per-dataset-instance
+  :class:`~repro.privacy.budget.PrivacyBudget` and refuse builds that
+  would overdraw it (:class:`~repro.service.errors.BudgetRefused`).
+
+The privacy model: fitting a synopsis *reads the sensitive data* and costs
+its epsilon under sequential composition; serving, caching, persisting and
+reloading are post-processing of already-released state and cost nothing.
+The ledger is persisted alongside the artifacts so budget exhaustion
+survives process restarts — a store pointed at the same directory cannot
+launder budget by restarting.  The guarantee is per process: exactly one
+live store may own a ``store_dir`` at a time (the ledger is loaded once
+at init and rewritten on spend, with no cross-process file locking), so
+run one server per store directory.
+
+All public methods are thread-safe: one re-entrant lock guards the
+bookkeeping, while fits run outside it under a per-key in-flight guard,
+so reads never wait longer than a cache lookup even during a slow build.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.serialization import load_synopsis, save_synopsis, synopsis_nbytes
+from repro.core.synopsis import Synopsis
+from repro.datasets.registry import get_spec
+from repro.privacy.budget import PrivacyBudget
+from repro.service.errors import BudgetRefused, ReleaseNotFound
+from repro.service.keys import ReleaseKey, make_builder
+
+__all__ = ["StoreStats", "SynopsisStore"]
+
+_BUDGET_FILE = "budgets.json"
+_BUDGET_FORMAT_VERSION = 1
+
+
+@dataclass
+class StoreStats:
+    """Operational counters, exposed by the HTTP adapter's ``/releases``."""
+
+    hits: int = 0
+    misses: int = 0
+    builds: int = 0
+    loads: int = 0
+    evictions: int = 0
+    refusals: int = 0
+
+    def to_payload(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "builds": self.builds,
+            "loads": self.loads,
+            "evictions": self.evictions,
+            "refusals": self.refusals,
+        }
+
+
+@dataclass
+class _Entry:
+    synopsis: Synopsis
+    nbytes: int
+
+
+class SynopsisStore:
+    """Builds, caches, persists, and budget-guards released synopses.
+
+    Parameters
+    ----------
+    store_dir:
+        Directory for persisted releases and the budget ledger.  ``None``
+        keeps everything in memory (evicted releases must be re-fit, which
+        still charges budget — persistent stores are strictly better for
+        production use).
+    dataset_budget:
+        Total epsilon each dataset instance ``(dataset, seed)`` may spend
+        across *all* builds, ever (sequential composition).
+    max_entries:
+        LRU bound on the number of in-memory releases.
+    max_bytes:
+        LRU bound on the summed released-state bytes in memory
+        (:func:`~repro.core.serialization.synopsis_nbytes`).  The most
+        recently used release is always retained even when it alone
+        exceeds the bound.  Prepared query engines are not counted here:
+        budget for them separately (they are roughly the size of the
+        released state again, and :class:`~repro.service.query_service.
+        QueryService` bounds them to the store's cached keys).
+    n_points:
+        Optional dataset-size override applied to every build (the
+        registry default otherwise).  Part of the store configuration, not
+        the key, so one store always serves consistently sized data.
+    """
+
+    def __init__(
+        self,
+        store_dir: str | Path | None = None,
+        dataset_budget: float = 4.0,
+        max_entries: int = 16,
+        max_bytes: int = 512 * 1024 * 1024,
+        n_points: int | None = None,
+    ):
+        if dataset_budget <= 0:
+            raise ValueError(f"dataset_budget must be positive, got {dataset_budget}")
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self._store_dir = Path(store_dir) if store_dir is not None else None
+        self._dataset_budget = float(dataset_budget)
+        self._max_entries = int(max_entries)
+        self._max_bytes = int(max_bytes)
+        self._n_points = n_points
+        self._cache: OrderedDict[ReleaseKey, _Entry] = OrderedDict()
+        self._cached_bytes = 0
+        self._budgets: dict[str, PrivacyBudget] = {}
+        self._lock = threading.RLock()
+        self._building: set[ReleaseKey] = set()
+        self._loading: set[ReleaseKey] = set()
+        self._inflight_done = threading.Condition(self._lock)
+        self.stats = StoreStats()
+        if self._store_dir is not None:
+            self._store_dir.mkdir(parents=True, exist_ok=True)
+            self._load_budgets()
+
+    # ------------------------------------------------------------------
+    # Lookup and build
+    # ------------------------------------------------------------------
+
+    def get(self, key: ReleaseKey) -> Synopsis:
+        """Return the release for ``key`` from memory or disk.
+
+        Raises :class:`ReleaseNotFound` when the release has never been
+        built (serving never implicitly spends privacy budget).  Disk
+        reloads run outside the lock (guarded per key) so one slow
+        decompress never stalls cache hits for other keys; a request for
+        a key whose fit is in flight waits for that result.
+        """
+        synopsis = self._lookup_or_load(key)
+        if synopsis is None:
+            raise ReleaseNotFound(
+                f"no release for {key.slug()!r}; build it first (POST /releases)"
+            )
+        return synopsis
+
+    def _lookup_or_load(self, key: ReleaseKey) -> Synopsis | None:
+        """Cache lookup with per-key guarded disk reload; ``None`` if absent.
+
+        Loads and builds of the same key are mutually exclusive: a reload
+        never races a forced rebuild into inserting a stale synopsis over
+        the fresh one.
+        """
+        with self._lock:
+            while True:
+                entry = self._cache.get(key)
+                if entry is not None:
+                    self._cache.move_to_end(key)
+                    self.stats.hits += 1
+                    return entry.synopsis
+                if key in self._loading or key in self._building:
+                    # Another thread is reloading or fitting this key;
+                    # its result will land in the cache.
+                    self._inflight_done.wait()
+                    continue
+                break
+            self.stats.misses += 1
+            path = self._release_path(key)
+            if path is None or not path.exists():
+                return None
+            self._loading.add(key)
+        try:
+            synopsis = load_synopsis(path)
+        except BaseException:
+            with self._lock:
+                self._loading.discard(key)
+                self._inflight_done.notify_all()
+            raise
+        with self._lock:
+            try:
+                self.stats.loads += 1
+                self._insert(key, synopsis)
+            finally:
+                # Always clear the in-flight marker: leaving it would
+                # deadlock every later request for this key.
+                self._loading.discard(key)
+                self._inflight_done.notify_all()
+        return synopsis
+
+    def build(self, key: ReleaseKey, force: bool = False) -> tuple[Synopsis, bool]:
+        """Return the release for ``key``, fitting it if necessary.
+
+        Returns ``(synopsis, built)`` where ``built`` says whether a fit
+        (and hence a budget spend) happened.  ``force=True`` refits even
+        when a cached/persisted release exists — e.g. after raising
+        ``n_points`` — and is charged like any other build.
+
+        Raises :class:`BudgetRefused`, before touching the sensitive
+        data, when the dataset instance's remaining budget cannot cover
+        ``key.epsilon``.
+
+        The fit itself runs *outside* the store lock so concurrent reads
+        are never stalled by a build.  The epsilon is reserved (spent and
+        persisted) under the lock beforehand: the fit draws noise against
+        that epsilon, so a crashed fit stays charged — conservative, and
+        it prevents concurrent builds from overdrawing between check and
+        fit.  A concurrent non-forced build of the same key waits for the
+        in-flight fit instead of double-spending.
+        """
+        if not force:
+            # Pre-check outside the store lock: serves the common
+            # repeat-build case, including a disk reload, without
+            # stalling other requests.
+            synopsis = self._lookup_or_load(key)
+            if synopsis is not None:
+                return synopsis, False
+        with self._lock:
+            while True:
+                if not force:
+                    # Memory-only re-check: a load cannot be in flight
+                    # past this point (the loop below excludes it), and
+                    # hitting disk here would hold the lock through a
+                    # decompress.
+                    entry = self._cache.get(key)
+                    if entry is not None:
+                        self._cache.move_to_end(key)
+                        self.stats.hits += 1
+                        return entry.synopsis, False
+                if key not in self._building and key not in self._loading:
+                    break
+                # Another thread is fitting or reloading this key; wait
+                # so same-key loads and builds never interleave.
+                self._inflight_done.wait()
+            budget = self._budget_for(key.data_id)
+            if not budget.can_spend(key.epsilon):
+                self.stats.refusals += 1
+                raise BudgetRefused(
+                    f"building {key.slug()!r} needs epsilon={key.epsilon:g} but "
+                    f"dataset instance {key.data_id!r} has only "
+                    f"{budget.remaining:g} of {budget.total:g} left "
+                    f"(spent {budget.spent:g} across {len(budget.ledger)} "
+                    f"release(s)); serve an existing release instead"
+                )
+            budget.spend(key.epsilon, label=key.slug())
+            self._save_budgets()
+            self._building.add(key)
+        try:
+            spec = get_spec(key.dataset)
+            dataset = spec.make(n=self._n_points, rng=key.seed)
+            builder = make_builder(key.method)
+            synopsis = builder.fit(dataset, key.epsilon, key.build_rng())
+            self._persist(key, synopsis)
+        except BaseException:
+            with self._lock:
+                self._building.discard(key)
+                self._inflight_done.notify_all()
+            raise
+        with self._lock:
+            try:
+                self.stats.builds += 1
+                self._insert(key, synopsis)
+            finally:
+                # Always clear the in-flight marker: leaving it would
+                # deadlock every later request for this key.
+                self._building.discard(key)
+                self._inflight_done.notify_all()
+        return synopsis, True
+
+    def evict(self, key: ReleaseKey) -> bool:
+        """Drop a release from the in-memory cache (disk copy untouched)."""
+        with self._lock:
+            entry = self._cache.pop(key, None)
+            if entry is None:
+                return False
+            self._cached_bytes -= entry.nbytes
+            self.stats.evictions += 1
+            return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def cached_keys(self) -> list[ReleaseKey]:
+        """Keys currently held in memory, least recently used first."""
+        with self._lock:
+            return list(self._cache)
+
+    def persisted_keys(self) -> list[ReleaseKey]:
+        """Keys with an artifact on disk (empty for in-memory stores)."""
+        if self._store_dir is None:
+            return []
+        keys = []
+        for path in sorted(self._store_dir.glob("*.npz")):
+            try:
+                keys.append(ReleaseKey.from_slug(path.stem))
+            except Exception:
+                continue  # unrelated file in the store directory
+        return keys
+
+    def cached_bytes(self) -> int:
+        with self._lock:
+            return self._cached_bytes
+
+    def budget_state(self) -> dict[str, dict]:
+        """Per-dataset-instance budget summary (for ``GET /releases``)."""
+        with self._lock:
+            return {
+                data_id: {
+                    "total": budget.total,
+                    "spent": budget.spent,
+                    "remaining": budget.remaining,
+                    "releases": [entry.label for entry in budget.ledger],
+                }
+                for data_id, budget in sorted(self._budgets.items())
+            }
+
+    def to_payload(self) -> dict:
+        """Full JSON-friendly store state."""
+        with self._lock:
+            payload = {
+                "cached": [key.to_payload() for key in self._cache],
+                "cached_bytes": self._cached_bytes,
+                "max_entries": self._max_entries,
+                "max_bytes": self._max_bytes,
+                "dataset_budget": self._dataset_budget,
+                "budgets": self.budget_state(),
+                "stats": self.stats.to_payload(),
+            }
+        # The directory scan does disk I/O; run it outside the lock so a
+        # slow listing never stalls cache hits.
+        payload["persisted"] = [key.to_payload() for key in self.persisted_keys()]
+        return payload
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _insert(self, key: ReleaseKey, synopsis: Synopsis) -> None:
+        previous = self._cache.pop(key, None)
+        if previous is not None:
+            self._cached_bytes -= previous.nbytes
+        entry = _Entry(synopsis, synopsis_nbytes(synopsis))
+        self._cache[key] = entry
+        self._cached_bytes += entry.nbytes
+        while len(self._cache) > 1 and (
+            len(self._cache) > self._max_entries
+            or self._cached_bytes > self._max_bytes
+        ):
+            _, evicted = self._cache.popitem(last=False)
+            self._cached_bytes -= evicted.nbytes
+            self.stats.evictions += 1
+
+    def _release_path(self, key: ReleaseKey) -> Path | None:
+        if self._store_dir is None:
+            return None
+        return self._store_dir / f"{key.slug()}.npz"
+
+    def _persist(self, key: ReleaseKey, synopsis: Synopsis) -> None:
+        """Atomically write the release artifact (tmp + rename).
+
+        A reader racing a forced rebuild, or a crash mid-write, must
+        never observe a half-written archive.  The tmp name keeps the
+        ``.npz`` suffix so ``np.savez`` does not append another.
+        """
+        path = self._release_path(key)
+        if path is None:
+            return
+        tmp = path.with_name(f".{path.stem}.tmp.npz")
+        save_synopsis(synopsis, tmp)
+        os.replace(tmp, path)
+
+    def _budget_for(self, data_id: str) -> PrivacyBudget:
+        budget = self._budgets.get(data_id)
+        if budget is None:
+            budget = PrivacyBudget(self._dataset_budget)
+            self._budgets[data_id] = budget
+        return budget
+
+    def _load_budgets(self) -> None:
+        path = self._store_dir / _BUDGET_FILE
+        if not path.exists():
+            return
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("version") != _BUDGET_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported budget ledger version {payload.get('version')!r}"
+            )
+        for data_id, state in payload["budgets"].items():
+            # Keep the persisted total: weakening it would break the
+            # guarantee already promised to the data's owners.
+            budget = PrivacyBudget(float(state["total"]))
+            for epsilon, label in state["ledger"]:
+                budget.spend(float(epsilon), label)
+            self._budgets[data_id] = budget
+
+    def _save_budgets(self) -> None:
+        if self._store_dir is None:
+            return
+        payload = {
+            "version": _BUDGET_FORMAT_VERSION,
+            "budgets": {
+                data_id: {
+                    "total": budget.total,
+                    "ledger": [
+                        [entry.epsilon, entry.label] for entry in budget.ledger
+                    ],
+                }
+                for data_id, budget in self._budgets.items()
+            },
+        }
+        path = self._store_dir / _BUDGET_FILE
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        os.replace(tmp, path)

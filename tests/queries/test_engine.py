@@ -1,12 +1,18 @@
-"""Unit tests for the vectorised batch query engine."""
+"""Unit tests for the vectorised batch query engines."""
 
 import numpy as np
 import pytest
 
+from repro.core.adaptive_grid import AdaptiveGridBuilder
 from repro.core.geometry import Domain2D, Rect
 from repro.core.grid import GridLayout
 from repro.core.uniform_grid import UniformGridBuilder
-from repro.queries.engine import BatchQueryEngine
+from repro.queries.engine import (
+    AdaptiveGridEngine,
+    BatchQueryEngine,
+    FallbackEngine,
+    make_engine,
+)
 
 
 @pytest.fixture
@@ -71,6 +77,17 @@ class TestInputs:
         engine = BatchQueryEngine(layout, counts)
         assert engine.answer_batch([]).shape == (0,)
 
+    def test_generator_input(self, layout, counts):
+        engine = BatchQueryEngine(layout, counts)
+        rects = [Rect(0.0, 2.0, 1.0, 3.0), layout.domain.bounds]
+        result = engine.answer_batch(rect for rect in rects)
+        np.testing.assert_array_equal(result, engine.answer_batch(rects))
+
+    def test_plain_list_rows_input(self, layout, counts):
+        engine = BatchQueryEngine(layout, counts)
+        result = engine.answer_batch([[-2.0, 1.0, 6.0, 5.0]])
+        assert result[0] == pytest.approx(counts.sum())
+
     def test_bad_array_shape(self, layout, counts):
         engine = BatchQueryEngine(layout, counts)
         with pytest.raises(ValueError):
@@ -92,3 +109,90 @@ class TestSynopsisIntegration:
         many = synopsis.answer_many(rects)
         singles = np.array([synopsis.answer(rect) for rect in rects])
         np.testing.assert_allclose(many, singles, rtol=1e-9)
+
+
+def random_rects(rng, n=200):
+    """Unit-square query mix: interior, border-crossing, and covering."""
+    rects = [Rect(0.0, 0.0, 1.0, 1.0), Rect(-0.5, -0.5, 1.5, 1.5)]
+    for _ in range(n - len(rects)):
+        x = np.sort(rng.uniform(-0.1, 1.1, 2))
+        y = np.sort(rng.uniform(-0.1, 1.1, 2))
+        rects.append(Rect(x[0], y[0], x[1], y[1]))
+    return rects
+
+
+class TestAdaptiveGridEngine:
+    @pytest.mark.parametrize("constrained_inference", [True, False])
+    def test_matches_scalar_answers(self, small_skewed, rng, constrained_inference):
+        """Summed per-cell engines equal the scalar two-level path."""
+        synopsis = AdaptiveGridBuilder(
+            constrained_inference=constrained_inference
+        ).fit(small_skewed, 1.0, rng)
+        engine = AdaptiveGridEngine(synopsis)
+        rects = random_rects(rng)
+        batch = engine.answer_batch(rects)
+        singles = np.array([synopsis.answer(rect) for rect in rects])
+        np.testing.assert_allclose(batch, singles, rtol=1e-9, atol=1e-7)
+
+    def test_one_engine_per_first_level_cell(self, small_skewed, rng):
+        synopsis = AdaptiveGridBuilder(first_level_size=4).fit(
+            small_skewed, 1.0, rng
+        )
+        assert AdaptiveGridEngine(synopsis).n_cell_engines == 16
+
+    def test_empty_batch(self, small_skewed, rng):
+        synopsis = AdaptiveGridBuilder(first_level_size=3).fit(
+            small_skewed, 1.0, rng
+        )
+        assert AdaptiveGridEngine(synopsis).answer_batch([]).shape == (0,)
+
+    def test_inverted_row_does_not_corrupt_other_queries(self, small_skewed, rng):
+        synopsis = AdaptiveGridBuilder(first_level_size=4).fit(
+            small_skewed, 1.0, rng
+        )
+        engine = AdaptiveGridEngine(synopsis)
+        good = [0.2, 0.2, 0.6, 0.6]
+        alone = engine.answer_batch(np.array([good]))[0]
+        assert alone != 0.0
+        # An inverted row must answer 0 itself AND leave its batchmates'
+        # estimates untouched (its reversed index range once cancelled
+        # other queries' cell-dispatch bookkeeping).
+        mixed = engine.answer_batch(np.array([good, [0.9, 0.2, 0.1, 0.6]]))
+        assert mixed[1] == 0.0
+        assert mixed[0] == pytest.approx(alone)
+
+    def test_ag_answer_many_delegates_and_matches(self, small_skewed, rng):
+        synopsis = AdaptiveGridBuilder().fit(small_skewed, 1.0, rng)
+        rects = random_rects(rng, n=64)
+        many = synopsis.answer_many(rects)
+        singles = np.array([synopsis.answer(rect) for rect in rects])
+        np.testing.assert_allclose(many, singles, rtol=1e-9, atol=1e-7)
+
+    def test_ag_answer_many_small_batch_stays_scalar(self, small_skewed, rng):
+        synopsis = AdaptiveGridBuilder().fit(small_skewed, 1.0, rng)
+        small = synopsis.answer_many([Rect(0.2, 0.2, 0.7, 0.7)])
+        assert small.shape == (1,)
+        assert synopsis._engine is None  # scalar path: no engine built
+
+
+class TestMakeEngine:
+    def test_uniform_grid_gets_prefix_sum_engine(self, small_skewed, rng):
+        synopsis = UniformGridBuilder(grid_size=8).fit(small_skewed, 1.0, rng)
+        assert isinstance(make_engine(synopsis), BatchQueryEngine)
+
+    def test_adaptive_grid_gets_composite_engine(self, small_skewed, rng):
+        synopsis = AdaptiveGridBuilder(first_level_size=3).fit(
+            small_skewed, 1.0, rng
+        )
+        assert isinstance(make_engine(synopsis), AdaptiveGridEngine)
+
+    def test_other_synopses_get_fallback(self, small_skewed, rng):
+        from repro.baselines.kd_tree import KDStandardBuilder
+
+        synopsis = KDStandardBuilder(depth=3).fit(small_skewed, 1.0, rng)
+        engine = make_engine(synopsis)
+        assert isinstance(engine, FallbackEngine)
+        rect = Rect(0.1, 0.1, 0.6, 0.6)
+        assert engine.answer_batch([rect])[0] == pytest.approx(
+            synopsis.answer(rect)
+        )

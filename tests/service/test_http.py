@@ -1,0 +1,159 @@
+"""HTTP round-trip tests for the serving layer.
+
+Starts a real :class:`SynopsisHTTPServer` on an ephemeral port and talks
+to it with ``urllib`` — the same path an external consumer takes.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.service.keys import ReleaseKey
+from repro.service.query_service import QueryService
+from repro.service.server import serve
+from repro.service.store import SynopsisStore
+
+N_POINTS = 2_000
+RELEASE = {"dataset": "storage", "method": "AG", "epsilon": 1.0, "seed": 0}
+
+
+@pytest.fixture
+def server():
+    store = SynopsisStore(n_points=N_POINTS, dataset_budget=2.0)
+    http_server = serve(QueryService(store), "127.0.0.1", 0)
+    thread = threading.Thread(target=http_server.serve_forever, daemon=True)
+    thread.start()
+    yield http_server
+    http_server.shutdown()
+    http_server.server_close()
+    thread.join(timeout=5)
+
+
+def call(server, path, payload=None, method=None):
+    """One JSON request; returns (status, decoded body)."""
+    request = urllib.request.Request(
+        server.url + path,
+        data=None if payload is None else json.dumps(payload).encode(),
+        method=method or ("GET" if payload is None else "POST"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestRoundTrip:
+    def test_health(self, server):
+        status, body = call(server, "/health")
+        assert status == 200
+        assert body["status"] == "ok"
+
+    def test_query_string_is_tolerated(self, server):
+        status, body = call(server, "/health?verbose=1")
+        assert status == 200
+        assert body["status"] == "ok"
+
+    def test_build_then_query_smoke(self, server):
+        status, body = call(server, "/releases", RELEASE)
+        assert status == 201
+        assert body["built"] is True
+        assert body["kind"] == "AdaptiveGridSynopsis"
+
+        rects = [[-110.0, 30.0, -80.0, 45.0], [-80.0, 25.0, -70.0, 35.0]]
+        status, body = call(server, "/query", {**RELEASE, "rects": rects})
+        assert status == 200
+        assert body["count"] == 2
+
+        # The HTTP answers must equal what the in-process release answers.
+        key = ReleaseKey(**RELEASE)
+        synopsis = server.service.store.get(key)
+        expected = [synopsis.answer_many(np.array(rects))[i] for i in range(2)]
+        np.testing.assert_allclose(body["estimates"], expected, rtol=1e-9)
+
+    def test_rebuild_returns_200_not_201(self, server):
+        assert call(server, "/releases", RELEASE)[0] == 201
+        status, body = call(server, "/releases", RELEASE)
+        assert status == 200
+        assert body["built"] is False
+
+    def test_releases_listing(self, server):
+        call(server, "/releases", RELEASE)
+        status, body = call(server, "/releases")
+        assert status == 200
+        assert body["cached"] == [RELEASE]
+        assert body["budgets"]["storage|0"]["spent"] == pytest.approx(1.0)
+        assert body["stats"]["builds"] == 1
+
+
+class TestErrors:
+    def test_unknown_route_404(self, server):
+        status, body = call(server, "/nope")
+        assert status == 404
+        assert "/health" in body["detail"]
+
+    def test_query_unreleased_key_404(self, server):
+        status, body = call(
+            server, "/query", {**RELEASE, "rects": [[0.0, 0.0, 1.0, 1.0]]}
+        )
+        assert status == 404
+        assert body["error"] == "ReleaseNotFound"
+
+    def test_malformed_json_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/query", data=b"{not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_missing_body_400(self, server):
+        status, body = call(server, "/query", method="POST", payload=None)
+        assert status == 400
+        assert "JSON body" in body["detail"]
+
+    def test_validation_error_400(self, server):
+        status, body = call(server, "/query", {**RELEASE, "rects": [[1, 2, 3]]})
+        assert status == 400
+        assert body["error"] == "ValidationError"
+
+    def test_budget_refusal_409_with_clear_detail(self, server):
+        assert call(server, "/releases", RELEASE)[0] == 201
+        # dataset_budget is 2.0; a second full-epsilon release fits...
+        assert call(server, "/releases", {**RELEASE, "epsilon": 0.5})[0] == 201
+        # ...but a forced rebuild at epsilon=1.0 exceeds the remaining 0.5.
+        status, body = call(server, "/releases", {**RELEASE, "force": True})
+        assert status == 409
+        assert body["error"] == "BudgetRefused"
+        assert "storage|0" in body["detail"]
+
+
+class TestConcurrentQueries:
+    def test_many_threads_one_cached_synopsis(self, server):
+        call(server, "/releases", RELEASE)
+        rng = np.random.default_rng(5)
+        batches = []
+        for _ in range(12):
+            x0 = rng.uniform(-120, -80, size=8)
+            y0 = rng.uniform(25, 40, size=8)
+            batches.append(
+                [[float(x), float(y), float(x + 10), float(y + 5)]
+                 for x, y in zip(x0, y0)]
+            )
+
+        def run(batch):
+            status, body = call(server, "/query", {**RELEASE, "rects": batch})
+            assert status == 200
+            return body["estimates"]
+
+        serial = [run(batch) for batch in batches]
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            concurrent = list(pool.map(run, batches))
+        for expected, got in zip(serial, concurrent):
+            np.testing.assert_array_equal(expected, got)

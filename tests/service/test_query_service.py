@@ -1,0 +1,144 @@
+"""Unit tests for the query service: routing, engines, concurrency."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import Rect
+from repro.service.errors import ReleaseNotFound
+from repro.service.keys import ReleaseKey
+from repro.service.query_service import QueryService
+from repro.service.store import SynopsisStore
+
+N_POINTS = 2_000
+
+
+@pytest.fixture
+def service():
+    store = SynopsisStore(n_points=N_POINTS, dataset_budget=10.0)
+    return QueryService(store)
+
+
+def storage_rects(n, rng, scale=4):
+    """Random query rectangles inside the storage dataset's domain."""
+    from repro.datasets.registry import get_spec
+
+    spec = get_spec("storage")
+    domain = spec.make(n=16, rng=0).domain
+    return [
+        domain.random_rect(spec.q6_width / scale, spec.q6_height / scale, rng)
+        for _ in range(n)
+    ]
+
+
+class TestAnswer:
+    @pytest.mark.parametrize("method", ["UG", "AG"])
+    def test_matches_scalar_synopsis_answers(self, service, method, rng):
+        key = ReleaseKey("storage", method, epsilon=1.0, seed=0)
+        synopsis, _ = service.store.build(key)
+        rects = storage_rects(50, rng)
+        result = service.answer(key, rects)
+        expected = np.array([synopsis.answer(rect) for rect in rects])
+        np.testing.assert_allclose(result.estimates, expected, rtol=1e-9, atol=1e-7)
+
+    def test_accepts_boxes_array(self, service):
+        key = ReleaseKey("storage", "UG", epsilon=1.0, seed=0)
+        service.store.build(key)
+        boxes = np.array([[-100.0, 30.0, -80.0, 45.0], [-80.0, 25.0, -70.0, 35.0]])
+        result = service.answer(key, boxes)
+        assert result.estimates.shape == (2,)
+
+    def test_accepts_plain_list_rows(self, service):
+        # The README quickstart passes bare lists, not Rects or arrays.
+        key = ReleaseKey("storage", "UG", epsilon=1.0, seed=0)
+        service.store.build(key)
+        result = service.answer(key, [[-110.0, 30.0, -80.0, 45.0]], clamp=True)
+        assert result.estimates.shape == (1,)
+
+    def test_clamp_zeroes_negative_estimates(self, service, rng):
+        # A deliberately over-fine grid: most cells are empty, so small
+        # queries read nearly pure Laplace noise and often go negative.
+        from repro.core.uniform_grid import UniformGridBuilder
+        from repro.service import keys as keys_module
+        from repro.service.keys import register_method
+
+        register_method("UG64", lambda: UniformGridBuilder(grid_size=64))
+        try:
+            key = ReleaseKey("storage", "UG64", epsilon=0.5, seed=0)
+            service.store.build(key)
+            rects = storage_rects(200, rng, scale=32)
+            raw = service.answer(key, rects).estimates
+            clamped = service.answer(key, rects, clamp=True).estimates
+            assert raw.min() < 0
+            assert clamped.min() >= 0.0
+            np.testing.assert_array_equal(clamped, np.maximum(raw, 0.0))
+        finally:
+            keys_module._METHODS.pop("UG64", None)
+
+    def test_unreleased_key_raises(self, service):
+        with pytest.raises(ReleaseNotFound):
+            service.answer(
+                ReleaseKey("storage", "AG", epsilon=1.0, seed=9),
+                np.array([[0.0, 0.0, 1.0, 1.0]]),
+            )
+
+    def test_result_payload_shape(self, service, rng):
+        key = ReleaseKey("storage", "AG", epsilon=1.0, seed=0)
+        service.store.build(key)
+        payload = service.answer(key, storage_rects(3, rng)).to_payload()
+        assert payload["count"] == 3
+        assert len(payload["estimates"]) == 3
+        assert payload["key"]["method"] == "AG"
+        assert payload["elapsed_ms"] >= 0
+
+
+class TestEngineCache:
+    def test_engine_reused_across_batches(self, service, rng):
+        key = ReleaseKey("storage", "AG", epsilon=1.0, seed=0)
+        service.store.build(key)
+        first = service.engine_for(key)
+        service.answer(key, storage_rects(5, rng))
+        assert service.engine_for(key) is first
+        assert service.stats()["engines_cached"] == 1
+
+    def test_engine_rebuilt_after_forced_rebuild(self, service):
+        key = ReleaseKey("storage", "AG", epsilon=1.0, seed=0)
+        service.store.build(key)
+        before = service.engine_for(key)
+        service.store.build(key, force=True)
+        assert service.engine_for(key) is not before
+
+    def test_concurrent_engine_for_builds_one_engine(self, service):
+        key = ReleaseKey("storage", "AG", epsilon=1.0, seed=0)
+        service.store.build(key)
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            engines = list(pool.map(lambda _: service.engine_for(key), range(8)))
+        assert len({id(engine) for engine in engines}) == 1
+
+    def test_engines_for_evicted_keys_are_pruned(self):
+        store = SynopsisStore(n_points=N_POINTS, max_entries=1, dataset_budget=10.0)
+        service = QueryService(store)
+        k1 = ReleaseKey("storage", "UG", epsilon=1.0, seed=1)
+        k2 = ReleaseKey("storage", "UG", epsilon=1.0, seed=2)
+        store.build(k1)
+        service.engine_for(k1)
+        store.build(k2)  # evicts k1 from the store
+        service.engine_for(k2)  # lookup prunes k1's engine too
+        assert service.stats()["engines_cached"] == 1
+
+
+class TestConcurrency:
+    def test_concurrent_batches_against_one_cached_synopsis(self, service, rng):
+        key = ReleaseKey("storage", "AG", epsilon=1.0, seed=0)
+        service.store.build(key)
+        batches = [storage_rects(40, rng) for _ in range(16)]
+        serial = [service.answer(key, batch).estimates for batch in batches]
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            concurrent = list(
+                pool.map(lambda batch: service.answer(key, batch).estimates, batches)
+            )
+        for expected, got in zip(serial, concurrent):
+            np.testing.assert_array_equal(expected, got)
+        assert service.stats()["queries_answered"] == 2 * 16 * 40

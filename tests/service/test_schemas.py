@@ -1,0 +1,99 @@
+"""Unit tests for HTTP request parsing and validation."""
+
+import numpy as np
+import pytest
+
+from repro.service.errors import ValidationError
+from repro.service.schemas import (
+    MAX_BATCH_SIZE,
+    parse_build_request,
+    parse_query_request,
+)
+
+GOOD_KEY = {"dataset": "storage", "method": "AG", "epsilon": 1.0, "seed": 0}
+
+
+class TestBuildRequest:
+    def test_minimal(self):
+        request = parse_build_request(dict(GOOD_KEY))
+        assert request.key.slug() == "storage_AG_eps1.0_seed0"
+        assert request.force is False
+
+    def test_force_flag(self):
+        assert parse_build_request({**GOOD_KEY, "force": True}).force is True
+
+    def test_non_object_body(self):
+        with pytest.raises(ValidationError, match="JSON object"):
+            parse_build_request([1, 2, 3])
+
+    def test_missing_fields_named(self):
+        with pytest.raises(ValidationError, match="epsilon, seed"):
+            parse_build_request({"dataset": "storage", "method": "AG"})
+
+    @pytest.mark.parametrize(
+        "field,value,match",
+        [
+            ("dataset", 7, "'dataset' must be a string"),
+            ("method", None, "'method' must be a string"),
+            ("epsilon", "1.0", "'epsilon' must be a number"),
+            ("epsilon", True, "'epsilon' must be a number"),
+            ("seed", 1.5, "'seed' must be an integer"),
+            ("seed", True, "'seed' must be an integer"),
+            ("force", "yes", "'force' must be a boolean"),
+        ],
+    )
+    def test_bad_types_rejected(self, field, value, match):
+        with pytest.raises(ValidationError, match=match):
+            parse_build_request({**GOOD_KEY, field: value})
+
+    def test_unknown_names_rejected_via_key_validation(self):
+        with pytest.raises(ValidationError, match="unknown dataset"):
+            parse_build_request({**GOOD_KEY, "dataset": "atlantis"})
+
+
+class TestQueryRequest:
+    def test_minimal(self):
+        request = parse_query_request(
+            {**GOOD_KEY, "rects": [[0.0, 0.0, 1.0, 2.0]]}
+        )
+        np.testing.assert_array_equal(
+            request.boxes, np.array([[0.0, 0.0, 1.0, 2.0]])
+        )
+        assert request.clamp is False
+
+    def test_clamp_flag(self):
+        request = parse_query_request(
+            {**GOOD_KEY, "rects": [[0, 0, 1, 1]], "clamp": True}
+        )
+        assert request.clamp is True
+
+    @pytest.mark.parametrize("rects", [None, [], "boxes", 42])
+    def test_missing_or_empty_rects(self, rects):
+        payload = dict(GOOD_KEY)
+        if rects is not None:
+            payload["rects"] = rects
+        with pytest.raises(ValidationError, match="'rects'"):
+            parse_query_request(payload)
+
+    def test_wrong_row_width(self):
+        with pytest.raises(ValidationError, match="exactly 4 numbers"):
+            parse_query_request({**GOOD_KEY, "rects": [[0, 0, 1]]})
+
+    def test_non_numeric_rows(self):
+        with pytest.raises(ValidationError, match="only numbers"):
+            parse_query_request({**GOOD_KEY, "rects": [[0, 0, "a", 1]]})
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValidationError, match="finite"):
+            parse_query_request(
+                {**GOOD_KEY, "rects": [[0.0, 0.0, float("inf"), 1.0]]}
+            )
+
+    def test_inverted_rect_rejected(self):
+        with pytest.raises(ValidationError, match="x_lo <= x_hi"):
+            parse_query_request({**GOOD_KEY, "rects": [[1.0, 0.0, 0.0, 1.0]]})
+
+    def test_oversized_batch_rejected(self):
+        rects = [[0.0, 0.0, 1.0, 1.0]] * (MAX_BATCH_SIZE + 1)
+        with pytest.raises(ValidationError, match="exceeds the per-request"):
+            parse_query_request({**GOOD_KEY, "rects": rects})

@@ -1,0 +1,96 @@
+"""Tests for the ``python -m repro serve`` entry point."""
+
+import pytest
+
+from repro.experiments.cli import main as repro_main
+from repro.service.cli import build_parser, main as serve_main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8731
+        assert args.store_dir is None
+        assert args.dataset_budget is None  # resolved in main(): 4.0 / 1.0
+
+    def test_help_exits_cleanly(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--help"])
+        assert excinfo.value.code == 0
+
+
+class TestSmoke:
+    def test_smoke_round_trip(self, capsys):
+        """The acceptance path: serve starts, answers a batched rectangle
+        query against a cached AG synopsis over HTTP, and refuses the
+        over-budget rebuild."""
+        assert serve_main(["--smoke", "--n-points", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke test passed" in out
+        assert "BudgetRefused" in out
+
+    def test_smoke_reachable_through_repro_main(self, capsys):
+        assert repro_main(["serve", "--smoke", "--n-points", "2000"]) == 0
+        assert "smoke test passed" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("budget", ["2.5", "0.5"])
+    def test_smoke_honours_explicit_budget(self, capsys, budget):
+        code = serve_main(
+            ["--smoke", "--n-points", "2000", "--dataset-budget", budget]
+        )
+        assert code == 0
+        assert "smoke test passed" in capsys.readouterr().out
+
+    def test_smoke_twice_against_same_store_dir(self, tmp_path, capsys):
+        for _ in range(2):
+            code = serve_main(
+                ["--smoke", "--n-points", "2000", "--store-dir", str(tmp_path)]
+            )
+            assert code == 0
+        assert capsys.readouterr().out.count("smoke test passed") == 2
+
+    def test_smoke_against_store_dir_with_larger_persisted_budget(
+        self, tmp_path, capsys
+    ):
+        # A prior non-smoke server persisted a 4.0 ledger; the smoke run
+        # (default budget 1.0) must drain the larger persisted total
+        # instead of giving up after one refusal attempt.
+        code = serve_main(
+            [
+                "--smoke", "--n-points", "2000",
+                "--store-dir", str(tmp_path), "--dataset-budget", "4.0",
+            ]
+        )
+        assert code == 0
+        code = serve_main(
+            ["--smoke", "--n-points", "2000", "--store-dir", str(tmp_path)]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.count("smoke test passed") == 2
+
+
+class TestPreload:
+    def test_preload_builds_before_serving(self, tmp_path, capsys):
+        code = serve_main(
+            [
+                "--smoke", "--n-points", "2000",
+                "--store-dir", str(tmp_path),
+                "--preload", "storage_UG_eps0.25_seed1",
+            ]
+        )
+        assert code == 0
+        assert "preloaded storage_UG_eps0.25_seed1 (built)" in capsys.readouterr().out
+        assert (tmp_path / "storage_UG_eps0.25_seed1.npz").exists()
+
+    def test_malformed_preload_slug_fails_fast(self):
+        from repro.service.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            serve_main(["--smoke", "--preload", "garbage"])
+
+
+class TestExperimentCliStillWorks:
+    def test_list_mentions_serve(self, capsys):
+        assert repro_main(["list"]) == 0
+        assert "serve" in capsys.readouterr().out
