@@ -4,11 +4,12 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: help test bench-quick serve serve-smoke quickstart
+.PHONY: help test bench-quick bench-engine serve serve-smoke quickstart
 
 help:
 	@echo "make test         run the full unit/property test suite (tier-1)"
 	@echo "make bench-quick  every paper experiment at quick scale, one report"
+	@echo "make bench-engine engine perf benches only; refreshes BENCH_*.json"
 	@echo "make serve        start the synopsis HTTP server on port 8731"
 	@echo "make serve-smoke  build + query + budget-refusal round trip over HTTP"
 	@echo "make quickstart   run examples/quickstart.py"
@@ -18,6 +19,9 @@ test:
 
 bench-quick:
 	$(PYTHON) -m repro suite
+
+bench-engine:
+	$(PYTHON) -m pytest benchmarks/bench_engine_perf.py benchmarks/bench_flat_kernel.py -q
 
 serve:
 	$(PYTHON) -m repro serve

@@ -9,7 +9,7 @@ is what keeps the experiment suite's wall-clock practical.
 import time
 
 import numpy as np
-from conftest import write_report
+from conftest import write_json_report, write_report
 
 from repro.core.uniform_grid import UniformGridBuilder
 from repro.datasets.synthetic import make_landmark
@@ -57,5 +57,19 @@ def test_batch_engine_speed_and_exactness(benchmark):
             ],
             title="Batch query engine performance (128x128 grid)",
         ),
+    )
+    write_json_report(
+        "engine",
+        {
+            "workload": {
+                "grid": "128x128 uniform",
+                "n_queries": int(len(rects)),
+                "dataset": "landmark-60k",
+                "epsilon": 1.0,
+            },
+            "per_query_loop_seconds": round(loop_seconds, 6),
+            "batch_engine_seconds": round(batch_seconds, 6),
+            "speedup": round(speedup, 2),
+        },
     )
     assert speedup > 5.0

@@ -10,6 +10,7 @@ output capture; EXPERIMENTS.md summarises them against the paper.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -27,12 +28,31 @@ BENCH_QUERIES = 100
 
 OUTPUT_DIR = Path(__file__).parent / "output"
 
+#: Machine-readable perf results land at the repo root as
+#: ``BENCH_<name>.json`` so the performance trajectory is tracked in-tree
+#: from PR to PR (human-readable tables still go to ``OUTPUT_DIR``).
+REPO_ROOT = Path(__file__).parent.parent
+
 
 def write_report(name: str, text: str) -> Path:
     """Persist a rendered experiment report next to the benchmarks."""
     OUTPUT_DIR.mkdir(exist_ok=True)
     path = OUTPUT_DIR / f"{name}.txt"
     path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+def write_json_report(name: str, payload: dict) -> Path:
+    """Persist machine-readable perf numbers as ``BENCH_<name>.json``.
+
+    ``payload`` must be JSON-serialisable (coerce numpy scalars with
+    ``float``/``int`` first).  The file is committed at the repo root so
+    each PR's perf numbers are diffable history, not throwaway output.
+    """
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
     return path
 
 

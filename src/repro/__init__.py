@@ -51,7 +51,11 @@ from repro.datasets.synthetic import (
     make_uniform,
 )
 from repro.privacy.budget import BudgetExceededError, PrivacyBudget
-from repro.queries.engine import BatchQueryEngine, make_engine
+from repro.queries.engine import (
+    BatchQueryEngine,
+    FlatAdaptiveGridEngine,
+    make_engine,
+)
 from repro.queries.metrics import ErrorProfile, absolute_errors, relative_errors
 from repro.queries.workload import QueryWorkload
 from repro.service import QueryService, ReleaseKey, SynopsisStore
@@ -67,6 +71,7 @@ __all__ = [
     "Domain2D",
     "ErrorProfile",
     "ExactGridBuilder",
+    "FlatAdaptiveGridEngine",
     "GeoDataset",
     "GridLayout",
     "HierarchicalGridBuilder",

@@ -20,11 +20,33 @@ identically:
 
 Queries are answered from the inferred leaf counts with the uniformity
 assumption, exactly like UG but with per-region granularity.
+
+Flat CSR release layout
+-----------------------
+
+The released state is stored *flat*: per-first-level-cell sub-grid sizes
+and totals as ``(m1x, m1y)`` arrays plus one concatenated ``leaf_counts``
+vector indexed by CSR offsets.  Cell ``(i, j)`` (flat id ``c = i * m1y +
+j``, row-major) owns the slice ``leaf_counts[leaf_offsets[c] :
+leaf_offsets[c + 1]]``, which is its ``m2 x m2`` count matrix in C order.
+Both the builder (one pass over the data, one noise draw, one inference
+pass) and the batch query engine
+(:class:`~repro.queries.engine.FlatAdaptiveGridEngine`) operate directly
+on these arrays — no per-cell Python objects anywhere on the hot paths.
+
+Noise-stream-order invariant
+----------------------------
+
+``fit`` draws all level-2 Laplace noise in a *single* ``rng.laplace``
+call over the concatenated leaf vector.  Because numpy's Laplace sampler
+consumes exactly one uniform variate per output element, this is
+bit-identical to the historical per-cell loop that drew one ``(m2, m2)``
+block per cell in row-major first-level order — the release distribution
+is unchanged, draw for draw.  :meth:`AdaptiveGridBuilder.fit_percell_reference`
+retains the pre-flat-kernel loop so tests can pin this invariant down.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 import numpy as np
 
@@ -41,12 +63,12 @@ from repro.core.guidelines import (
 from repro.core.synopsis import Synopsis, SynopsisBuilder
 from repro.privacy.budget import PrivacyBudget
 from repro.privacy.mechanisms import ensure_rng, noisy_histogram
-from repro.core.geometry import Domain2D as _Domain2D
 
 __all__ = [
     "AdaptiveGridSynopsis",
     "AdaptiveGridBuilder",
     "two_level_inference",
+    "two_level_inference_flat",
 ]
 
 
@@ -86,31 +108,106 @@ def two_level_inference(
     return combined, adjusted
 
 
-@dataclass
-class _CellRelease:
-    """Released state for one first-level cell: its sub-grid and counts."""
+def _segment_sums(
+    values: np.ndarray, offsets: np.ndarray, sizes: np.ndarray
+) -> np.ndarray:
+    """Per-cell sums of a CSR leaf vector, grouped by sub-grid size.
 
-    layout: GridLayout
-    counts: np.ndarray  # inferred leaf counts u', shape = layout.shape
-    inferred_total: float  # v'
+    Cells sharing an ``m2`` are gathered into a ``(k, m2^2)`` matrix and
+    summed along the last axis, which uses the same pairwise summation as
+    ``np.sum`` over one cell's counts — so the result is bit-identical to
+    the per-cell loop, unlike ``np.add.reduceat`` (sequential).  The
+    number of distinct ``m2`` values is small, so the grouping loop is
+    O(distinct sizes), not O(cells).
+    """
+    sums = np.empty(sizes.size)
+    for size in np.unique(sizes):
+        cells = np.flatnonzero(sizes == size)
+        gather = offsets[cells][:, None] + np.arange(size * size)[None, :]
+        sums[cells] = values[gather].sum(axis=1)
+    return sums
+
+
+def two_level_inference_flat(
+    parent_counts: np.ndarray,
+    leaf_counts: np.ndarray,
+    leaf_offsets: np.ndarray,
+    cell_sizes: np.ndarray,
+    alpha: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Constrained inference for *all* first-level cells at once.
+
+    Vectorised equivalent of calling :func:`two_level_inference` per cell:
+    ``parent_counts`` is the flat vector of noisy level-1 counts,
+    ``leaf_counts`` the concatenated noisy leaf vector with CSR
+    ``leaf_offsets``, and ``cell_sizes`` each cell's ``m2``.  Returns
+    ``(combined_totals, adjusted_leaves)`` in the same flat layout,
+    bit-identical to the scalar loop (see :func:`_segment_sums`).
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    parent_counts = np.asarray(parent_counts, dtype=float)
+    leaf_counts = np.asarray(leaf_counts, dtype=float)
+    n_leaves = (cell_sizes * cell_sizes).astype(float)
+    leaf_sums = _segment_sums(leaf_counts, leaf_offsets, cell_sizes)
+    a2m2 = alpha**2 * n_leaves
+    b2 = (1.0 - alpha) ** 2
+    combined = (a2m2 * parent_counts + b2 * leaf_sums) / (b2 + a2m2)
+    per_leaf_shift = (combined - leaf_sums) / n_leaves
+    adjusted = leaf_counts + np.repeat(per_leaf_shift, cell_sizes * cell_sizes)
+    return combined, adjusted
 
 
 class AdaptiveGridSynopsis(Synopsis):
-    """The released state of AG: per-first-level-cell sub-grids and counts."""
+    """The released state of AG, stored as flat CSR arrays.
+
+    ``cell_sizes[i, j]`` is the ``m2`` of first-level cell ``(i, j)``,
+    ``cell_totals[i, j]`` its inferred total ``v'``, and ``leaf_counts``
+    the concatenation of every cell's ``m2 x m2`` inferred leaf matrix
+    (C order) in row-major first-level order; ``leaf_offsets`` are the
+    CSR offsets (``leaf_offsets[c] .. leaf_offsets[c + 1]`` bounds flat
+    cell ``c = i * m1y + j``).
+    """
 
     def __init__(
         self,
         domain: Domain2D,
         epsilon: float,
         level1: GridLayout,
-        cells: list[list[_CellRelease]],
+        cell_sizes: np.ndarray,
+        cell_totals: np.ndarray,
+        leaf_counts: np.ndarray,
     ):
         super().__init__(domain, epsilon)
-        if len(cells) != level1.mx or any(len(col) != level1.my for col in cells):
-            raise ValueError("cells must be an mx x my nested list")
+        cell_sizes = np.asarray(cell_sizes, dtype=np.int64)
+        cell_totals = np.asarray(cell_totals, dtype=float)
+        leaf_counts = np.asarray(leaf_counts, dtype=float)
+        if cell_sizes.shape != level1.shape or cell_totals.shape != level1.shape:
+            raise ValueError(
+                f"cell_sizes/cell_totals must have the first-level shape "
+                f"{level1.shape}, got {cell_sizes.shape} / {cell_totals.shape}"
+            )
+        if cell_sizes.size and cell_sizes.min() < 1:
+            raise ValueError("cell_sizes must all be >= 1")
+        sizes_flat = cell_sizes.reshape(-1)
+        offsets = np.zeros(sizes_flat.size + 1, dtype=np.int64)
+        np.cumsum(sizes_flat * sizes_flat, out=offsets[1:])
+        if leaf_counts.ndim != 1 or leaf_counts.size != offsets[-1]:
+            raise ValueError(
+                f"leaf_counts must be a flat vector of {int(offsets[-1])} "
+                f"values, got shape {leaf_counts.shape}"
+            )
         self._level1 = level1
-        self._cells = cells
-        self._engine = None  # lazy AdaptiveGridEngine for answer_many
+        self._cell_sizes = cell_sizes
+        self._cell_totals = cell_totals
+        self._leaf_counts = leaf_counts
+        self._leaf_offsets = offsets
+        self._engine = None  # lazy FlatAdaptiveGridEngine for answer_many
+        self._layouts: dict[tuple[int, int], GridLayout] = {}  # cell_layout cache
+
+    # ------------------------------------------------------------------
+    # Flat released state (what engines and serialisation consume)
+    # ------------------------------------------------------------------
 
     @property
     def level1_layout(self) -> GridLayout:
@@ -120,37 +217,83 @@ class AdaptiveGridSynopsis(Synopsis):
     def first_level_size(self) -> tuple[int, int]:
         return self._level1.shape
 
+    @property
+    def cell_sizes(self) -> np.ndarray:
+        """Per-first-level-cell sub-grid sizes ``m2``, shape ``(m1x, m1y)``."""
+        return self._cell_sizes
+
+    @property
+    def cell_totals(self) -> np.ndarray:
+        """Per-first-level-cell inferred totals ``v'``, shape ``(m1x, m1y)``."""
+        return self._cell_totals
+
+    @property
+    def leaf_counts(self) -> np.ndarray:
+        """Concatenated inferred leaf counts (CSR values vector)."""
+        return self._leaf_counts
+
+    @property
+    def leaf_offsets(self) -> np.ndarray:
+        """CSR offsets into :attr:`leaf_counts`, length ``m1x * m1y + 1``."""
+        return self._leaf_offsets
+
+    # ------------------------------------------------------------------
+    # Per-cell accessors (views into the flat arrays)
+    # ------------------------------------------------------------------
+
+    def _flat_cell(self, i: int, j: int) -> int:
+        mx, my = self._level1.shape
+        if not (0 <= i < mx and 0 <= j < my):
+            raise IndexError(f"cell ({i}, {j}) out of range for {mx} x {my} grid")
+        return i * my + j
+
     def cell_grid_size(self, i: int, j: int) -> int:
         """The ``m2`` chosen for first-level cell ``(i, j)``."""
-        return self._cells[i][j].layout.mx
+        self._flat_cell(i, j)
+        return int(self._cell_sizes[i, j])
 
     def cell_layout(self, i: int, j: int) -> GridLayout:
-        """The sub-grid layout of first-level cell ``(i, j)``."""
-        return self._cells[i][j].layout
+        """The sub-grid layout of first-level cell ``(i, j)``.
+
+        Layouts are derived from the flat arrays on first use and cached:
+        the scalar ``answer`` path visits the same border cells over and
+        over, and a :class:`GridLayout` construction (two ``linspace``
+        edge arrays plus validation) is not free.
+        """
+        layout = self._layouts.get((i, j))
+        if layout is None:
+            rect = self._level1.cell_rect(i, j)
+            m2 = self.cell_grid_size(i, j)
+            cell_domain = Domain2D(rect.x_lo, rect.y_lo, rect.x_hi, rect.y_hi)
+            layout = GridLayout(cell_domain, m2, m2)
+            self._layouts[(i, j)] = layout
+        return layout
 
     def cell_counts(self, i: int, j: int) -> np.ndarray:
-        """Inferred leaf counts of first-level cell ``(i, j)``."""
-        return self._cells[i][j].counts
+        """Inferred leaf counts of first-level cell ``(i, j)`` (a view)."""
+        c = self._flat_cell(i, j)
+        m2 = int(self._cell_sizes[i, j])
+        start = self._leaf_offsets[c]
+        return self._leaf_counts[start : start + m2 * m2].reshape(m2, m2)
 
     def cell_total(self, i: int, j: int) -> float:
         """Inferred total count v' of first-level cell ``(i, j)``."""
-        return self._cells[i][j].inferred_total
+        self._flat_cell(i, j)
+        return float(self._cell_totals[i, j])
 
     def leaf_cell_count(self) -> int:
-        """Total number of leaf cells across all sub-grids."""
-        return sum(
-            release.layout.n_cells for column in self._cells for release in column
-        )
+        """Total number of leaf cells across all sub-grids (O(1))."""
+        return int(self._leaf_offsets[-1])
 
-    #: Batches at least this large are routed through the vectorised
-    #: per-cell prefix-sum engine; smaller ones use the scalar path, whose
-    #: per-query cost only visits the overlapping first-level cells.
+    #: Batches at least this large are routed through the vectorised flat
+    #: CSR engine; smaller ones use the scalar path, whose per-query cost
+    #: only visits the overlapping first-level cells.
     _BATCH_ENGINE_THRESHOLD = 16
 
     def answer_many(self, rects: list[Rect] | np.ndarray) -> np.ndarray:
-        """Batch answering via per-cell prefix-sum engines (see
-        :class:`~repro.queries.engine.AdaptiveGridEngine`); equal to the
-        scalar path up to floating-point rounding.  Accepts a list of
+        """Batch answering via the flat CSR prefix-sum engine (see
+        :class:`~repro.queries.engine.FlatAdaptiveGridEngine`); equal to
+        the scalar path up to floating-point rounding.  Accepts a list of
         :class:`Rect`, a list of 4-number rows, or an ``(n, 4)`` array."""
         if not isinstance(rects, (list, np.ndarray)):
             rects = list(rects)
@@ -163,18 +306,13 @@ class AdaptiveGridSynopsis(Synopsis):
             # Match the engine path's semantics for bare bounds rows:
             # inverted bounds contribute 0 instead of raising, so
             # behaviour does not depend on batch size or input kind.
-            from repro.queries.engine import rects_to_boxes
+            from repro.queries.engine import scalar_answer_batch
 
-            boxes = rects_to_boxes(rects)
-            out = np.zeros(boxes.shape[0])
-            for idx, row in enumerate(boxes):
-                if row[2] >= row[0] and row[3] >= row[1]:
-                    out[idx] = self.answer(Rect(*row))
-            return out
+            return scalar_answer_batch(self, rects)
         if self._engine is None:
-            from repro.queries.engine import AdaptiveGridEngine
+            from repro.queries.engine import make_engine
 
-            self._engine = AdaptiveGridEngine(self)
+            self._engine = make_engine(self)
         return self._engine.answer_batch(rects)
 
     def answer(self, rect: Rect) -> float:
@@ -187,19 +325,23 @@ class AdaptiveGridSynopsis(Synopsis):
         total = 0.0
         for di, i in enumerate(range(x_slice.start, x_slice.stop)):
             for dj, j in enumerate(range(y_slice.start, y_slice.stop)):
-                release = self._cells[i][j]
                 if fx[di] >= 1.0 and fy[dj] >= 1.0:
-                    total += release.inferred_total
+                    total += float(self._cell_totals[i, j])
                 else:
-                    total += release.layout.estimate(release.counts, rect)
+                    total += self.cell_layout(i, j).estimate(
+                        self.cell_counts(i, j), rect
+                    )
         return total
 
     def synthetic_points(self, rng: np.random.Generator) -> np.ndarray:
         rng = ensure_rng(rng)
+        mx, my = self._level1.shape
         clouds = []
-        for column in self._cells:
-            for release in column:
-                cloud = release.layout.sample_points(release.counts, rng)
+        for i in range(mx):
+            for j in range(my):
+                cloud = self.cell_layout(i, j).sample_points(
+                    self.cell_counts(i, j), rng
+                )
                 if cloud.size:
                     clouds.append(cloud)
         if not clouds:
@@ -256,6 +398,49 @@ class AdaptiveGridBuilder(SynopsisBuilder):
         m1 = self.first_level_size if self.first_level_size is not None else "auto"
         return f"A{m1},{self.c2:g}"
 
+    def _level1_layout(self, dataset: GeoDataset, epsilon: float) -> GridLayout:
+        """The first-level grid: fixed ``m1`` or the paper's auto rule."""
+        m1 = self.first_level_size
+        if m1 is None:
+            m1 = adaptive_first_level_size(dataset.size, epsilon, self.c)
+        return GridLayout(dataset.domain, m1, m1)
+
+    def _release_level1(
+        self,
+        exact_level1: np.ndarray,
+        epsilon: float,
+        rng: np.random.Generator,
+        budget: PrivacyBudget,
+    ) -> tuple[np.ndarray, float]:
+        """Noisy level-1 counts plus the alpha-split budget accounting.
+
+        The single place both build paths spend the budget: ``alpha *
+        epsilon`` on the level-1 histogram, then ``(1 - alpha) * epsilon``
+        for level 2 — one histogram release per *disjoint* first-level
+        cell, so parallel composition prices all of level 2 at one spend.
+        """
+        level2_epsilon = (1.0 - self.alpha) * epsilon
+        noisy_level1 = noisy_histogram(
+            exact_level1, self.alpha * epsilon, rng,
+            budget=budget, label="level-1 counts",
+        )
+        budget.spend(level2_epsilon, "level-2 counts (parallel over cells)")
+        return noisy_level1, level2_epsilon
+
+    def _cell_grid_sizes(
+        self, noisy_level1: np.ndarray, level2_epsilon: float
+    ) -> np.ndarray:
+        """Guideline 2 for every first-level cell at once.
+
+        Element-wise identical to :func:`guideline2_cell_grid_size` capped
+        at ``max_cell_grid_size`` (same expression order, so the same IEEE
+        roundings).
+        """
+        noisy = np.maximum(0.0, noisy_level1.reshape(-1).astype(float))
+        m2 = np.ceil(np.sqrt(noisy * level2_epsilon / self.c2))
+        m2 = np.maximum(1, m2.astype(np.int64))
+        return np.minimum(m2, self.max_cell_grid_size)
+
     def fit(
         self,
         dataset: GeoDataset,
@@ -263,77 +448,166 @@ class AdaptiveGridBuilder(SynopsisBuilder):
         rng: np.random.Generator,
         budget: PrivacyBudget | None = None,
     ) -> AdaptiveGridSynopsis:
+        """Build the release with single vectorised passes over all cells.
+
+        Noise-stream order (documented invariant, tested against
+        :meth:`fit_percell_reference`): level-1 noise first, then one
+        ``rng.laplace`` draw covering every leaf of every cell in
+        row-major first-level order — bit-identical to the historical
+        per-cell loop, which drew one ``(m2, m2)`` block at a time.
+        """
         rng = ensure_rng(rng)
         budget = self._budget(epsilon, budget)
 
-        m1 = self.first_level_size
-        if m1 is None:
-            m1 = adaptive_first_level_size(dataset.size, epsilon, self.c)
+        level1 = self._level1_layout(dataset, epsilon)
+        m1x, m1y = level1.shape
 
-        level1 = GridLayout(dataset.domain, m1, m1)
-        level1_epsilon = self.alpha * epsilon
-        level2_epsilon = (1.0 - self.alpha) * epsilon
+        # One pass over the points serves both levels: the level-1 cell ids
+        # feed the level-1 histogram *and* the leaf assignment below.  Both
+        # passes run in cache-sized chunks — the temporaries stay resident
+        # instead of streaming through memory, which roughly halves the
+        # per-point cost at service-scale N.  Chunking cannot change the
+        # result (elementwise ops, integer bincounts), and only the int64
+        # cell id per point is materialised whole.
+        points = np.asarray(dataset.points, dtype=float)
+        n_points = points.shape[0]
+        chunk = 32_768
+        cell_of_point = np.empty(n_points, dtype=np.int64)
+        for start in range(0, n_points, chunk):
+            stop = start + chunk
+            ix_c, iy_c = level1.cell_indices(points[start:stop])
+            np.add(ix_c * m1y, iy_c, out=cell_of_point[start:stop])
+        exact_level1 = (
+            np.bincount(cell_of_point, minlength=m1x * m1y)
+            .reshape(m1x, m1y)
+            .astype(float)
+        )
+        noisy_level1, level2_epsilon = self._release_level1(
+            exact_level1, epsilon, rng, budget
+        )
 
-        exact_level1 = level1.histogram(dataset.points)
-        noisy_level1 = noisy_histogram(
-            exact_level1, level1_epsilon, rng, budget=budget, label="level-1 counts"
+        sizes_flat = self._cell_grid_sizes(noisy_level1, level2_epsilon)
+        n_leaves = sizes_flat * sizes_flat
+        offsets = np.zeros(sizes_flat.size + 1, dtype=np.int64)
+        np.cumsum(n_leaves, out=offsets[1:])
+        total_leaves = int(offsets[-1])
+
+        # Global flat leaf index per point: the within-cell sub-index uses
+        # exactly the per-cell GridLayout binning expressions, so
+        # assignments match the per-cell histogram bit for bit.  Cell
+        # origins and extents come as flat-cell-indexed tables, so the
+        # inner loop does one L1-resident gather per quantity instead of
+        # recovering level-1 indices and re-gathering edges.
+        cell_x_lo, cell_y_lo, cell_w, cell_h = level1.flat_cell_geometry()
+        leaf_of_point = np.empty(n_points, dtype=np.int64)
+        for start in range(0, n_points, chunk):
+            stop = start + chunk
+            cell_c = cell_of_point[start:stop]
+            m2_pt = sizes_flat[cell_c]
+            x_rel = (points[start:stop, 0] - cell_x_lo[cell_c]) / cell_w[cell_c]
+            y_rel = (points[start:stop, 1] - cell_y_lo[cell_c]) / cell_h[cell_c]
+            sub_ix = np.clip((x_rel * m2_pt).astype(np.int64), 0, m2_pt - 1)
+            sub_iy = np.clip((y_rel * m2_pt).astype(np.int64), 0, m2_pt - 1)
+            np.add(
+                offsets[cell_c] + sub_ix * m2_pt, sub_iy,
+                out=leaf_of_point[start:stop],
+            )
+        # One bincount over all points (not per chunk, which would cost
+        # O(n_chunks * total_leaves) in accumulation alone at service N).
+        exact_leaves = np.bincount(leaf_of_point, minlength=total_leaves).astype(
+            float
+        )
+
+        # All level-2 noise in one draw (see the module docstring for why
+        # this preserves the per-cell stream order bit for bit).
+        scale = 1.0 / level2_epsilon
+        noisy_leaves = exact_leaves + rng.laplace(0.0, scale, size=total_leaves)
+
+        parent_flat = noisy_level1.reshape(-1)
+        if self.constrained_inference:
+            totals_flat, leaves = two_level_inference_flat(
+                parent_flat, noisy_leaves, offsets, sizes_flat, self.alpha
+            )
+        else:
+            totals_flat = _segment_sums(noisy_leaves, offsets, sizes_flat)
+            leaves = noisy_leaves
+
+        return AdaptiveGridSynopsis(
+            dataset.domain,
+            epsilon,
+            level1,
+            sizes_flat.reshape(m1x, m1y),
+            totals_flat.reshape(m1x, m1y),
+            leaves,
+        )
+
+    def fit_percell_reference(
+        self,
+        dataset: GeoDataset,
+        epsilon: float,
+        rng: np.random.Generator,
+        budget: PrivacyBudget | None = None,
+    ) -> AdaptiveGridSynopsis:
+        """The pre-flat-kernel per-cell build loop, retained as reference.
+
+        Produces a bit-identical release to :meth:`fit` given the same
+        ``rng`` state: one histogram, one ``(m2, m2)`` Laplace draw, and
+        one :func:`two_level_inference` call per first-level cell, in
+        row-major order.  Used by the equivalence tests and by
+        ``benchmarks/bench_flat_kernel.py`` to measure the flat kernel's
+        speedup; not intended for production use.
+        """
+        rng = ensure_rng(rng)
+        budget = self._budget(epsilon, budget)
+        level1 = self._level1_layout(dataset, epsilon)
+        m1x, m1y = level1.shape
+        noisy_level1, level2_epsilon = self._release_level1(
+            level1.histogram(dataset.points), epsilon, rng, budget
         )
 
         # Pre-bucket the points by first-level cell so the second pass over
         # the data is a single group-by rather than m1^2 rectangle scans.
         ix, iy = level1.cell_indices(dataset.points)
-        order = np.argsort(ix * m1 + iy, kind="stable")
+        order = np.argsort(ix * m1y + iy, kind="stable")
         sorted_points = dataset.points[order]
-        flat_cells = (ix * m1 + iy)[order]
-        boundaries = np.searchsorted(flat_cells, np.arange(m1 * m1 + 1))
+        flat_cells = (ix * m1y + iy)[order]
+        boundaries = np.searchsorted(flat_cells, np.arange(m1x * m1y + 1))
 
-        # One histogram release per disjoint first-level cell: parallel
-        # composition means level 2 costs (1 - alpha) * eps in total.
-        budget.spend(level2_epsilon, "level-2 counts (parallel over cells)")
-
-        cells: list[list[_CellRelease]] = []
-        for i in range(m1):
-            column: list[_CellRelease] = []
-            for j in range(m1):
-                flat = i * m1 + j
-                cell_points = sorted_points[boundaries[flat] : boundaries[flat + 1]]
-                release = self._release_cell(
-                    level1.cell_rect(i, j),
-                    cell_points,
-                    float(noisy_level1[i, j]),
-                    level2_epsilon,
-                    rng,
-                )
-                column.append(release)
-            cells.append(column)
-
-        return AdaptiveGridSynopsis(dataset.domain, epsilon, level1, cells)
-
-    def _release_cell(
-        self,
-        cell_rect: Rect,
-        cell_points: np.ndarray,
-        noisy_level1_count: float,
-        level2_epsilon: float,
-        rng: np.random.Generator,
-    ) -> _CellRelease:
-        """Build the second-level release for one first-level cell."""
-        m2 = guideline2_cell_grid_size(noisy_level1_count, level2_epsilon, self.c2)
-        m2 = min(m2, self.max_cell_grid_size)
-        cell_domain = _Domain2D(
-            cell_rect.x_lo, cell_rect.y_lo, cell_rect.x_hi, cell_rect.y_hi
-        )
-        layout = GridLayout(cell_domain, m2, m2)
-        exact = layout.histogram(cell_points)
+        sizes = np.empty((m1x, m1y), dtype=np.int64)
+        totals = np.empty((m1x, m1y))
+        leaf_chunks: list[np.ndarray] = []
         scale = 1.0 / level2_epsilon
-        noisy = exact + rng.laplace(0.0, scale, size=exact.shape)
+        for i in range(m1x):
+            for j in range(m1y):
+                flat = i * m1y + j
+                cell_points = sorted_points[boundaries[flat] : boundaries[flat + 1]]
+                noisy_parent = float(noisy_level1[i, j])
+                m2 = guideline2_cell_grid_size(
+                    noisy_parent, level2_epsilon, self.c2
+                )
+                m2 = min(m2, self.max_cell_grid_size)
+                rect = level1.cell_rect(i, j)
+                layout = GridLayout(
+                    Domain2D(rect.x_lo, rect.y_lo, rect.x_hi, rect.y_hi), m2, m2
+                )
+                exact = layout.histogram(cell_points)
+                noisy = exact + rng.laplace(0.0, scale, size=exact.shape)
+                if self.constrained_inference:
+                    inferred_total, adjusted = two_level_inference(
+                        noisy_parent, noisy.reshape(-1), self.alpha
+                    )
+                else:
+                    inferred_total = float(noisy.sum())
+                    adjusted = noisy.reshape(-1)
+                sizes[i, j] = m2
+                totals[i, j] = inferred_total
+                leaf_chunks.append(np.asarray(adjusted, dtype=float))
 
-        if self.constrained_inference:
-            inferred_total, adjusted = two_level_inference(
-                noisy_level1_count, noisy.reshape(-1), self.alpha
-            )
-            counts = adjusted.reshape(layout.shape)
-        else:
-            inferred_total = float(noisy.sum())
-            counts = noisy
-        return _CellRelease(layout, counts, inferred_total)
+        return AdaptiveGridSynopsis(
+            dataset.domain,
+            epsilon,
+            level1,
+            sizes,
+            totals,
+            np.concatenate(leaf_chunks),
+        )

@@ -96,6 +96,25 @@ class GridLayout:
             self._x_edges[i + 1], self._y_edges[j + 1],
         )
 
+    def flat_cell_geometry(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-cell origins and extents, indexed by flat cell id.
+
+        Returns ``(x_lo, y_lo, width, height)`` arrays of length
+        ``n_cells`` for cells in row-major order (``c = i * my + j``).
+        Extents are the same edge subtractions a per-cell
+        :class:`GridLayout` would perform (``edges[i + 1] - edges[i]``,
+        not the constant ``domain extent / m``), so binning and coverage
+        computed from these stay bit-identical to per-cell layouts —
+        the invariant the flat AG kernel relies on.
+        """
+        x_lo = np.repeat(self._x_edges[:-1], self._my)
+        y_lo = np.tile(self._y_edges[:-1], self._mx)
+        width = np.repeat(np.diff(self._x_edges), self._my)
+        height = np.tile(np.diff(self._y_edges), self._mx)
+        return x_lo, y_lo, width, height
+
     def cell_indices(self, points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Map ``(n, 2)`` points to integer cell indices ``(ix, iy)``.
 

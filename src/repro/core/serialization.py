@@ -19,7 +19,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.baselines.tree import SpatialNode, TreeSynopsis
-from repro.core.adaptive_grid import AdaptiveGridSynopsis, _CellRelease
+from repro.core.adaptive_grid import AdaptiveGridSynopsis
 from repro.core.geometry import Domain2D, Rect
 from repro.core.grid import GridLayout
 from repro.core.synopsis import Synopsis
@@ -117,24 +117,16 @@ def _unpack_uniform(data: dict[str, np.ndarray]) -> UniformGridSynopsis:
 
 
 def _pack_adaptive(synopsis: AdaptiveGridSynopsis) -> dict[str, np.ndarray]:
+    # The synopsis already *is* the archive layout: flat CSR arrays.
     m1x, m1y = synopsis.first_level_size
-    sizes = np.empty((m1x, m1y), dtype=np.int64)
-    totals = np.empty((m1x, m1y))
-    leaf_chunks = []
-    for i in range(m1x):
-        for j in range(m1y):
-            m2 = synopsis.cell_grid_size(i, j)
-            sizes[i, j] = m2
-            totals[i, j] = synopsis.cell_total(i, j)
-            leaf_chunks.append(synopsis.cell_counts(i, j).reshape(-1))
     return {
         "kind": np.array("adaptive_grid"),
         "domain": _domain_array(synopsis.domain),
         "epsilon": np.array(synopsis.epsilon),
         "first_level": np.array([m1x, m1y]),
-        "cell_sizes": sizes,
-        "cell_totals": totals,
-        "leaf_counts": np.concatenate(leaf_chunks),
+        "cell_sizes": synopsis.cell_sizes,
+        "cell_totals": synopsis.cell_totals,
+        "leaf_counts": synopsis.leaf_counts,
     }
 
 
@@ -145,24 +137,12 @@ def _unpack_adaptive(data: dict[str, np.ndarray]) -> AdaptiveGridSynopsis:
     sizes = np.asarray(data["cell_sizes"], dtype=np.int64)
     totals = np.asarray(data["cell_totals"], dtype=float)
     flat_leaves = np.asarray(data["leaf_counts"], dtype=float)
-
-    cells: list[list[_CellRelease]] = []
-    offset = 0
-    for i in range(m1x):
-        column: list[_CellRelease] = []
-        for j in range(m1y):
-            m2 = int(sizes[i, j])
-            rect = level1.cell_rect(i, j)
-            cell_domain = Domain2D(rect.x_lo, rect.y_lo, rect.x_hi, rect.y_hi)
-            layout = GridLayout(cell_domain, m2, m2)
-            n_leaves = m2 * m2
-            counts = flat_leaves[offset : offset + n_leaves].reshape(m2, m2)
-            offset += n_leaves
-            column.append(_CellRelease(layout, counts, float(totals[i, j])))
-        cells.append(column)
-    if offset != flat_leaves.size:
-        raise ValueError("corrupt adaptive-grid archive: leaf count mismatch")
-    return AdaptiveGridSynopsis(domain, float(data["epsilon"]), level1, cells)
+    try:
+        return AdaptiveGridSynopsis(
+            domain, float(data["epsilon"]), level1, sizes, totals, flat_leaves
+        )
+    except ValueError as exc:
+        raise ValueError(f"corrupt adaptive-grid archive: {exc}") from exc
 
 
 # ----------------------------------------------------------------------

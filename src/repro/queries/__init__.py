@@ -4,7 +4,10 @@ from repro.queries.engine import (
     AdaptiveGridEngine,
     BatchQueryEngine,
     FallbackEngine,
+    FlatAdaptiveGridEngine,
     make_engine,
+    rects_to_boxes,
+    scalar_answer_batch,
 )
 from repro.queries.metrics import (
     ErrorProfile,
@@ -24,7 +27,10 @@ __all__ = [
     "BatchQueryEngine",
     "ErrorProfile",
     "FallbackEngine",
+    "FlatAdaptiveGridEngine",
     "make_engine",
+    "rects_to_boxes",
+    "scalar_answer_batch",
     "QuerySize",
     "QueryWorkload",
     "SizedQuerySet",

@@ -23,13 +23,16 @@ evaluates a whole batch with eight vectorised gathers.
 delegates to it automatically for large batches.
 
 For adaptive grids, whose released state is a different sub-grid per
-first-level cell, :class:`AdaptiveGridEngine` runs one prefix-sum engine
-per cell and sums the per-cell contributions — valid because constrained
-inference makes each cell's leaf sum equal its released total, so a fully
-covered cell contributes the same amount either way.  :func:`make_engine`
-picks the right engine for any supported synopsis, which is how the
-serving layer (:mod:`repro.service`) reuses one prepared engine across
-many incoming query batches.
+first-level cell, :class:`FlatAdaptiveGridEngine` holds *one*
+concatenated prefix-sum buffer (CSR layout, mirroring the synopsis's
+flat leaf vector) and answers a batch by expanding it into
+(query, touched-cell) pairs evaluated in a single vectorised pass — no
+Python loop over cells or queries.  :class:`AdaptiveGridEngine`, the
+historical one-``BatchQueryEngine``-per-cell composite, is retained as
+the reference implementation for equivalence tests and benchmarks.
+:func:`make_engine` picks the right engine for any supported synopsis,
+which is how the serving layer (:mod:`repro.service`) reuses one
+prepared engine across many incoming query batches.
 """
 
 from __future__ import annotations
@@ -39,7 +42,15 @@ import numpy as np
 from repro.core.geometry import Rect
 from repro.core.grid import GridLayout
 
-__all__ = ["BatchQueryEngine", "AdaptiveGridEngine", "FallbackEngine", "make_engine"]
+__all__ = [
+    "BatchQueryEngine",
+    "FlatAdaptiveGridEngine",
+    "AdaptiveGridEngine",
+    "FallbackEngine",
+    "make_engine",
+    "rects_to_boxes",
+    "scalar_answer_batch",
+]
 
 
 def rects_to_boxes(rects: "list[Rect] | np.ndarray") -> np.ndarray:
@@ -48,14 +59,15 @@ def rects_to_boxes(rects: "list[Rect] | np.ndarray") -> np.ndarray:
     Accepts a list of :class:`Rect`, a list of 4-number sequences, or an
     already-shaped array of ``(x_lo, y_lo, x_hi, y_hi)`` rows.
     """
-    if not isinstance(rects, np.ndarray):
+    if isinstance(rects, np.ndarray):
+        boxes = np.asarray(rects, dtype=float)
+    else:
         rects = list(rects)  # materialise: generators must survive the scan
         if all(hasattr(rect, "as_tuple") for rect in rects):
             return np.array(
                 [rect.as_tuple() for rect in rects], dtype=float
             ).reshape(-1, 4)
-        rects = np.asarray(rects, dtype=float)
-    boxes = np.asarray(rects, dtype=float)
+        boxes = np.asarray(rects, dtype=float)
     if boxes.size == 0:
         if boxes.ndim == 2 and boxes.shape[1] != 4:
             raise ValueError(f"expected (n, 4) array, got {boxes.shape}")
@@ -63,6 +75,23 @@ def rects_to_boxes(rects: "list[Rect] | np.ndarray") -> np.ndarray:
     if boxes.ndim != 2 or boxes.shape[1] != 4:
         raise ValueError(f"expected (n, 4) array, got {boxes.shape}")
     return boxes
+
+
+def scalar_answer_batch(synopsis, rects: "list[Rect] | np.ndarray") -> np.ndarray:
+    """Answer a batch through a synopsis's scalar ``answer`` loop.
+
+    The shared fallback path: same contract as the vectorised engines —
+    inverted rows (``x_hi < x_lo`` or ``y_hi < y_lo``) answer 0 instead
+    of raising from the :class:`Rect` constructor.  Used by
+    :class:`FallbackEngine` and by ``AdaptiveGridSynopsis.answer_many``'s
+    small-batch branch.
+    """
+    boxes = rects_to_boxes(rects)
+    out = np.zeros(boxes.shape[0])
+    for idx, row in enumerate(boxes):
+        if row[2] >= row[0] and row[3] >= row[1]:
+            out[idx] = synopsis.answer(Rect(*row))
+    return out
 
 
 class BatchQueryEngine:
@@ -145,20 +174,289 @@ class BatchQueryEngine:
         return estimate
 
 
+class FlatAdaptiveGridEngine:
+    """Flat CSR batch engine for ``AdaptiveGridSynopsis`` releases.
+
+    Preprocessing concatenates every first-level cell's zero-bordered
+    ``(m2+1) x (m2+1)`` prefix-sum matrix into one flat buffer indexed by
+    CSR offsets, alongside per-cell geometry vectors (origin and sub-cell
+    extents) and a level-1 prefix sum over the released cell totals.  A
+    batch is answered by:
+
+    1. computing each query's touched first-level index ranges in one
+       vectorised pass,
+    2. answering the *fully covered* interior block of each query O(1)
+       from the level-1 totals prefix (four corners on the ``(m1+1) x
+       (m1+1)`` matrix) — valid because each cell's leaf sum equals its
+       released total ``v'`` (constrained inference enforces ``sum(u')
+       == v'``; without inference the total is defined as the leaf sum),
+    3. expanding only the partial border ring into (query, cell) pairs
+       with ``repeat`` / ``arange`` arithmetic (no Python loop, no
+       ``np.argwhere``) — O(perimeter) pairs per query instead of
+       O(area),
+    4. converting every pair's clipped query to its cell's local cell
+       units and evaluating the four-corner inclusion-exclusion — each
+       corner a bilinear interpolation over four gathered prefix values
+       — in one vectorised pass over all pairs, and
+    5. summing pair estimates back per query with ``np.bincount``.
+
+    Work scales with border cells *touched*, and the only per-batch
+    Python-level cost is a fixed number of numpy calls.  Answers equal
+    the scalar two-level path (and the per-cell
+    :class:`AdaptiveGridEngine`) up to floating-point rounding: partial
+    cells use the same uniformity estimator, and fully covered cells
+    contribute ``v'`` exactly as ``AdaptiveGridSynopsis.answer`` does.
+    """
+
+    def __init__(self, synopsis):
+        m1x, m1y = synopsis.first_level_size
+        self._domain = synopsis.domain
+        self._shape = (m1x, m1y)
+        sizes = synopsis.cell_sizes.reshape(-1)
+        leaf_offsets = synopsis.leaf_offsets
+        leaves = synopsis.leaf_counts
+
+        # CSR prefix buffer: cell c owns the (sizes[c]+1)^2 block at
+        # prefix_offsets[c], a row-major zero-bordered prefix-sum matrix.
+        prefix_sizes = (sizes + 1) ** 2
+        prefix_offsets = np.zeros(sizes.size + 1, dtype=np.int64)
+        np.cumsum(prefix_sizes, out=prefix_offsets[1:])
+        prefix = np.zeros(int(prefix_offsets[-1]))
+        # Vectorised per distinct m2: gather all same-size cells into one
+        # (k, m2, m2) tensor, cumsum both axes, scatter into the buffer.
+        for size in np.unique(sizes):
+            cells = np.flatnonzero(sizes == size)
+            src = leaf_offsets[cells][:, None] + np.arange(size * size)[None, :]
+            blocks = leaves[src].reshape(-1, size, size)
+            cums = blocks.cumsum(axis=1).cumsum(axis=2)
+            inner = (
+                np.arange(1, size + 1)[:, None] * (size + 1)
+                + np.arange(1, size + 1)[None, :]
+            ).reshape(-1)
+            dst = prefix_offsets[cells][:, None] + inner[None, :]
+            prefix[dst] = cums.reshape(cells.size, -1)
+
+        # Per-cell geometry from the shared level-1 layout, so the local
+        # conversions match the per-cell GridLayout expressions (the same
+        # tables the builder bins with).
+        layout = synopsis.level1_layout
+        x_edges, y_edges = layout.x_edges, layout.y_edges
+        cell_x_lo, cell_y_lo, cell_w, cell_h = layout.flat_cell_geometry()
+
+        # Level-1 prefix over released cell totals: fully covered interior
+        # blocks are answered from this in O(1) per query.
+        totals_prefix = np.zeros((m1x + 1, m1y + 1))
+        np.cumsum(
+            np.cumsum(synopsis.cell_totals, axis=0), axis=1,
+            out=totals_prefix[1:, 1:],
+        )
+
+        self._sizes = sizes
+        self._prefix = prefix
+        self._prefix_offsets = prefix_offsets[:-1]
+        self._totals_prefix = totals_prefix
+        self._x_edges = x_edges
+        self._y_edges = y_edges
+        self._cell_x_lo = cell_x_lo
+        self._cell_y_lo = cell_y_lo
+        self._sub_w = cell_w / sizes
+        self._sub_h = cell_h / sizes
+
+    @property
+    def n_cells(self) -> int:
+        """Number of first-level cells covered by the CSR buffer."""
+        return int(self._sizes.size)
+
+    @property
+    def nbytes(self) -> int:
+        """In-memory footprint of the prepared buffers."""
+        arrays = (
+            self._sizes, self._prefix, self._prefix_offsets,
+            self._totals_prefix, self._x_edges, self._y_edges,
+            self._cell_x_lo, self._cell_y_lo, self._sub_w, self._sub_h,
+        )
+        return sum(a.nbytes for a in arrays)
+
+    def _corner(
+        self,
+        row: np.ndarray,
+        stride: np.ndarray,
+        tx: np.ndarray,
+        y0: np.ndarray,
+        ty: np.ndarray,
+    ) -> np.ndarray:
+        """Bilinearly interpolated prefix value per (query, cell) pair.
+
+        ``row`` is the flat index of prefix row ``x0`` in the pair's cell
+        block (``prefix_offsets[cell] + x0 * stride``); ``tx`` / ``ty``
+        the fractional parts of the already-decomposed local coordinates.
+        """
+        p = self._prefix
+        base = row + y0
+        p00 = p[base]
+        p10 = p[base + stride]
+        p01 = p[base + 1]
+        p11 = p[base + stride + 1]
+        return (
+            (1 - tx) * (1 - ty) * p00
+            + tx * (1 - ty) * p10
+            + (1 - tx) * ty * p01
+            + tx * ty * p11
+        )
+
+    def answer_batch(self, rects: list[Rect] | np.ndarray) -> np.ndarray:
+        """Uniformity estimates for every rectangle in the batch."""
+        boxes = rects_to_boxes(rects)
+        n = boxes.shape[0]
+        if boxes.size == 0:
+            return np.empty(0)
+        # Pre-clip to the domain once so every pair sees the same
+        # effective query the scalar path evaluates.
+        bounds = self._domain.bounds
+        clipped = np.empty_like(boxes)
+        clipped[:, 0] = np.clip(boxes[:, 0], bounds.x_lo, bounds.x_hi)
+        clipped[:, 1] = np.clip(boxes[:, 1], bounds.y_lo, bounds.y_hi)
+        clipped[:, 2] = np.clip(boxes[:, 2], bounds.x_lo, bounds.x_hi)
+        clipped[:, 3] = np.clip(boxes[:, 3], bounds.y_lo, bounds.y_hi)
+
+        # First-level index ranges per query.  Edge-exact bounds may
+        # over-include a neighbouring cell, which then contributes a
+        # zero-width (zero) estimate — harmless.  Inverted rows answer 0
+        # and are excluded from pair expansion entirely.
+        mx, my = self._shape
+        cell_w = self._domain.width / mx
+        cell_h = self._domain.height / my
+        valid = (clipped[:, 2] >= clipped[:, 0]) & (clipped[:, 3] >= clipped[:, 1])
+        q = np.flatnonzero(valid)
+        if q.size == 0:
+            return np.zeros(n)
+        i_lo = np.clip(((clipped[q, 0] - bounds.x_lo) / cell_w).astype(np.int64), 0, mx - 1)
+        i_hi = np.clip(((clipped[q, 2] - bounds.x_lo) / cell_w).astype(np.int64), 0, mx - 1)
+        j_lo = np.clip(((clipped[q, 1] - bounds.y_lo) / cell_h).astype(np.int64), 0, my - 1)
+        j_hi = np.clip(((clipped[q, 3] - bounds.y_lo) / cell_h).astype(np.int64), 0, my - 1)
+
+        # Fully covered interior block per query: cell column i is fully
+        # covered iff the query spans [x_edges[i], x_edges[i + 1]] (rows
+        # likewise), so the first/last full indices tighten the touched
+        # range by at most one on each side.  The block is answered O(1)
+        # from the level-1 totals prefix; when an axis has no full cells
+        # the block is marked empty past the touched range so the border
+        # bands below degrade to the whole dense block.
+        fi_lo = i_lo + (clipped[q, 0] > self._x_edges[i_lo])
+        fi_hi = i_hi - (clipped[q, 2] < self._x_edges[i_hi + 1])
+        fj_lo = j_lo + (clipped[q, 1] > self._y_edges[j_lo])
+        fj_hi = j_hi - (clipped[q, 3] < self._y_edges[j_hi + 1])
+        no_full_x = fi_lo > fi_hi
+        no_full_y = fj_lo > fj_hi
+        fi_lo = np.where(no_full_x, i_hi + 1, fi_lo)
+        fi_hi = np.where(no_full_x, i_hi, fi_hi)
+        fj_lo = np.where(no_full_y, j_hi + 1, fj_lo)
+        fj_hi = np.where(no_full_y, j_hi, fj_hi)
+
+        out = np.zeros(n)
+        interior = ~(no_full_x | no_full_y)
+        if interior.any():
+            tp = self._totals_prefix
+            qi, a_lo, a_hi = q[interior], fi_lo[interior], fi_hi[interior]
+            b_lo, b_hi = fj_lo[interior], fj_hi[interior]
+            out[qi] = (
+                tp[a_hi + 1, b_hi + 1]
+                - tp[a_lo, b_hi + 1]
+                - tp[a_hi + 1, b_lo]
+                + tp[a_lo, b_lo]
+            )
+
+        # The partial border ring, as four disjoint rectangular bands
+        # (left / right columns full-height, bottom / top rows between
+        # them), expanded to (query, cell) pairs in row-major order via
+        # repeat / arange arithmetic.
+        band_q = np.concatenate([q, q, q, q])
+        band_i_lo = np.concatenate([i_lo, fi_hi + 1, fi_lo, fi_lo])
+        band_i_hi = np.concatenate([fi_lo - 1, i_hi, fi_hi, fi_hi])
+        band_j_lo = np.concatenate([j_lo, j_lo, j_lo, fj_hi + 1])
+        band_j_hi = np.concatenate([j_hi, j_hi, fj_lo - 1, j_hi])
+        nx = np.maximum(0, band_i_hi - band_i_lo + 1)
+        ny = np.maximum(0, band_j_hi - band_j_lo + 1)
+        k = nx * ny
+        occupied = k > 0
+        band_q = band_q[occupied]
+        band_i_lo, band_j_lo = band_i_lo[occupied], band_j_lo[occupied]
+        ny, k = ny[occupied], k[occupied]
+        total_pairs = int(k.sum())
+        if total_pairs == 0:
+            return out
+        pair_q = np.repeat(band_q, k)
+        starts = np.cumsum(k) - k
+        local = np.arange(total_pairs, dtype=np.int64) - np.repeat(starts, k)
+        ny_rep = np.repeat(ny, k)
+        di = local // ny_rep
+        dj = local - di * ny_rep
+        cell = (np.repeat(band_i_lo, k) + di) * my + (np.repeat(band_j_lo, k) + dj)
+
+        # Local cell-unit coordinates per pair — the same expressions the
+        # per-cell BatchQueryEngine evaluates, with gathered geometry.
+        sizes = self._sizes[cell]
+        size_f = sizes.astype(float)
+        x_lo_u = (clipped[pair_q, 0] - self._cell_x_lo[cell]) / self._sub_w[cell]
+        y_lo_u = (clipped[pair_q, 1] - self._cell_y_lo[cell]) / self._sub_h[cell]
+        x_hi_u = (clipped[pair_q, 2] - self._cell_x_lo[cell]) / self._sub_w[cell]
+        y_hi_u = (clipped[pair_q, 3] - self._cell_y_lo[cell]) / self._sub_h[cell]
+        x_lo_u = np.clip(x_lo_u, 0.0, size_f)
+        x_hi_u = np.clip(x_hi_u, 0.0, size_f)
+        y_lo_u = np.clip(y_lo_u, 0.0, size_f)
+        y_hi_u = np.clip(y_hi_u, 0.0, size_f)
+
+        # Zero-width pairs (edge-exact over-inclusion, degenerate clipped
+        # queries) contribute nothing — drop them before paying for the
+        # 16-gather corner evaluation.
+        keep = (x_hi_u > x_lo_u) & (y_hi_u > y_lo_u)
+        if not keep.all():
+            pair_q, cell, sizes = pair_q[keep], cell[keep], sizes[keep]
+            x_lo_u, x_hi_u = x_lo_u[keep], x_hi_u[keep]
+            y_lo_u, y_hi_u = y_lo_u[keep], y_hi_u[keep]
+            if pair_q.size == 0:
+                return out
+
+        # Decompose each local coordinate into integer cell + fraction
+        # once (each is reused by two corners of the inclusion-exclusion).
+        stride = sizes + 1
+        limit = sizes - 1
+        x0_lo = np.minimum(x_lo_u.astype(np.int64), limit)
+        x0_hi = np.minimum(x_hi_u.astype(np.int64), limit)
+        y0_lo = np.minimum(y_lo_u.astype(np.int64), limit)
+        y0_hi = np.minimum(y_hi_u.astype(np.int64), limit)
+        tx_lo = x_lo_u - x0_lo
+        tx_hi = x_hi_u - x0_hi
+        ty_lo = y_lo_u - y0_lo
+        ty_hi = y_hi_u - y0_hi
+        base = self._prefix_offsets[cell]
+        row_lo = base + x0_lo * stride
+        row_hi = base + x0_hi * stride
+        estimate = (
+            self._corner(row_hi, stride, tx_hi, y0_hi, ty_hi)
+            - self._corner(row_lo, stride, tx_lo, y0_hi, ty_hi)
+            - self._corner(row_hi, stride, tx_hi, y0_lo, ty_lo)
+            + self._corner(row_lo, stride, tx_lo, y0_lo, ty_lo)
+        )
+        out += np.bincount(pair_q, weights=estimate, minlength=n)
+        return out
+
+
 class AdaptiveGridEngine:
-    """Batch answering for :class:`~repro.core.adaptive_grid.AdaptiveGridSynopsis`.
+    """Per-cell composite engine for ``AdaptiveGridSynopsis`` (reference).
 
     One :class:`BatchQueryEngine` is prepared per first-level cell; a batch
     is answered by summing each cell engine's (domain-clipped) estimates.
-    This equals ``synopsis.answer`` up to floating-point rounding: partial
-    cells use the same uniformity estimator, and for fully covered cells
-    the leaf sum equals the released total ``v'`` (constrained inference
-    enforces ``sum(u') == v'``; without inference the total is defined as
-    the leaf sum).
+    This was the production AG engine before the flat CSR kernel
+    (:class:`FlatAdaptiveGridEngine`) replaced it; it is retained because
+    its per-cell structure mirrors the scalar definition directly, which
+    makes it the natural second opinion in equivalence tests and the
+    baseline in ``benchmarks/bench_flat_kernel.py``.
 
     Preprocessing is O(total leaf cells); each batch then costs one
-    vectorised pass per first-level cell instead of a Python-level loop
-    per query, which is the regime service traffic lives in.
+    vectorised pass per *touched* first-level cell (dispatch via a 2-D
+    difference array), which is a Python-level loop the flat engine
+    eliminates.
     """
 
     def __init__(self, synopsis):
@@ -241,24 +539,17 @@ class FallbackEngine:
         self._synopsis = synopsis
 
     def answer_batch(self, rects: list[Rect] | np.ndarray) -> np.ndarray:
-        boxes = rects_to_boxes(rects)
-        # Same contract as the grid engines: inverted rows answer 0
-        # instead of raising from the Rect constructor.
-        out = np.zeros(boxes.shape[0])
-        for idx, row in enumerate(boxes):
-            if row[2] >= row[0] and row[3] >= row[1]:
-                out[idx] = self._synopsis.answer(Rect(*row))
-        return out
+        return scalar_answer_batch(self._synopsis, rects)
 
 
 def make_engine(synopsis):
     """Build the fastest available batch engine for a released synopsis.
 
     Grid-backed synopses get prefix-sum engines (:class:`BatchQueryEngine`
-    for uniform grids, :class:`AdaptiveGridEngine` for adaptive grids);
-    anything else falls back to the scalar loop.  The returned object
-    exposes ``answer_batch(rects) -> np.ndarray`` and holds no reference
-    to raw data, so it can be cached and shared across threads.
+    for uniform grids, :class:`FlatAdaptiveGridEngine` for adaptive
+    grids); anything else falls back to the scalar loop.  The returned
+    object exposes ``answer_batch(rects) -> np.ndarray`` and holds no
+    reference to raw data, so it can be cached and shared across threads.
     """
     from repro.core.adaptive_grid import AdaptiveGridSynopsis
     from repro.core.uniform_grid import UniformGridSynopsis
@@ -266,5 +557,5 @@ def make_engine(synopsis):
     if isinstance(synopsis, UniformGridSynopsis):
         return BatchQueryEngine(synopsis.layout, synopsis.counts)
     if isinstance(synopsis, AdaptiveGridSynopsis):
-        return AdaptiveGridEngine(synopsis)
+        return FlatAdaptiveGridEngine(synopsis)
     return FallbackEngine(synopsis)

@@ -2,11 +2,13 @@
 
 :class:`QueryService` is the read path of the serving layer.  It keeps one
 prepared batch engine per release (built by
-:func:`~repro.queries.engine.make_engine`, prefix sums precomputed) and
-routes each incoming batch to the engine of the requested key.  Engines
-are pure functions of released state, so concurrent batches against the
-same release run without locking — only the engine-cache bookkeeping is
-guarded.
+:func:`~repro.queries.engine.make_engine`, prefix sums precomputed:
+:class:`~repro.queries.engine.BatchQueryEngine` for uniform grids, the
+flat CSR :class:`~repro.queries.engine.FlatAdaptiveGridEngine` for
+adaptive grids) and routes each incoming batch to the engine of the
+requested key.  Engines are pure functions of released state, so
+concurrent batches against the same release run without locking — only
+the engine-cache bookkeeping is guarded.
 
 Answering queries is post-processing of a released synopsis: it spends no
 privacy budget, and the service never sees raw data at all.

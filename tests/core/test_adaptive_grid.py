@@ -189,6 +189,109 @@ class TestAccuracy:
         assert synopsis.total() == pytest.approx(small_skewed.size, rel=0.2)
 
 
+class TestFlatKernel:
+    """The vectorised CSR build vs the retained per-cell reference loop."""
+
+    @pytest.mark.parametrize("constrained_inference", [True, False])
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_build_bit_identical_to_percell_reference(
+        self, small_skewed, constrained_inference, seed
+    ):
+        builder = AdaptiveGridBuilder(
+            first_level_size=8, constrained_inference=constrained_inference
+        )
+        flat = builder.fit(small_skewed, 1.0, np.random.default_rng(seed))
+        reference = builder.fit_percell_reference(
+            small_skewed, 1.0, np.random.default_rng(seed)
+        )
+        np.testing.assert_array_equal(flat.cell_sizes, reference.cell_sizes)
+        np.testing.assert_array_equal(flat.cell_totals, reference.cell_totals)
+        np.testing.assert_array_equal(flat.leaf_counts, reference.leaf_counts)
+
+    def test_noise_stream_order_invariant(self):
+        """One concatenated Laplace draw == per-cell draws, bit for bit.
+
+        This is the invariant that lets ``fit`` replace the per-cell noise
+        loop with a single ``rng.laplace`` call without changing the
+        released distribution (numpy's Laplace sampler consumes exactly
+        one uniform per output element).
+        """
+        sizes = [3, 1, 5, 2]
+        per_cell = np.random.default_rng(123)
+        chunks = [
+            per_cell.laplace(0.0, 2.0, size=(m2, m2)).reshape(-1) for m2 in sizes
+        ]
+        single = np.random.default_rng(123).laplace(
+            0.0, 2.0, size=sum(m2 * m2 for m2 in sizes)
+        )
+        np.testing.assert_array_equal(np.concatenate(chunks), single)
+
+    def test_csr_offsets_consistent(self, small_skewed, rng):
+        synopsis = AdaptiveGridBuilder(first_level_size=6).fit(
+            small_skewed, 1.0, rng
+        )
+        offsets = synopsis.leaf_offsets
+        sizes = synopsis.cell_sizes.reshape(-1)
+        assert offsets[0] == 0
+        np.testing.assert_array_equal(np.diff(offsets), sizes * sizes)
+        assert synopsis.leaf_counts.size == offsets[-1]
+
+    def test_leaf_cell_count_matches_offsets(self, small_skewed, rng):
+        synopsis = AdaptiveGridBuilder(first_level_size=5).fit(
+            small_skewed, 1.0, rng
+        )
+        expected = sum(
+            synopsis.cell_grid_size(i, j) ** 2 for i in range(5) for j in range(5)
+        )
+        assert synopsis.leaf_cell_count() == expected
+
+    def test_cell_counts_are_views_into_flat_vector(self, small_skewed, rng):
+        synopsis = AdaptiveGridBuilder(first_level_size=4).fit(
+            small_skewed, 1.0, rng
+        )
+        counts = synopsis.cell_counts(1, 2)
+        assert counts.base is synopsis.leaf_counts
+        m2 = synopsis.cell_grid_size(1, 2)
+        assert counts.shape == (m2, m2)
+
+    def test_constructor_validates_leaf_length(self, small_skewed, rng):
+        from repro.core.adaptive_grid import AdaptiveGridSynopsis
+        from repro.core.grid import GridLayout
+
+        level1 = GridLayout(small_skewed.domain, 2, 2)
+        sizes = np.full((2, 2), 2, dtype=np.int64)
+        totals = np.zeros((2, 2))
+        with pytest.raises(ValueError, match="leaf_counts"):
+            AdaptiveGridSynopsis(
+                small_skewed.domain, 1.0, level1, sizes, totals, np.zeros(3)
+            )
+
+    def test_constructor_validates_shapes_and_sizes(self, small_skewed):
+        from repro.core.adaptive_grid import AdaptiveGridSynopsis
+        from repro.core.grid import GridLayout
+
+        level1 = GridLayout(small_skewed.domain, 2, 2)
+        with pytest.raises(ValueError, match="first-level shape"):
+            AdaptiveGridSynopsis(
+                small_skewed.domain, 1.0, level1,
+                np.ones((3, 3), dtype=np.int64), np.zeros((3, 3)), np.zeros(9),
+            )
+        with pytest.raises(ValueError, match=">= 1"):
+            AdaptiveGridSynopsis(
+                small_skewed.domain, 1.0, level1,
+                np.zeros((2, 2), dtype=np.int64), np.zeros((2, 2)), np.zeros(0),
+            )
+
+    def test_empty_dataset_builds(self, rng):
+        from repro.core.dataset import GeoDataset
+        from repro.core.geometry import Domain2D
+
+        empty = GeoDataset(np.empty((0, 2)), Domain2D.unit(), name="empty")
+        synopsis = AdaptiveGridBuilder(first_level_size=3).fit(empty, 1.0, rng)
+        assert synopsis.leaf_cell_count() >= 9
+        assert np.isfinite(synopsis.total())
+
+
 class TestQueryMechanics:
     def test_empty_intersection(self, small_skewed, rng):
         synopsis = AdaptiveGridBuilder(first_level_size=4).fit(

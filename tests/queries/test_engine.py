@@ -11,7 +11,9 @@ from repro.queries.engine import (
     AdaptiveGridEngine,
     BatchQueryEngine,
     FallbackEngine,
+    FlatAdaptiveGridEngine,
     make_engine,
+    scalar_answer_batch,
 )
 
 
@@ -175,16 +177,123 @@ class TestAdaptiveGridEngine:
         assert synopsis._engine is None  # scalar path: no engine built
 
 
+class TestFlatAdaptiveGridEngine:
+    @pytest.mark.parametrize("constrained_inference", [True, False])
+    def test_matches_scalar_answers(self, small_skewed, rng, constrained_inference):
+        """The flat CSR pair expansion equals the scalar two-level path."""
+        synopsis = AdaptiveGridBuilder(
+            constrained_inference=constrained_inference
+        ).fit(small_skewed, 1.0, rng)
+        engine = FlatAdaptiveGridEngine(synopsis)
+        rects = random_rects(rng)
+        batch = engine.answer_batch(rects)
+        singles = np.array([synopsis.answer(rect) for rect in rects])
+        np.testing.assert_allclose(batch, singles, rtol=1e-9, atol=1e-7)
+
+    def test_matches_per_cell_reference_engine(self, small_skewed, rng):
+        """Flat engine and the retained composite engine agree."""
+        synopsis = AdaptiveGridBuilder(first_level_size=6).fit(
+            small_skewed, 1.0, rng
+        )
+        rects = random_rects(rng)
+        flat = FlatAdaptiveGridEngine(synopsis).answer_batch(rects)
+        reference = AdaptiveGridEngine(synopsis).answer_batch(rects)
+        np.testing.assert_allclose(flat, reference, rtol=1e-9, atol=1e-9)
+
+    def test_covers_every_first_level_cell(self, small_skewed, rng):
+        synopsis = AdaptiveGridBuilder(first_level_size=4).fit(
+            small_skewed, 1.0, rng
+        )
+        assert FlatAdaptiveGridEngine(synopsis).n_cells == 16
+
+    def test_empty_batch(self, small_skewed, rng):
+        synopsis = AdaptiveGridBuilder(first_level_size=3).fit(
+            small_skewed, 1.0, rng
+        )
+        assert FlatAdaptiveGridEngine(synopsis).answer_batch([]).shape == (0,)
+
+    def test_all_rows_inverted(self, small_skewed, rng):
+        synopsis = AdaptiveGridBuilder(first_level_size=3).fit(
+            small_skewed, 1.0, rng
+        )
+        engine = FlatAdaptiveGridEngine(synopsis)
+        out = engine.answer_batch(np.array([[0.9, 0.2, 0.1, 0.6]] * 3))
+        np.testing.assert_array_equal(out, np.zeros(3))
+
+    def test_inverted_row_does_not_corrupt_other_queries(self, small_skewed, rng):
+        synopsis = AdaptiveGridBuilder(first_level_size=4).fit(
+            small_skewed, 1.0, rng
+        )
+        engine = FlatAdaptiveGridEngine(synopsis)
+        good = [0.2, 0.2, 0.6, 0.6]
+        alone = engine.answer_batch(np.array([good]))[0]
+        assert alone != 0.0
+        mixed = engine.answer_batch(np.array([good, [0.9, 0.2, 0.1, 0.6]]))
+        assert mixed[1] == 0.0
+        assert mixed[0] == pytest.approx(alone)
+
+    def test_out_of_domain_and_degenerate(self, small_skewed, rng):
+        synopsis = AdaptiveGridBuilder(first_level_size=3).fit(
+            small_skewed, 1.0, rng
+        )
+        engine = FlatAdaptiveGridEngine(synopsis)
+        out = engine.answer_batch(
+            np.array(
+                [
+                    [5.0, 5.0, 6.0, 6.0],  # fully outside
+                    [0.3, 0.2, 0.3, 0.8],  # zero width
+                    [-1.0, -1.0, 2.0, 2.0],  # covers the whole domain
+                ]
+            )
+        )
+        assert out[0] == 0.0
+        assert out[1] == 0.0
+        assert out[2] == pytest.approx(synopsis.total())
+
+    def test_nbytes_positive(self, small_skewed, rng):
+        synopsis = AdaptiveGridBuilder(first_level_size=3).fit(
+            small_skewed, 1.0, rng
+        )
+        assert FlatAdaptiveGridEngine(synopsis).nbytes > 0
+
+
+class TestScalarAnswerBatch:
+    def test_matches_answer_loop(self, small_skewed, rng):
+        synopsis = UniformGridBuilder(grid_size=8).fit(small_skewed, 1.0, rng)
+        boxes = np.array([[0.1, 0.1, 0.5, 0.5], [0.0, 0.0, 1.0, 1.0]])
+        out = scalar_answer_batch(synopsis, boxes)
+        expected = np.array([synopsis.answer(Rect(*row)) for row in boxes])
+        np.testing.assert_allclose(out, expected, rtol=1e-12)
+
+    def test_inverted_rows_answer_zero(self, small_skewed, rng):
+        synopsis = UniformGridBuilder(grid_size=8).fit(small_skewed, 1.0, rng)
+        out = scalar_answer_batch(
+            synopsis, np.array([[0.9, 0.1, 0.1, 0.5], [0.1, 0.1, 0.5, 0.5]])
+        )
+        assert out[0] == 0.0
+        assert out[1] != 0.0
+
+    def test_fallback_engine_routes_through_helper(self, small_skewed, rng):
+        from repro.baselines.kd_tree import KDStandardBuilder
+
+        synopsis = KDStandardBuilder(depth=3).fit(small_skewed, 1.0, rng)
+        boxes = np.array([[0.1, 0.1, 0.6, 0.6]])
+        np.testing.assert_array_equal(
+            FallbackEngine(synopsis).answer_batch(boxes),
+            scalar_answer_batch(synopsis, boxes),
+        )
+
+
 class TestMakeEngine:
     def test_uniform_grid_gets_prefix_sum_engine(self, small_skewed, rng):
         synopsis = UniformGridBuilder(grid_size=8).fit(small_skewed, 1.0, rng)
         assert isinstance(make_engine(synopsis), BatchQueryEngine)
 
-    def test_adaptive_grid_gets_composite_engine(self, small_skewed, rng):
+    def test_adaptive_grid_gets_flat_engine(self, small_skewed, rng):
         synopsis = AdaptiveGridBuilder(first_level_size=3).fit(
             small_skewed, 1.0, rng
         )
-        assert isinstance(make_engine(synopsis), AdaptiveGridEngine)
+        assert isinstance(make_engine(synopsis), FlatAdaptiveGridEngine)
 
     def test_other_synopses_get_fallback(self, small_skewed, rng):
         from repro.baselines.kd_tree import KDStandardBuilder
