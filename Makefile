@@ -4,15 +4,16 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: help test bench-quick bench-engine serve serve-smoke quickstart
+.PHONY: help test bench-quick bench-engine bench-experiments serve serve-smoke quickstart
 
 help:
-	@echo "make test         run the full unit/property test suite (tier-1)"
-	@echo "make bench-quick  every paper experiment at quick scale, one report"
-	@echo "make bench-engine engine perf benches only; refreshes BENCH_*.json"
-	@echo "make serve        start the synopsis HTTP server on port 8731"
-	@echo "make serve-smoke  build + query + budget-refusal round trip over HTTP"
-	@echo "make quickstart   run examples/quickstart.py"
+	@echo "make test              run the full unit/property test suite (tier-1)"
+	@echo "make bench-quick       every paper experiment at quick scale, one report"
+	@echo "make bench-engine      engine perf benches only; refreshes BENCH_*.json"
+	@echo "make bench-experiments evaluation fast-path benches; refreshes BENCH_experiments.json"
+	@echo "make serve             start the synopsis HTTP server on port 8731"
+	@echo "make serve-smoke       build + query + budget-refusal round trip over HTTP"
+	@echo "make quickstart        run examples/quickstart.py"
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -22,6 +23,9 @@ bench-quick:
 
 bench-engine:
 	$(PYTHON) -m pytest benchmarks/bench_engine_perf.py benchmarks/bench_flat_kernel.py -q
+
+bench-experiments:
+	$(PYTHON) -m pytest benchmarks/bench_ground_truth.py -q
 
 serve:
 	$(PYTHON) -m repro serve

@@ -10,7 +10,7 @@ Paper shapes asserted (checkin and landmark, as in the figure):
 """
 
 import pytest
-from conftest import BENCH_N, BENCH_QUERIES, write_report
+from conftest import BENCH_N, BENCH_QUERIES, BENCH_WORKERS, write_report
 
 from repro.experiments import figure3
 
@@ -30,6 +30,7 @@ def test_figure3_panel(benchmark, dataset_name, epsilon):
             n_points=BENCH_N[dataset_name],
             queries_per_size=BENCH_QUERIES,
             seed=23,
+            n_workers=BENCH_WORKERS,
         ),
         rounds=1,
         iterations=1,

@@ -11,7 +11,7 @@ Paper shapes asserted:
 """
 
 import pytest
-from conftest import BENCH_N, BENCH_QUERIES, write_report
+from conftest import BENCH_N, BENCH_QUERIES, BENCH_WORKERS, write_report
 
 from repro.core.guidelines import adaptive_first_level_size, guideline1_grid_size
 from repro.experiments import figure4
@@ -34,6 +34,7 @@ def test_figure4_vary_m1(benchmark, dataset_name, epsilon):
             n_points=BENCH_N[dataset_name],
             queries_per_size=BENCH_QUERIES,
             seed=29,
+            n_workers=BENCH_WORKERS,
         ),
         rounds=1,
         iterations=1,
@@ -63,6 +64,7 @@ def test_figure4_vary_alpha_c2(benchmark, dataset_name, epsilon):
             n_points=setup_n,
             queries_per_size=BENCH_QUERIES,
             seed=31,
+            n_workers=BENCH_WORKERS,
         ),
         rounds=1,
         iterations=1,

@@ -9,7 +9,7 @@ Paper shapes asserted per dataset/epsilon:
 """
 
 import pytest
-from conftest import BENCH_N, BENCH_QUERIES, write_report
+from conftest import BENCH_N, BENCH_QUERIES, BENCH_WORKERS, write_report
 
 from repro.experiments import figure5
 
@@ -37,6 +37,7 @@ def test_figure5_panel(benchmark, dataset_name, epsilon):
             queries_per_size=BENCH_QUERIES,
             seed=41,
             sweep_steps=1,
+            n_workers=BENCH_WORKERS,
         ),
         rounds=1,
         iterations=1,

@@ -10,7 +10,7 @@ Paper shapes asserted:
 """
 
 import pytest
-from conftest import BENCH_N, BENCH_QUERIES, write_report
+from conftest import BENCH_N, BENCH_QUERIES, BENCH_WORKERS, write_report
 
 from repro.experiments import figure6
 
@@ -32,6 +32,7 @@ def test_figure6_panel(benchmark, dataset_name, epsilon):
             queries_per_size=BENCH_QUERIES,
             seed=43,
             sweep_steps=1,
+            n_workers=BENCH_WORKERS,
         ),
         rounds=1,
         iterations=1,

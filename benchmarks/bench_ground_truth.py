@@ -1,0 +1,191 @@
+"""Performance benchmark: the evaluation fast path.
+
+Not a paper figure — an engineering benchmark for the library itself,
+covering the two layers ISSUE 3 vectorised:
+
+* **ground truth**: ``GroundTruthIndex.count_batch`` (CSR bucket grid +
+  2-D prefix sum + filtered border ring) vs the scalar
+  ``count_many_scalar`` mask loop, on the paper's full per-dataset
+  workload shape (6 sizes x 200 queries = 1,200 rectangles) at
+  N in {60k, 250k, 1M}.  Counts must match exactly — the speedup is
+  free of any change in what is measured.
+* **trial runner**: ``evaluate_builder(..., n_workers=4)`` vs the serial
+  run for an 8-trial figure-style evaluation (KD-hybrid on the checkin
+  analogue, the heaviest per-trial builder in the suite), with the
+  pooled errors asserted bit-identical.
+
+Results are written to ``BENCH_experiments.json`` at the repo root so
+the perf trajectory is tracked in-tree.  The hard targets asserted here
+are the ISSUE 3 acceptance criteria: >= 10x for batch ground-truth
+counting at 1M points (including the one-off index build), and >= 3x
+wall-clock for the 8-trial parallel run — the latter is only asserted
+when the machine actually has >= 4 CPUs (a single-core box cannot show
+a wall-clock win; the JSON records ``cpu_count`` alongside the measured
+number so the context is never lost).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+from conftest import write_json_report, write_report
+
+from repro.baselines.kd_tree import KDHybridBuilder
+from repro.core.point_index import GroundTruthIndex
+from repro.datasets.synthetic import make_checkin, make_landmark
+from repro.experiments.report import format_table
+from repro.experiments.runner import evaluate_builder
+from repro.queries.workload import QueryWorkload
+
+#: Dataset sizes for the ground-truth sweep (the 1M row is the paper's
+#: largest-dataset regime and the acceptance target).
+GROUND_TRUTH_N = (60_000, 250_000, 1_000_000)
+ASSERT_N = 1_000_000
+
+#: The paper's per-dataset workload shape: 6 sizes x 200 queries.
+QUERIES_PER_SIZE = 200
+
+#: The parallel-runner configuration from the acceptance criteria.
+N_TRIALS = 8
+N_WORKERS = 4
+
+
+def _best_seconds(fn, rounds: int = 3) -> float:
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def test_ground_truth_index_vs_scalar_loop():
+    rows = []
+    results = {}
+    for n in GROUND_TRUTH_N:
+        dataset = make_landmark(n, rng=3)
+        workload = QueryWorkload.generate(
+            dataset, 20.0, 20.0, np.random.default_rng(11),
+            queries_per_size=QUERIES_PER_SIZE,
+        )
+        rects = workload.all_rects()
+
+        index = dataset.ground_truth_index()
+        fast = index.count_batch(rects)
+        slow = dataset.count_many_scalar(rects)
+        # The fast path must not change ground truth: exact equality.
+        np.testing.assert_array_equal(fast.astype(float), slow)
+
+        scalar_rounds = 1 if n >= ASSERT_N else 2
+        scalar_s = _best_seconds(
+            lambda: dataset.count_many_scalar(rects), rounds=scalar_rounds
+        )
+        batch_s = _best_seconds(lambda: index.count_batch(rects))
+        build_s = _best_seconds(
+            lambda: GroundTruthIndex(dataset.points, dataset.domain),
+            rounds=scalar_rounds,
+        )
+        batch_speedup = scalar_s / max(batch_s, 1e-9)
+        amortised_speedup = scalar_s / max(batch_s + build_s, 1e-9)
+        results[str(n)] = {
+            "n_points": n,
+            "n_queries": len(rects),
+            "resolution": index.resolution,
+            "scalar_s": scalar_s,
+            "index_build_s": build_s,
+            "index_batch_s": batch_s,
+            "batch_speedup": batch_speedup,
+            "amortised_speedup": amortised_speedup,
+        }
+        rows.append(
+            [
+                f"{n:,}", str(index.resolution), f"{scalar_s * 1e3:.1f}",
+                f"{build_s * 1e3:.1f}", f"{batch_s * 1e3:.1f}",
+                f"{batch_speedup:.1f}x", f"{amortised_speedup:.1f}x",
+            ]
+        )
+
+    table = format_table(
+        ["N", "m", "scalar ms", "build ms", "batch ms", "batch", "amortised"],
+        rows,
+    )
+    write_report("ground_truth_index", table)
+
+    # Acceptance: >= 10x for 1,200 queries at 1M points, even paying the
+    # one-off index build inside the measured time.
+    target = results[str(ASSERT_N)]
+    assert target["amortised_speedup"] >= 10.0, target
+
+    payload = _load_payload()
+    payload["ground_truth"] = results
+    write_json_report("experiments", payload)
+
+
+def test_parallel_runner_vs_serial():
+    dataset = make_checkin(150_000, rng=3)
+    workload = QueryWorkload.generate(
+        dataset, 90.0, 90.0, np.random.default_rng(7), queries_per_size=100
+    )
+    builder = KDHybridBuilder()
+
+    def run(n_workers):
+        return evaluate_builder(
+            builder, dataset, workload, 1.0,
+            n_trials=N_TRIALS, seed=13, n_workers=n_workers,
+        )
+
+    start = time.perf_counter()
+    serial = run(1)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    pooled = run(N_WORKERS)
+    parallel_s = time.perf_counter() - start
+
+    # The determinism contract: pooling must not change a single bit.
+    for label in serial.size_labels:
+        np.testing.assert_array_equal(
+            pooled.relative_by_size[label], serial.relative_by_size[label]
+        )
+        np.testing.assert_array_equal(
+            pooled.absolute_by_size[label], serial.absolute_by_size[label]
+        )
+
+    cpu_count = os.cpu_count() or 1
+    speedup = serial_s / max(parallel_s, 1e-9)
+    results = {
+        "builder": serial.label,
+        "n_trials": N_TRIALS,
+        "n_workers": N_WORKERS,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": speedup,
+        "cpu_count": cpu_count,
+        "bit_identical": True,
+    }
+    write_report(
+        "parallel_runner",
+        format_table(
+            ["trials", "workers", "cpus", "serial s", "parallel s", "speedup"],
+            [[str(N_TRIALS), str(N_WORKERS), str(cpu_count),
+              f"{serial_s:.2f}", f"{parallel_s:.2f}", f"{speedup:.2f}x"]],
+        ),
+    )
+
+    payload = _load_payload()
+    payload["parallel_runner"] = results
+    write_json_report("experiments", payload)
+
+    # A wall-clock win needs actual cores; on fewer than 4 CPUs the
+    # bit-identical assertion above is the meaningful check.
+    if cpu_count >= 4:
+        assert speedup >= 3.0, results
+
+
+def _load_payload() -> dict:
+    """Read the current BENCH_experiments.json (both tests update it)."""
+    path = Path(__file__).parent.parent / "BENCH_experiments.json"
+    if path.exists():
+        return json.loads(path.read_text(encoding="utf-8"))
+    return {}

@@ -7,7 +7,7 @@ of) the empirically best band, and the suggested AG m1 likewise.
 """
 
 import pytest
-from conftest import BENCH_N, BENCH_QUERIES, write_report
+from conftest import BENCH_N, BENCH_QUERIES, BENCH_WORKERS, write_report
 
 from repro.experiments import table2
 
@@ -29,6 +29,7 @@ def test_table2_dataset(benchmark, dataset_name):
             queries_per_size=BENCH_QUERIES,
             ladder_steps=2,
             seed=47,
+            n_workers=BENCH_WORKERS,
         ),
         rounds=1,
         iterations=1,

@@ -11,6 +11,7 @@ output capture; EXPERIMENTS.md summarises them against the paper.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import pytest
@@ -25,6 +26,11 @@ BENCH_N = {
 
 #: Queries per size (paper: 200).
 BENCH_QUERIES = 100
+
+#: Trial-runner processes for every experiment bench.  Parallel pooling
+#: is bit-identical to serial (see repro.experiments.runner), so this is
+#: purely a wall-clock knob; default serial, override via BENCH_WORKERS.
+BENCH_WORKERS = int(os.environ.get("BENCH_WORKERS", "1"))
 
 OUTPUT_DIR = Path(__file__).parent / "output"
 

@@ -4,6 +4,7 @@ from repro.core.adaptive_grid import AdaptiveGridBuilder, AdaptiveGridSynopsis
 from repro.core.dataset import GeoDataset
 from repro.core.geometry import Domain2D, Rect
 from repro.core.grid import GridLayout
+from repro.core.point_index import GroundTruthIndex
 from repro.core.postprocess import (
     apply_postprocess,
     clamp_nonnegative,
@@ -24,6 +25,7 @@ __all__ = [
     "Domain2D",
     "GeoDataset",
     "GridLayout",
+    "GroundTruthIndex",
     "Rect",
     "Synopsis",
     "SynopsisBuilder",

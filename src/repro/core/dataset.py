@@ -4,6 +4,12 @@ A :class:`GeoDataset` is an immutable bag of 2-D points together with the
 :class:`~repro.core.geometry.Domain2D` they live in.  It is the single
 input to every synopsis method, and also serves as the ground truth oracle
 (:meth:`GeoDataset.count_in`) when evaluating query error.
+
+Batched ground truth (:meth:`GeoDataset.count_many`) is served by a
+lazily built :class:`~repro.core.point_index.GroundTruthIndex` — a CSR
+bucket grid with a 2-D prefix sum — once the dataset and the batch are
+large enough to amortise the build; the scalar mask loop
+(:meth:`GeoDataset.count_many_scalar`) remains the equivalence reference.
 """
 
 from __future__ import annotations
@@ -13,9 +19,16 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.geometry import Domain2D, Rect
+from repro.core.geometry import Domain2D, Rect, rects_to_boxes
+from repro.core.point_index import GroundTruthIndex
 
 __all__ = ["GeoDataset"]
+
+#: Below this point count the scalar mask loop beats building an index.
+_INDEX_MIN_POINTS = 4096
+
+#: Below this batch size a one-off scalar loop beats building an index.
+_INDEX_MIN_BATCH = 16
 
 
 class GeoDataset:
@@ -57,6 +70,7 @@ class GeoDataset:
         self._points.setflags(write=False)
         self._domain = domain
         self._name = name
+        self._gt_index: GroundTruthIndex | None = None  # lazy, see count_many
 
     @classmethod
     def from_points(
@@ -121,6 +135,14 @@ class GeoDataset:
     def __repr__(self) -> str:
         return f"GeoDataset({self._name!r}, n={self.size}, domain={self._domain!r})"
 
+    def __getstate__(self) -> dict:
+        # The ground-truth index can be several times the point array's
+        # size; drop it so pickles (e.g. to trial-runner workers) stay
+        # lean.  It is rebuilt lazily on first count_many.
+        state = self.__dict__.copy()
+        state["_gt_index"] = None
+        return state
+
     def count_in(self, rect: Rect) -> int:
         """Exact number of points inside the closed rectangle ``rect``.
 
@@ -129,16 +151,62 @@ class GeoDataset:
         """
         return int(np.count_nonzero(rect.mask(self.xs, self.ys)))
 
+    def ground_truth_index(self) -> GroundTruthIndex:
+        """The dataset's CSR ground-truth index, built on first use.
+
+        The index is cached on the dataset (and rebuilt lazily after
+        unpickling — it never travels across process boundaries).
+        """
+        if self._gt_index is None:
+            self._gt_index = GroundTruthIndex(self._points, self._domain)
+        return self._gt_index
+
     def count_many(self, rects: list[Rect]) -> np.ndarray:
-        """Exact counts for a list of query rectangles."""
-        return np.array([self.count_in(rect) for rect in rects], dtype=float)
+        """Exact counts for a batch of query rectangles.
+
+        Large batches over large datasets are answered by the CSR
+        :class:`GroundTruthIndex` in one vectorised pass; small cases
+        fall back to the scalar mask loop, whose answers are identical
+        (see ``tests/properties/test_property_point_index.py``).
+        """
+        boxes = rects_to_boxes(rects)
+        use_index = self._gt_index is not None or (
+            self.size >= _INDEX_MIN_POINTS and boxes.shape[0] >= _INDEX_MIN_BATCH
+        )
+        if use_index:
+            return self.ground_truth_index().count_batch(boxes).astype(float)
+        return self.count_many_scalar(boxes)
+
+    def count_many_scalar(self, rects: list[Rect]) -> np.ndarray:
+        """The O(N)-per-query mask loop: the equivalence reference for
+        :class:`GroundTruthIndex`.
+
+        Accepts the same batch forms as the index path (a list of
+        :class:`Rect` or an ``(n, 4)`` array) with the same contract:
+        inverted rows count 0.
+        """
+        boxes = rects_to_boxes(rects)
+        out = np.zeros(boxes.shape[0])
+        for idx, (x_lo, y_lo, x_hi, y_hi) in enumerate(boxes):
+            if x_hi >= x_lo and y_hi >= y_lo:
+                out[idx] = self.count_in(Rect(x_lo, y_lo, x_hi, y_hi))
+        return out
 
     def subset(self, rect: Rect, name: str | None = None) -> "GeoDataset":
-        """Points falling inside ``rect``, with ``rect`` as the new domain."""
-        mask = rect.mask(self.xs, self.ys)
+        """Points falling inside ``rect``, with ``rect`` as the new domain.
+
+        Point order is preserved.  When the ground-truth index is
+        already built, membership comes from its bucket ring
+        (:meth:`GroundTruthIndex.indices_for`, sublinear in N) instead
+        of a full O(N) mask.
+        """
+        if self._gt_index is not None:
+            selected = self._points[self._gt_index.indices_for(rect)]
+        else:
+            selected = self._points[rect.mask(self.xs, self.ys)]
         sub_domain = Domain2D(rect.x_lo, rect.y_lo, rect.x_hi, rect.y_hi)
         return GeoDataset(
-            self._points[mask], sub_domain, name=name or f"{self._name}-subset"
+            selected, sub_domain, name=name or f"{self._name}-subset"
         )
 
     def sample(self, n: int, rng: np.random.Generator) -> "GeoDataset":

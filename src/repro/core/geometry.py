@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["Rect", "Domain2D", "interval_overlap"]
+__all__ = ["Rect", "Domain2D", "interval_overlap", "rects_to_boxes"]
 
 
 def interval_overlap(lo1: float, hi1: float, lo2: float, hi2: float) -> float:
@@ -29,6 +29,33 @@ def interval_overlap(lo1: float, hi1: float, lo2: float, hi2: float) -> float:
     the sense that an empty interval (``lo > hi``) yields zero overlap.
     """
     return max(0.0, min(hi1, hi2) - max(lo1, lo2))
+
+
+def rects_to_boxes(rects: "list[Rect] | np.ndarray") -> np.ndarray:
+    """Normalise a query batch to an ``(n, 4)`` float array.
+
+    Accepts a list of :class:`Rect`, a list of 4-number sequences, or an
+    already-shaped array of ``(x_lo, y_lo, x_hi, y_hi)`` rows.  The
+    single batch-normalisation used by the query engines
+    (:mod:`repro.queries.engine` re-exports it) and the ground-truth
+    index (:mod:`repro.core.point_index`).
+    """
+    if isinstance(rects, np.ndarray):
+        boxes = np.asarray(rects, dtype=float)
+    else:
+        rects = list(rects)  # materialise: generators must survive the scan
+        if all(hasattr(rect, "as_tuple") for rect in rects):
+            return np.array(
+                [rect.as_tuple() for rect in rects], dtype=float
+            ).reshape(-1, 4)
+        boxes = np.asarray(rects, dtype=float)
+    if boxes.size == 0:
+        if boxes.ndim == 2 and boxes.shape[1] != 4:
+            raise ValueError(f"expected (n, 4) array, got {boxes.shape}")
+        return boxes.reshape(0, 4)
+    if boxes.ndim != 2 or boxes.shape[1] != 4:
+        raise ValueError(f"expected (n, 4) array, got {boxes.shape}")
+    return boxes
 
 
 @dataclass(frozen=True)

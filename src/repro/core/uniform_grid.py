@@ -15,12 +15,15 @@ the default of 0.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.core.dataset import GeoDataset
 from repro.core.geometry import Domain2D, Rect
 from repro.core.grid import GridLayout
 from repro.core.guidelines import DEFAULT_C, guideline1_grid_size
+from repro.core.postprocess import POSTPROCESS_CHOICES, apply_postprocess
 from repro.core.synopsis import Synopsis, SynopsisBuilder
 from repro.privacy.budget import PrivacyBudget
 from repro.privacy.mechanisms import ensure_rng, noisy_count, noisy_histogram
@@ -112,8 +115,6 @@ class UniformGridBuilder(SynopsisBuilder):
         aspect_adaptive: bool = False,
         postprocess: str = "none",
     ):
-        from repro.core.postprocess import POSTPROCESS_CHOICES
-
         if grid_size is not None and grid_size < 1:
             raise ValueError(f"grid_size must be >= 1, got {grid_size}")
         if not 0.0 <= n_estimation_fraction < 1.0:
@@ -166,8 +167,6 @@ class UniformGridBuilder(SynopsisBuilder):
             exact, histogram_epsilon, rng, budget=budget, label="cell counts"
         )
         if self.postprocess != "none":
-            from repro.core.postprocess import apply_postprocess
-
             counts = apply_postprocess(counts, self.postprocess)
         return UniformGridSynopsis(dataset.domain, epsilon, layout, counts)
 
@@ -177,8 +176,6 @@ class UniformGridBuilder(SynopsisBuilder):
             return m, m
         # Keep the total cell count ~ m^2 while making cells square:
         # mx / my = width / height and mx * my = m^2.
-        import math
-
         aspect = domain.width / domain.height
         mx = max(1, round(m * math.sqrt(aspect)))
         my = max(1, round(m / math.sqrt(aspect)))

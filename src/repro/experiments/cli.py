@@ -79,6 +79,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--trials", type=int, default=1, help="independent fits to average over"
     )
     parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="processes for trial parallelism (0 = one per CPU; default: "
+        "serial, or the REPRO_WORKERS environment variable). Pooled "
+        "errors are bit-identical to the serial run for any value.",
+    )
     return parser
 
 
@@ -104,6 +110,7 @@ def main(argv: list[str] | None = None) -> int:
         n_points=args.n_points,
         queries_per_size=args.queries_per_size,
         seed=args.seed,
+        n_workers=args.workers,
     )
     if args.experiment == "figure1":
         report = figure1.run()
@@ -128,9 +135,13 @@ def main(argv: list[str] | None = None) -> int:
             args.dataset, args.epsilon, n_trials=args.trials, **common
         )
     elif args.experiment == "suite":
+        from dataclasses import replace
+
         from repro.experiments.suite import QUICK_SCALE, run_suite
 
-        report = run_suite(QUICK_SCALE)
+        report = run_suite(
+            replace(QUICK_SCALE, n_trials=args.trials, n_workers=args.workers)
+        )
     elif args.experiment == "table2":
         report = table2.run(
             dataset_names=args.datasets,
@@ -139,6 +150,7 @@ def main(argv: list[str] | None = None) -> int:
             queries_per_size=args.queries_per_size,
             n_trials=args.trials,
             seed=args.seed,
+            n_workers=args.workers,
         )
     else:  # pragma: no cover - argparse choices prevent this
         raise AssertionError(args.experiment)

@@ -30,6 +30,7 @@ def run(
     queries_per_size: int = 200,
     n_trials: int = 1,
     seed: int = 0,
+    n_workers: int | None = None,
 ) -> ExperimentReport:
     """Regenerate one panel row of Figure 2.
 
@@ -48,7 +49,7 @@ def run(
 
     results = evaluate_builders(
         builders, setup.dataset, setup.workload, epsilon,
-        n_trials=n_trials, seed=seed,
+        n_trials=n_trials, seed=seed, n_workers=n_workers,
     )
 
     report = ExperimentReport(

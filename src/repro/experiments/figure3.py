@@ -36,6 +36,7 @@ def run(
     queries_per_size: int = 200,
     n_trials: int = 1,
     seed: int = 0,
+    n_workers: int | None = None,
 ) -> ExperimentReport:
     """Regenerate one Figure 3 panel.
 
@@ -62,7 +63,7 @@ def run(
 
     results = evaluate_builders(
         builders, setup.dataset, setup.workload, epsilon,
-        n_trials=n_trials, seed=seed,
+        n_trials=n_trials, seed=seed, n_workers=n_workers,
     )
     report = ExperimentReport(
         title=f"Figure 3: hierarchies over a {leaf_size} grid on "

@@ -39,6 +39,7 @@ def run_versus_ug(
     queries_per_size: int = 200,
     n_trials: int = 1,
     seed: int = 0,
+    n_workers: int | None = None,
 ) -> ExperimentReport:
     """Column 1: AG at several m1 versus UG and Privelet at ``ug_size``."""
     setup = standard_setup(
@@ -51,7 +52,7 @@ def run_versus_ug(
     builders += [AdaptiveGridBuilder(first_level_size=m1) for m1 in ag_m1_values]
     results = evaluate_builders(
         builders, setup.dataset, setup.workload, epsilon,
-        n_trials=n_trials, seed=seed,
+        n_trials=n_trials, seed=seed, n_workers=n_workers,
     )
     report = ExperimentReport(
         title=f"Figure 4 (vs UG): {dataset_name}, eps={epsilon:g}"
@@ -69,6 +70,7 @@ def run_vary_m1(
     queries_per_size: int = 200,
     n_trials: int = 1,
     seed: int = 0,
+    n_workers: int | None = None,
 ) -> ExperimentReport:
     """Column 2: sensitivity of AG to the first-level grid size."""
     setup = standard_setup(
@@ -80,7 +82,7 @@ def run_vary_m1(
     builders = [AdaptiveGridBuilder(first_level_size=m1) for m1 in m1_values]
     results = evaluate_builders(
         builders, setup.dataset, setup.workload, epsilon,
-        n_trials=n_trials, seed=seed,
+        n_trials=n_trials, seed=seed, n_workers=n_workers,
     )
     report = ExperimentReport(
         title=f"Figure 4 (vary m1): {dataset_name}, eps={epsilon:g}, "
@@ -103,6 +105,7 @@ def run_vary_alpha_c2(
     queries_per_size: int = 200,
     n_trials: int = 1,
     seed: int = 0,
+    n_workers: int | None = None,
 ) -> ExperimentReport:
     """Columns 3-4: the 3 x 3 grid of (alpha, c2) candlesticks at fixed m1."""
     setup = standard_setup(
@@ -115,7 +118,7 @@ def run_vary_alpha_c2(
             builder = AdaptiveGridBuilder(first_level_size=m1, alpha=alpha, c2=c2)
             result = evaluate_builder(
                 builder, setup.dataset, setup.workload, epsilon,
-                n_trials=n_trials, seed=seed,
+                n_trials=n_trials, seed=seed, n_workers=n_workers,
                 label=f"A{m1},{c2:g}(a={alpha:g})",
             )
             results.append(result)
@@ -136,6 +139,7 @@ def run(
     queries_per_size: int = 200,
     n_trials: int = 1,
     seed: int = 0,
+    n_workers: int | None = None,
 ) -> ExperimentReport:
     """All three Figure 4 sub-experiments, with paper-like default settings."""
     setup = standard_setup(dataset_name, n_points=n_points, queries_per_size=8)
@@ -143,10 +147,12 @@ def run(
     vary_m1 = run_vary_m1(
         dataset_name, epsilon, n_points=n_points,
         queries_per_size=queries_per_size, n_trials=n_trials, seed=seed,
+        n_workers=n_workers,
     )
     vary_alpha = run_vary_alpha_c2(
         dataset_name, epsilon, m1=suggested_m1, n_points=n_points,
         queries_per_size=queries_per_size, n_trials=n_trials, seed=seed,
+        n_workers=n_workers,
     )
     report = ExperimentReport(
         title=f"Figure 4: AG parameter study on {dataset_name}, eps={epsilon:g}"

@@ -41,6 +41,7 @@ def run(
     seed: int = 0,
     absolute: bool = False,
     sweep_steps: int = 1,
+    n_workers: int | None = None,
 ) -> ExperimentReport:
     """Regenerate one Figure 5 (or, with ``absolute=True``, Figure 6) panel.
 
@@ -57,12 +58,14 @@ def run(
 
     if best_ug_size is None:
         sweep = sweep_ug_sizes(
-            setup, epsilon, candidate_ladder(suggested_ug, sweep_steps), seed=seed
+            setup, epsilon, candidate_ladder(suggested_ug, sweep_steps),
+            seed=seed, n_workers=n_workers,
         )
         best_ug_size = min(sweep, key=sweep.get)
     if best_ag_m1 is None:
         sweep = sweep_ag_sizes(
-            setup, epsilon, candidate_ladder(suggested_m1, sweep_steps), seed=seed
+            setup, epsilon, candidate_ladder(suggested_m1, sweep_steps),
+            seed=seed, n_workers=n_workers,
         )
         best_ag_m1 = min(sweep, key=sweep.get)
 
@@ -76,7 +79,7 @@ def run(
     ]
     results = evaluate_builders(
         builders, setup.dataset, setup.workload, epsilon,
-        n_trials=n_trials, seed=seed,
+        n_trials=n_trials, seed=seed, n_workers=n_workers,
     )
     # Disambiguate the duplicated-looking labels the way the paper orders
     # them: best-observed first, suggested last.

@@ -26,6 +26,7 @@ def run(
     n_trials: int = 1,
     seed: int = 0,
     sweep_steps: int = 1,
+    n_workers: int | None = None,
 ) -> ExperimentReport:
     """Regenerate one Figure 6 panel (absolute-error candlesticks)."""
     return figure5.run(
@@ -39,4 +40,5 @@ def run(
         seed=seed,
         absolute=True,
         sweep_steps=sweep_steps,
+        n_workers=n_workers,
     )

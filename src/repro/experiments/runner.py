@@ -6,10 +6,23 @@ experiment modules: given a builder, a dataset and a workload it repeats
 absolute errors per query size, mirroring the paper's methodology
 (Section V-A: 200 random queries per size, relative error with floor
 ``rho = 0.001 N``, candlestick summaries).
+
+Trials are embarrassingly parallel: each one derives its RNG solely from
+its own ``SeedSequence.spawn`` child and never touches another trial's
+state.  ``evaluate_builder(..., n_workers=4)`` therefore fans trials out
+over a ``ProcessPoolExecutor`` with a hard determinism contract: **the
+pooled errors are bit-identical to the serial run for the same seed,
+regardless of worker count**, because (a) every trial's stream depends
+only on its spawn index and (b) per-trial error chunks are concatenated
+in trial order, not completion order.  ``n_workers`` defaults to the
+``REPRO_WORKERS`` environment variable (serial when unset), and 0 means
+one worker per CPU.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -23,7 +36,15 @@ from repro.queries.metrics import (
 )
 from repro.queries.workload import QueryWorkload
 
-__all__ = ["MethodResult", "evaluate_builder", "evaluate_builders"]
+__all__ = [
+    "MethodResult",
+    "evaluate_builder",
+    "evaluate_builders",
+    "resolve_n_workers",
+]
+
+#: Per-size error chunks of one trial: label -> (relative, absolute).
+_TrialErrors = dict[str, tuple[np.ndarray, np.ndarray]]
 
 
 @dataclass
@@ -62,6 +83,75 @@ class MethodResult:
         return float(self.pooled_absolute().mean())
 
 
+def resolve_n_workers(n_workers: int | None) -> int:
+    """Normalise an ``n_workers`` request to an actual worker count.
+
+    ``None`` reads the ``REPRO_WORKERS`` environment variable and falls
+    back to 1 (serial); ``0`` means one worker per available CPU.
+    """
+    if n_workers is None:
+        raw = os.environ.get("REPRO_WORKERS", "").strip()
+        n_workers = int(raw) if raw else 1
+    if n_workers == 0:
+        n_workers = os.cpu_count() or 1
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 0, got {n_workers}")
+    return n_workers
+
+
+def _trial_errors(
+    builder: SynopsisBuilder,
+    dataset: GeoDataset,
+    workload: QueryWorkload,
+    epsilon: float,
+    child: np.random.SeedSequence,
+) -> _TrialErrors:
+    """One independent trial: fit from the child stream, measure errors.
+
+    This is the single implementation both the serial loop and the
+    process pool execute; the determinism contract rests on the trial's
+    randomness coming only from ``child``.
+    """
+    rng = np.random.default_rng(child)
+    synopsis = builder.fit(dataset, epsilon, rng)
+    errors: _TrialErrors = {}
+    for query_set in workload.query_sets:
+        estimates = synopsis.answer_many(query_set.rects)
+        errors[query_set.size.label] = (
+            relative_errors(estimates, query_set.true_answers, dataset.size),
+            absolute_errors(estimates, query_set.true_answers),
+        )
+    return errors
+
+
+# Worker-side state, installed once per worker by the pool initializer so
+# the heavy (dataset, workload) payload is pickled per worker — never per
+# trial, and never per builder when a pool is shared across builders.
+_WORKER_STATE: dict = {}
+
+
+def _pool_init(dataset: GeoDataset, workload: QueryWorkload) -> None:
+    _WORKER_STATE["data"] = (dataset, workload)
+
+
+def _pool_trial(
+    task: tuple[SynopsisBuilder, float, np.random.SeedSequence],
+) -> _TrialErrors:
+    builder, epsilon, child = task
+    dataset, workload = _WORKER_STATE["data"]
+    return _trial_errors(builder, dataset, workload, epsilon, child)
+
+
+def _trial_pool(
+    dataset: GeoDataset, workload: QueryWorkload, max_workers: int
+) -> ProcessPoolExecutor:
+    return ProcessPoolExecutor(
+        max_workers=max_workers,
+        initializer=_pool_init,
+        initargs=(dataset, workload),
+    )
+
+
 def evaluate_builder(
     builder: SynopsisBuilder,
     dataset: GeoDataset,
@@ -70,39 +160,51 @@ def evaluate_builder(
     n_trials: int = 1,
     seed: int = 0,
     label: str | None = None,
+    n_workers: int | None = None,
+    _executor: ProcessPoolExecutor | None = None,
 ) -> MethodResult:
     """Fit ``builder`` ``n_trials`` times and pool the per-query errors.
 
     Each trial uses an independent RNG stream derived from ``seed``, so
     runs are reproducible and methods can be compared on identical
-    workloads.
+    workloads.  With ``n_workers > 1`` the trials run in a process pool;
+    the result is bit-identical to the serial run (see module docstring).
+    ``_executor`` lets :func:`evaluate_builders` share one pool (built by
+    :func:`_trial_pool` over the same dataset and workload) across
+    builders instead of re-spawning workers per method.
     """
     if n_trials < 1:
         raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+    n_workers = resolve_n_workers(n_workers)
     size_labels = workload.size_labels
     result = MethodResult(label=label or builder.label(), size_labels=size_labels)
-    relative_chunks: dict[str, list[np.ndarray]] = {s: [] for s in size_labels}
-    absolute_chunks: dict[str, list[np.ndarray]] = {s: [] for s in size_labels}
 
-    seed_sequence = np.random.SeedSequence(seed)
-    for child in seed_sequence.spawn(n_trials):
-        rng = np.random.default_rng(child)
-        synopsis = builder.fit(dataset, epsilon, rng)
-        for query_set in workload.query_sets:
-            estimates = synopsis.answer_many(query_set.rects)
-            relative_chunks[query_set.size.label].append(
-                relative_errors(estimates, query_set.true_answers, dataset.size)
-            )
-            absolute_chunks[query_set.size.label].append(
-                absolute_errors(estimates, query_set.true_answers)
-            )
+    children = np.random.SeedSequence(seed).spawn(n_trials)
+    run_pooled = n_workers > 1 and n_trials > 1
+    if _executor is not None or run_pooled:
+        tasks = [(builder, epsilon, child) for child in children]
+        # Executor.map preserves submission order, so pooling below
+        # concatenates chunks in trial order exactly as the serial loop
+        # does — completion order never leaks into the result.
+        if _executor is not None:
+            trials = list(_executor.map(_pool_trial, tasks))
+        else:
+            with _trial_pool(
+                dataset, workload, min(n_workers, n_trials)
+            ) as pool:
+                trials = list(pool.map(_pool_trial, tasks))
+    else:
+        trials = [
+            _trial_errors(builder, dataset, workload, epsilon, child)
+            for child in children
+        ]
 
     for size_label in size_labels:
         result.relative_by_size[size_label] = np.concatenate(
-            relative_chunks[size_label]
+            [trial[size_label][0] for trial in trials]
         )
         result.absolute_by_size[size_label] = np.concatenate(
-            absolute_chunks[size_label]
+            [trial[size_label][1] for trial in trials]
         )
     return result
 
@@ -114,11 +216,28 @@ def evaluate_builders(
     epsilon: float,
     n_trials: int = 1,
     seed: int = 0,
+    n_workers: int | None = None,
 ) -> list[MethodResult]:
-    """Evaluate several methods on the *same* dataset and workload."""
+    """Evaluate several methods on the *same* dataset and workload.
+
+    When trials are pooled, one process pool (and one per-worker
+    dataset + workload transfer) is shared across all builders.
+    """
+    n_workers = resolve_n_workers(n_workers)
+    if n_workers > 1 and n_trials > 1 and len(builders) > 1:
+        with _trial_pool(dataset, workload, min(n_workers, n_trials)) as pool:
+            return [
+                evaluate_builder(
+                    builder, dataset, workload, epsilon,
+                    n_trials=n_trials, seed=seed, n_workers=n_workers,
+                    _executor=pool,
+                )
+                for builder in builders
+            ]
     return [
         evaluate_builder(
-            builder, dataset, workload, epsilon, n_trials=n_trials, seed=seed
+            builder, dataset, workload, epsilon,
+            n_trials=n_trials, seed=seed, n_workers=n_workers,
         )
         for builder in builders
     ]

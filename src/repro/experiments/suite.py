@@ -23,7 +23,10 @@ class SuiteScale:
     """How big to run the suite.
 
     ``n_points`` of ``None`` uses each dataset's registry default; the
-    storage dataset always runs at its full 9,000 points.
+    storage dataset always runs at its full 9,000 points.  ``n_trials``
+    and ``n_workers`` are threaded to every ``evaluate_builder`` call
+    (``n_workers=None`` keeps the serial default; parallel pooling is
+    bit-identical to serial, see :mod:`repro.experiments.runner`).
     """
 
     n_points: dict = field(default_factory=dict)
@@ -32,6 +35,8 @@ class SuiteScale:
     datasets: tuple[str, ...] = ("road", "checkin", "landmark", "storage")
     figure3_datasets: tuple[str, ...] = ("checkin", "landmark")
     seed: int = 0
+    n_trials: int = 1
+    n_workers: int | None = None
 
 
 #: A fast sanity-scale run (minutes).
@@ -68,6 +73,8 @@ def run_suite(scale: SuiteScale = QUICK_SCALE) -> ExperimentReport:
             queries_per_size=scale.queries_per_size,
             ladder_steps=1,
             seed=scale.seed,
+            n_trials=scale.n_trials,
+            n_workers=scale.n_workers,
         )
     )
 
@@ -80,6 +87,7 @@ def run_suite(scale: SuiteScale = QUICK_SCALE) -> ExperimentReport:
                 figure2.run(
                     name, epsilon, n_points=n_for(name),
                     queries_per_size=scale.queries_per_size, seed=scale.seed,
+                    n_trials=scale.n_trials, n_workers=scale.n_workers,
                 )
             )
     for name in scale.figure3_datasets:
@@ -88,6 +96,7 @@ def run_suite(scale: SuiteScale = QUICK_SCALE) -> ExperimentReport:
                 figure3.run(
                     name, scale.epsilons[0], n_points=n_for(name),
                     queries_per_size=scale.queries_per_size, seed=scale.seed,
+                    n_trials=scale.n_trials, n_workers=scale.n_workers,
                 )
             )
     for name in scale.figure3_datasets:
@@ -96,6 +105,7 @@ def run_suite(scale: SuiteScale = QUICK_SCALE) -> ExperimentReport:
                 figure4.run_vary_m1(
                     name, scale.epsilons[0], n_points=n_for(name),
                     queries_per_size=scale.queries_per_size, seed=scale.seed,
+                    n_trials=scale.n_trials, n_workers=scale.n_workers,
                 )
             )
     for name in scale.datasets:
@@ -105,6 +115,7 @@ def run_suite(scale: SuiteScale = QUICK_SCALE) -> ExperimentReport:
                     name, epsilon, n_points=n_for(name),
                     queries_per_size=scale.queries_per_size,
                     seed=scale.seed, sweep_steps=1,
+                    n_trials=scale.n_trials, n_workers=scale.n_workers,
                 )
             )
             include(
@@ -112,6 +123,7 @@ def run_suite(scale: SuiteScale = QUICK_SCALE) -> ExperimentReport:
                     name, epsilon, n_points=n_for(name),
                     queries_per_size=scale.queries_per_size,
                     seed=scale.seed, sweep_steps=1,
+                    n_trials=scale.n_trials, n_workers=scale.n_workers,
                 )
             )
     return combined

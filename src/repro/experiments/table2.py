@@ -20,7 +20,7 @@ from repro.core.guidelines import (
 from repro.core.uniform_grid import UniformGridBuilder
 from repro.experiments.base import ExperimentReport, ExperimentSetup, standard_setup
 from repro.experiments.report import format_table
-from repro.experiments.runner import evaluate_builder
+from repro.experiments.runner import evaluate_builders
 
 __all__ = ["candidate_ladder", "sweep_ug_sizes", "sweep_ag_sizes", "run"]
 
@@ -46,19 +46,15 @@ def sweep_ug_sizes(
     sizes: list[int],
     n_trials: int = 1,
     seed: int = 0,
+    n_workers: int | None = None,
 ) -> dict[int, float]:
     """Mean relative error of UG at each candidate grid size."""
-    return {
-        size: evaluate_builder(
-            UniformGridBuilder(grid_size=size),
-            setup.dataset,
-            setup.workload,
-            epsilon,
-            n_trials=n_trials,
-            seed=seed,
-        ).mean_relative()
-        for size in sizes
-    }
+    results = evaluate_builders(
+        [UniformGridBuilder(grid_size=size) for size in sizes],
+        setup.dataset, setup.workload, epsilon,
+        n_trials=n_trials, seed=seed, n_workers=n_workers,
+    )
+    return {size: result.mean_relative() for size, result in zip(sizes, results)}
 
 
 def sweep_ag_sizes(
@@ -67,19 +63,15 @@ def sweep_ag_sizes(
     sizes: list[int],
     n_trials: int = 1,
     seed: int = 0,
+    n_workers: int | None = None,
 ) -> dict[int, float]:
     """Mean relative error of AG at each candidate first-level size."""
-    return {
-        size: evaluate_builder(
-            AdaptiveGridBuilder(first_level_size=size),
-            setup.dataset,
-            setup.workload,
-            epsilon,
-            n_trials=n_trials,
-            seed=seed,
-        ).mean_relative()
-        for size in sizes
-    }
+    results = evaluate_builders(
+        [AdaptiveGridBuilder(first_level_size=size) for size in sizes],
+        setup.dataset, setup.workload, epsilon,
+        n_trials=n_trials, seed=seed, n_workers=n_workers,
+    )
+    return {size: result.mean_relative() for size, result in zip(sizes, results)}
 
 
 def _best(sweep: dict[int, float]) -> int:
@@ -94,6 +86,7 @@ def run(
     n_trials: int = 1,
     ladder_steps: int = 2,
     seed: int = 0,
+    n_workers: int | None = None,
 ) -> ExperimentReport:
     """Regenerate Table II's grid-size columns for the requested datasets."""
     from repro.datasets.registry import dataset_names as all_names
@@ -116,11 +109,11 @@ def run(
             ag_suggested = adaptive_first_level_size(n, epsilon)
             ug_sweep = sweep_ug_sizes(
                 setup, epsilon, candidate_ladder(ug_suggested, ladder_steps),
-                n_trials=n_trials, seed=seed,
+                n_trials=n_trials, seed=seed, n_workers=n_workers,
             )
             ag_sweep = sweep_ag_sizes(
                 setup, epsilon, candidate_ladder(ag_suggested, ladder_steps),
-                n_trials=n_trials, seed=seed,
+                n_trials=n_trials, seed=seed, n_workers=n_workers,
             )
             rows.append(
                 [

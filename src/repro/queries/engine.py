@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.geometry import Rect
+from repro.core.geometry import Rect, rects_to_boxes
 from repro.core.grid import GridLayout
 
 __all__ = [
@@ -48,33 +48,9 @@ __all__ = [
     "AdaptiveGridEngine",
     "FallbackEngine",
     "make_engine",
-    "rects_to_boxes",
+    "rects_to_boxes",  # canonical home: repro.core.geometry
     "scalar_answer_batch",
 ]
-
-
-def rects_to_boxes(rects: "list[Rect] | np.ndarray") -> np.ndarray:
-    """Normalise a query batch to an ``(n, 4)`` float array.
-
-    Accepts a list of :class:`Rect`, a list of 4-number sequences, or an
-    already-shaped array of ``(x_lo, y_lo, x_hi, y_hi)`` rows.
-    """
-    if isinstance(rects, np.ndarray):
-        boxes = np.asarray(rects, dtype=float)
-    else:
-        rects = list(rects)  # materialise: generators must survive the scan
-        if all(hasattr(rect, "as_tuple") for rect in rects):
-            return np.array(
-                [rect.as_tuple() for rect in rects], dtype=float
-            ).reshape(-1, 4)
-        boxes = np.asarray(rects, dtype=float)
-    if boxes.size == 0:
-        if boxes.ndim == 2 and boxes.shape[1] != 4:
-            raise ValueError(f"expected (n, 4) array, got {boxes.shape}")
-        return boxes.reshape(0, 4)
-    if boxes.ndim != 2 or boxes.shape[1] != 4:
-        raise ValueError(f"expected (n, 4) array, got {boxes.shape}")
-    return boxes
 
 
 def scalar_answer_batch(synopsis, rects: "list[Rect] | np.ndarray") -> np.ndarray:

@@ -86,3 +86,79 @@ class TestEvaluateBuilders:
             small_skewed, small_workload, 1.0,
         )
         assert [result.label for result in results] == ["U4", "U16"]
+
+
+class TestParallelRunner:
+    """The process pool's determinism contract: bit-identical to serial."""
+
+    def test_parallel_bit_identical_to_serial(self, small_skewed, small_workload):
+        serial = evaluate_builder(
+            UniformGridBuilder(grid_size=8), small_skewed, small_workload, 1.0,
+            n_trials=4, seed=9, n_workers=1,
+        )
+        for n_workers in (2, 3):
+            pooled = evaluate_builder(
+                UniformGridBuilder(grid_size=8), small_skewed, small_workload,
+                1.0, n_trials=4, seed=9, n_workers=n_workers,
+            )
+            for label in serial.size_labels:
+                np.testing.assert_array_equal(
+                    pooled.relative_by_size[label],
+                    serial.relative_by_size[label],
+                )
+                np.testing.assert_array_equal(
+                    pooled.absolute_by_size[label],
+                    serial.absolute_by_size[label],
+                )
+
+    def test_builders_share_pool_bit_identical(self, small_skewed,
+                                               small_workload):
+        # evaluate_builders reuses one pool across builders; results
+        # must still match per-builder serial runs exactly.
+        builders = [UniformGridBuilder(grid_size=4), UniformGridBuilder(grid_size=16)]
+        pooled = evaluate_builders(
+            builders, small_skewed, small_workload, 1.0,
+            n_trials=3, seed=5, n_workers=2,
+        )
+        serial = evaluate_builders(
+            builders, small_skewed, small_workload, 1.0,
+            n_trials=3, seed=5, n_workers=1,
+        )
+        for a, b in zip(pooled, serial):
+            np.testing.assert_array_equal(a.pooled_relative(), b.pooled_relative())
+            np.testing.assert_array_equal(a.pooled_absolute(), b.pooled_absolute())
+
+    def test_single_trial_stays_serial(self, small_skewed, small_workload):
+        # n_trials=1 must not pay for a pool; result matches the default.
+        a = evaluate_builder(
+            UniformGridBuilder(grid_size=8), small_skewed, small_workload, 1.0,
+            seed=3, n_workers=4,
+        )
+        b = evaluate_builder(
+            UniformGridBuilder(grid_size=8), small_skewed, small_workload, 1.0,
+            seed=3,
+        )
+        np.testing.assert_array_equal(a.pooled_relative(), b.pooled_relative())
+
+    def test_workers_from_environment(self, small_skewed, small_workload,
+                                      monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        pooled = evaluate_builder(
+            UniformGridBuilder(grid_size=8), small_skewed, small_workload, 1.0,
+            n_trials=2, seed=1,
+        )
+        monkeypatch.delenv("REPRO_WORKERS")
+        serial = evaluate_builder(
+            UniformGridBuilder(grid_size=8), small_skewed, small_workload, 1.0,
+            n_trials=2, seed=1,
+        )
+        np.testing.assert_array_equal(
+            pooled.pooled_relative(), serial.pooled_relative()
+        )
+
+    def test_invalid_workers(self, small_skewed, small_workload):
+        with pytest.raises(ValueError):
+            evaluate_builder(
+                UniformGridBuilder(grid_size=8), small_skewed, small_workload,
+                1.0, n_trials=2, n_workers=-1,
+            )

@@ -1,0 +1,187 @@
+"""Property tests: the CSR ground-truth index vs the scalar mask oracle.
+
+The index's whole value rests on one claim: bucketing points once and
+answering batches from a prefix sum plus a filtered border ring counts
+*exactly* what a per-rectangle ``Rect.mask`` pass counts — closed
+boundaries, duplicate coordinates, degenerate (zero-area) rectangles,
+out-of-domain rectangles and empty batches included.  These properties
+hammer that claim on adversarial point sets (boundary-pinned points,
+heavy duplication, shared coordinates) and query mixes.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core.dataset import GeoDataset
+from repro.core.geometry import Domain2D, Rect
+from repro.core.point_index import GroundTruthIndex
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+resolutions = st.integers(min_value=1, max_value=23)
+point_counts = st.integers(min_value=0, max_value=400)
+
+
+@st.composite
+def domains(draw) -> Domain2D:
+    """Random non-degenerate domains, not just the unit square."""
+    x_lo = draw(st.floats(min_value=-50.0, max_value=50.0, allow_nan=False))
+    y_lo = draw(st.floats(min_value=-50.0, max_value=50.0, allow_nan=False))
+    width = draw(st.floats(min_value=0.5, max_value=80.0, allow_nan=False))
+    height = draw(st.floats(min_value=0.5, max_value=80.0, allow_nan=False))
+    return Domain2D(x_lo, y_lo, x_lo + width, y_lo + height)
+
+
+def adversarial_points(domain: Domain2D, n: int, seed: int) -> np.ndarray:
+    """Point sets stressing the index's edge cases.
+
+    Mixes uniform points with boundary-pinned coordinates (corners and
+    edges of the domain), exact duplicates, and shared x or y values —
+    the inputs where bucket edges and closed-rectangle semantics could
+    disagree.
+    """
+    rng = np.random.default_rng(seed)
+    b = domain.bounds
+    pts = np.column_stack(
+        [rng.uniform(b.x_lo, b.x_hi, n), rng.uniform(b.y_lo, b.y_hi, n)]
+    )
+    if n >= 8:
+        pts[0] = (b.x_lo, b.y_lo)
+        pts[1] = (b.x_hi, b.y_hi)
+        pts[2] = (b.x_lo, b.y_hi)
+        pts[3] = (b.x_hi, b.y_lo)
+        pts[4] = pts[5] = pts[6]           # exact duplicates
+        pts[7, 0] = pts[6, 0]              # shared x, distinct y
+    return pts
+
+
+def query_mix(domain: Domain2D, points: np.ndarray, seed: int, n: int = 30) -> list:
+    """Closed, degenerate, edge-exact, point-anchored and outside rects."""
+    rng = np.random.default_rng(seed)
+    b = domain.bounds
+    rects = [
+        Rect(b.x_lo, b.y_lo, b.x_hi, b.y_hi),                     # whole domain
+        Rect(b.x_lo - 1.0, b.y_lo - 1.0, b.x_hi + 1.0, b.y_hi + 1.0),
+        Rect(b.x_lo, b.y_lo, b.x_lo, b.y_hi),                     # zero width
+        Rect(b.x_lo, b.y_lo, b.x_lo, b.y_lo),                     # single point
+        Rect(b.x_hi + 1.0, b.y_lo, b.x_hi + 2.0, b.y_hi),         # outside
+    ]
+    if points.shape[0]:
+        # Degenerate rects anchored exactly on data points: the closed
+        # boundary must count them.
+        px, py = points[0]
+        rects.append(Rect(px, py, px, py))
+        qx, qy = points[points.shape[0] // 2]
+        rects.append(Rect(min(px, qx), min(py, qy), max(px, qx), max(py, qy)))
+    while len(rects) < n:
+        x = np.sort(rng.uniform(b.x_lo - 0.2 * domain.width,
+                                b.x_hi + 0.2 * domain.width, 2))
+        y = np.sort(rng.uniform(b.y_lo - 0.2 * domain.height,
+                                b.y_hi + 0.2 * domain.height, 2))
+        rects.append(Rect(x[0], y[0], x[1], y[1]))
+    return rects
+
+
+@given(domain=domains(), n=point_counts, seed=seeds)
+@settings(max_examples=40, deadline=None)
+def test_count_batch_matches_scalar_masks(domain, n, seed):
+    points = adversarial_points(domain, n, seed)
+    index = GroundTruthIndex(points, domain)
+    rects = query_mix(domain, points, seed)
+    expected = np.array(
+        [np.count_nonzero(r.mask(points[:, 0], points[:, 1])) for r in rects]
+    )
+    np.testing.assert_array_equal(index.count_batch(rects), expected)
+
+
+@given(domain=domains(), n=point_counts, seed=seeds, resolution=resolutions)
+@settings(max_examples=40, deadline=None)
+def test_count_batch_exact_at_any_resolution(domain, n, seed, resolution):
+    """The bucket count is a perf knob, never a correctness one."""
+    points = adversarial_points(domain, n, seed)
+    index = GroundTruthIndex(points, domain, resolution=resolution)
+    rects = query_mix(domain, points, seed, n=12)
+    expected = np.array(
+        [np.count_nonzero(r.mask(points[:, 0], points[:, 1])) for r in rects]
+    )
+    np.testing.assert_array_equal(index.count_batch(rects), expected)
+
+
+@given(domain=domains(), n=point_counts, seed=seeds)
+@settings(max_examples=30, deadline=None)
+def test_mask_for_matches_rect_mask(domain, n, seed):
+    points = adversarial_points(domain, n, seed)
+    index = GroundTruthIndex(points, domain)
+    for rect in query_mix(domain, points, seed, n=10):
+        mask = rect.mask(points[:, 0], points[:, 1])
+        np.testing.assert_array_equal(index.mask_for(rect), mask)
+        np.testing.assert_array_equal(
+            index.indices_for(rect), np.flatnonzero(mask)
+        )
+
+
+@given(domain=domains(), seed=seeds)
+@settings(max_examples=20, deadline=None)
+def test_dataset_count_many_matches_scalar(domain, seed):
+    """The GeoDataset fast path and the scalar reference agree."""
+    points = adversarial_points(domain, 250, seed)
+    dataset = GeoDataset(points, domain)
+    rects = query_mix(domain, points, seed)
+    # Force the index path (below the lazy thresholds otherwise).
+    dataset.ground_truth_index()
+    np.testing.assert_array_equal(
+        dataset.count_many(rects), dataset.count_many_scalar(rects)
+    )
+
+
+@given(domain=domains(), seed=seeds)
+@settings(max_examples=15, deadline=None)
+def test_subset_identical_with_and_without_index(domain, seed):
+    points = adversarial_points(domain, 200, seed)
+    plain = GeoDataset(points, domain)
+    indexed = GeoDataset(points, domain)
+    indexed.ground_truth_index()
+    for rect in query_mix(domain, points, seed, n=8):
+        clipped = domain.clip_rect(rect)
+        if clipped is None:
+            continue
+        try:
+            a = plain.subset(clipped)
+            b = indexed.subset(clipped)
+        except ValueError:
+            continue  # degenerate sub-domain; both paths reject alike
+        np.testing.assert_array_equal(a.points, b.points)
+        assert a.domain == b.domain
+
+
+def test_empty_batch_and_empty_dataset():
+    domain = Domain2D(0.0, 0.0, 1.0, 1.0)
+    empty_index = GroundTruthIndex(np.empty((0, 2)), domain)
+    assert empty_index.count_batch([]).shape == (0,)
+    assert empty_index.count_batch([Rect(0.1, 0.1, 0.9, 0.9)]).tolist() == [0]
+    index = GroundTruthIndex(np.array([[0.5, 0.5]]), domain)
+    assert index.count_batch([]).shape == (0,)
+    assert index.count_batch(np.empty((0, 4))).shape == (0,)
+
+
+def test_out_of_domain_points_rejected():
+    # An outside point would silently vanish from every count (clipped
+    # into an edge bucket, then excluded by the clipped query mask), so
+    # the constructor must fail loudly instead.
+    domain = Domain2D(0.0, 0.0, 1.0, 1.0)
+    with np.testing.assert_raises(ValueError):
+        GroundTruthIndex(np.array([[2.0, 0.5]]), domain)
+
+
+def test_inverted_rows_count_zero():
+    domain = Domain2D(0.0, 0.0, 1.0, 1.0)
+    rng = np.random.default_rng(0)
+    points = rng.uniform(0.0, 1.0, size=(100, 2))
+    index = GroundTruthIndex(points, domain)
+    boxes = np.array([
+        [0.8, 0.1, 0.2, 0.9],   # inverted x
+        [0.1, 0.9, 0.9, 0.1],   # inverted y
+        [0.0, 0.0, 1.0, 1.0],   # whole domain
+    ])
+    counts = index.count_batch(boxes)
+    assert counts[0] == 0 and counts[1] == 0 and counts[2] == 100
