@@ -4,13 +4,15 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: help test bench-quick bench-engine bench-experiments serve serve-smoke quickstart
+.PHONY: help test bench-quick bench-engine bench-experiments bench-tree bench-tree-quick serve serve-smoke quickstart
 
 help:
 	@echo "make test              run the full unit/property test suite (tier-1)"
 	@echo "make bench-quick       every paper experiment at quick scale, one report"
 	@echo "make bench-engine      engine perf benches only; refreshes BENCH_*.json"
 	@echo "make bench-experiments evaluation fast-path benches; refreshes BENCH_experiments.json"
+	@echo "make bench-tree        flat tree kernel benches; refreshes BENCH_tree_kernel.json"
+	@echo "make bench-tree-quick  tree kernel equivalence smoke (small scale, no JSON)"
 	@echo "make serve             start the synopsis HTTP server on port 8731"
 	@echo "make serve-smoke       build + query + budget-refusal round trip over HTTP"
 	@echo "make quickstart        run examples/quickstart.py"
@@ -26,6 +28,12 @@ bench-engine:
 
 bench-experiments:
 	$(PYTHON) -m pytest benchmarks/bench_ground_truth.py -q
+
+bench-tree:
+	$(PYTHON) -m pytest benchmarks/bench_tree_kernel.py -q
+
+bench-tree-quick:
+	BENCH_TREE_QUICK=1 $(PYTHON) -m pytest benchmarks/bench_tree_kernel.py -q
 
 serve:
 	$(PYTHON) -m repro serve

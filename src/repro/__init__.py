@@ -51,10 +51,13 @@ from repro.datasets.synthetic import (
     make_uniform,
 )
 from repro.privacy.budget import BudgetExceededError, PrivacyBudget
+from repro.baselines.tree import TreeArrays, TreeSynopsis
 from repro.queries.engine import (
     BatchQueryEngine,
     FlatAdaptiveGridEngine,
+    FlatTreeEngine,
     make_engine,
+    register_engine,
 )
 from repro.queries.metrics import ErrorProfile, absolute_errors, relative_errors
 from repro.queries.workload import QueryWorkload
@@ -72,6 +75,7 @@ __all__ = [
     "ErrorProfile",
     "ExactGridBuilder",
     "FlatAdaptiveGridEngine",
+    "FlatTreeEngine",
     "GeoDataset",
     "GridLayout",
     "HierarchicalGridBuilder",
@@ -89,6 +93,8 @@ __all__ = [
     "Synopsis",
     "SynopsisBuilder",
     "SynopsisStore",
+    "TreeArrays",
+    "TreeSynopsis",
     "UniformGridBuilder",
     "UniformGridSynopsis",
     "absolute_errors",
@@ -105,6 +111,7 @@ __all__ = [
     "make_road",
     "make_storage",
     "make_uniform",
+    "register_engine",
     "relative_errors",
     "save_synopsis",
     "uniformity_profile",

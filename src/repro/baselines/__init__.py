@@ -1,12 +1,16 @@
 """Baselines: the methods the paper compares UG/AG against."""
 
-from repro.baselines.constrained_inference import CountNode, infer_tree
+from repro.baselines.constrained_inference import (
+    CountNode,
+    infer_level_order,
+    infer_tree,
+)
 from repro.baselines.flat import ExactGridBuilder, NoisyTotalBuilder
 from repro.baselines.hierarchy import HierarchicalGridBuilder
 from repro.baselines.kd_tree import KDHybridBuilder, KDStandardBuilder, KDTreeBuilder
 from repro.baselines.privelet import PriveletBuilder
 from repro.baselines.quadtree import QuadtreeBuilder
-from repro.baselines.tree import SpatialNode, TreeSynopsis
+from repro.baselines.tree import SpatialNode, TreeArrays, TreeSynopsis
 
 __all__ = [
     "CountNode",
@@ -19,6 +23,8 @@ __all__ = [
     "PriveletBuilder",
     "QuadtreeBuilder",
     "SpatialNode",
+    "TreeArrays",
     "TreeSynopsis",
+    "infer_level_order",
     "infer_tree",
 ]

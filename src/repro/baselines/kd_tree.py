@@ -27,7 +27,13 @@ import math
 
 import numpy as np
 
-from repro.baselines.tree import SpatialNode, TreeSynopsis, apply_tree_inference
+from repro.baselines.tree import (
+    SpatialNode,
+    TreeArrays,
+    TreeSynopsis,
+    apply_tree_inference,
+    apply_tree_inference_arrays,
+)
 from repro.core.dataset import GeoDataset
 from repro.core.geometry import Rect
 from repro.core.synopsis import SynopsisBuilder
@@ -129,16 +135,18 @@ class KDTreeBuilder(SynopsisBuilder):
     def label(self) -> str:
         return self.name
 
-    def fit(
+    def _allocate_budgets(
         self,
         dataset: GeoDataset,
         epsilon: float,
-        rng: np.random.Generator,
-        budget: PrivacyBudget | None = None,
-    ) -> TreeSynopsis:
-        rng = ensure_rng(rng)
-        budget = self._budget(epsilon, budget)
+        budget: PrivacyBudget,
+    ) -> tuple[int, list[float], list[float]]:
+        """Resolve the tree depth and spend the per-level budgets.
 
+        Shared by :meth:`fit` and :meth:`fit_reference` so the two build
+        paths charge identical ledgers.  Returns ``(depth,
+        count_epsilons, median_epsilons)``.
+        """
         depth = (
             self.depth
             if self.depth is not None
@@ -167,7 +175,93 @@ class KDTreeBuilder(SynopsisBuilder):
         for level, eps in enumerate(median_epsilons):
             if eps > 0.0:
                 budget.spend(eps, f"medians level {level} (parallel over nodes)")
+        return depth, count_epsilons, median_epsilons
 
+    def fit(
+        self,
+        dataset: GeoDataset,
+        epsilon: float,
+        rng: np.random.Generator,
+        budget: PrivacyBudget | None = None,
+    ) -> TreeSynopsis:
+        """Build the release straight into flat level-order arrays.
+
+        The recursion mirrors :meth:`fit_reference`'s ``_build_node``
+        call for call — same splits, same point filtering, same rng draw
+        order — but records each node into flat DFS lists instead of
+        allocating a :class:`~repro.baselines.tree.SpatialNode` per
+        region; a stable sort by depth then yields the BFS level order
+        of :class:`~repro.baselines.tree.TreeArrays`, and constrained
+        inference runs as the level-wise array kernel.  The release is
+        bit-identical to :meth:`fit_reference` given the same rng state
+        (pinned by the equivalence tests).
+        """
+        rng = ensure_rng(rng)
+        budget = self._budget(epsilon, budget)
+        depth, count_epsilons, median_epsilons = self._allocate_budgets(
+            dataset, epsilon, budget
+        )
+
+        rect_rows: list[tuple[float, float, float, float]] = []
+        noisy_list: list[float] = []
+        variance_list: list[float] = []
+        depth_list: list[int] = []
+        parent_list: list[int] = []
+
+        def build(rect: Rect, points: np.ndarray, level: int, parent: int) -> None:
+            count_eps = count_epsilons[level]
+            scale = laplace_scale(1.0, count_eps)
+            noisy = float(points.shape[0] + laplace_noise(scale, rng))
+            index = len(noisy_list)
+            rect_rows.append(rect.as_tuple())
+            noisy_list.append(noisy)
+            variance_list.append(2.0 * scale**2)
+            depth_list.append(level)
+            parent_list.append(parent)
+            if level >= depth or noisy < self.min_split_count:
+                return
+            child_rects = self._split_rects(rect, points, level, median_epsilons, rng)
+            for child_rect in child_rects:
+                mask = child_rect.mask(points[:, 0], points[:, 1])
+                # Points on shared edges must go to exactly one child; keep
+                # the first claimant by removing them from the residual pool.
+                child_points = points[mask]
+                points = points[~mask]
+                build(child_rect, child_points, level + 1, index)
+
+        build(dataset.domain.bounds, dataset.points, 0, -1)
+        arrays = TreeArrays.from_records(
+            np.asarray(rect_rows),
+            np.asarray(depth_list, dtype=np.int64),
+            np.asarray(parent_list, dtype=np.int64),
+            np.asarray(noisy_list),
+            np.asarray(variance_list),
+        )
+        if self.constrained_inference:
+            apply_tree_inference_arrays(arrays)
+        return TreeSynopsis(dataset.domain, epsilon, arrays)
+
+    def fit_reference(
+        self,
+        dataset: GeoDataset,
+        epsilon: float,
+        rng: np.random.Generator,
+        budget: PrivacyBudget | None = None,
+    ) -> TreeSynopsis:
+        """The historical object-graph build, retained as the reference.
+
+        One :class:`~repro.baselines.tree.SpatialNode` per region and the
+        recursive :func:`~repro.baselines.tree.apply_tree_inference`.
+        Produces a bit-identical release to :meth:`fit` given the same
+        rng state; used by the equivalence tests and by
+        ``benchmarks/bench_tree_kernel.py`` to measure the flat kernel's
+        speedup.  Not intended for production use.
+        """
+        rng = ensure_rng(rng)
+        budget = self._budget(epsilon, budget)
+        depth, count_epsilons, median_epsilons = self._allocate_budgets(
+            dataset, epsilon, budget
+        )
         root = self._build_node(
             rect=dataset.domain.bounds,
             points=dataset.points,
@@ -182,6 +276,28 @@ class KDTreeBuilder(SynopsisBuilder):
         return TreeSynopsis(dataset.domain, epsilon, root)
 
     # ------------------------------------------------------------------
+
+    def _split_rects(
+        self,
+        rect: Rect,
+        points: np.ndarray,
+        level: int,
+        median_epsilons: list[float],
+        rng: np.random.Generator,
+    ) -> list[Rect]:
+        """The child regions of one internal node (both build paths)."""
+        if level < self.quadtree_levels:
+            return _quadrant_split(rect)
+        axis = level % 2
+        if self.split_strategy == "uniformity":
+            split = self._uniformity_split(
+                rect, points, axis, median_epsilons[level], rng
+            )
+        else:
+            split = self._noisy_median_split(
+                rect, points, axis, median_epsilons[level], rng
+            )
+        return _axis_split(rect, axis, split)
 
     def _build_node(
         self,
@@ -206,20 +322,7 @@ class KDTreeBuilder(SynopsisBuilder):
         if level >= max_depth or noisy < self.min_split_count:
             return node
 
-        if level < self.quadtree_levels:
-            child_rects = _quadrant_split(rect)
-        else:
-            axis = level % 2
-            if self.split_strategy == "uniformity":
-                split = self._uniformity_split(
-                    rect, points, axis, median_epsilons[level], rng
-                )
-            else:
-                split = self._noisy_median_split(
-                    rect, points, axis, median_epsilons[level], rng
-                )
-            child_rects = _axis_split(rect, axis, split)
-
+        child_rects = self._split_rects(rect, points, level, median_epsilons, rng)
         for child_rect in child_rects:
             mask = child_rect.mask(points[:, 0], points[:, 1])
             # Points on shared edges must go to exactly one child; keep the

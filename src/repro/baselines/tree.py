@@ -3,13 +3,33 @@
 The KD-tree and quadtree baselines all release the same kind of object: a
 tree of rectangular regions with a (noisy) count attached to each node,
 where children partition their parent's region.  This module provides that
-shared substrate:
+shared substrate in two layouts:
 
-* :class:`SpatialNode` — a region node holding released counts.
-* :class:`TreeSynopsis` — answers rectangle queries by descending the tree:
-  regions fully inside the query contribute their whole count, disjoint
-  regions contribute nothing, and partially covered *leaves* fall back to
-  the uniformity assumption (Section II-B of the paper).
+* :class:`TreeArrays` — the flat production layout: per-node rect
+  coordinates, depths, CSR child offsets, noisy counts, variances, and
+  post-inference counts, stored in **BFS level order** so each tree level
+  is a contiguous slab (``level_offsets``).  Everything hot — builders,
+  constrained inference, the batch query engine, serialization — operates
+  on these arrays without materialising a node object anywhere.
+* :class:`SpatialNode` — the recursive reference layout, one object per
+  region.  Kept for the scalar reference paths (``fit_reference``,
+  ``TreeSynopsis.answer``) that the equivalence tests pin the flat
+  kernels against, and for exploratory code that wants to walk a tree.
+
+:class:`TreeSynopsis` answers rectangle queries by descending the tree:
+regions fully inside the query contribute their whole count, disjoint
+regions contribute nothing, and partially covered *leaves* fall back to
+the uniformity assumption (Section II-B of the paper).  Its scalar
+``answer`` is the recursive reference; batches go through the flat
+:class:`~repro.queries.engine.FlatTreeEngine`.
+
+BFS level order, concretely: node 0 is the root, children of node ``v``
+are the contiguous index range ``child_offsets[v]:child_offsets[v + 1]``,
+siblings keep their split order, and level ``l`` occupies
+``level_offsets[l]:level_offsets[l + 1]``.  Children of the level-``l``
+nodes are exactly the level-``l+1`` slab, in order — which is what lets
+constrained inference and the query engine walk whole levels with
+``repeat``/``arange`` arithmetic instead of per-node recursion.
 """
 
 from __future__ import annotations
@@ -18,11 +38,21 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.baselines.constrained_inference import CountNode, infer_tree
+from repro.baselines.constrained_inference import (
+    CountNode,
+    infer_level_order,
+    infer_tree,
+)
 from repro.core.geometry import Domain2D, Rect
 from repro.core.synopsis import Synopsis
 
-__all__ = ["SpatialNode", "TreeSynopsis", "apply_tree_inference"]
+__all__ = [
+    "SpatialNode",
+    "TreeArrays",
+    "TreeSynopsis",
+    "apply_tree_inference",
+    "apply_tree_inference_arrays",
+]
 
 
 @dataclass
@@ -76,12 +106,246 @@ class SpatialNode:
                 yield node
 
 
+@dataclass
+class TreeArrays:
+    """A spatial count tree as flat arrays in BFS level order.
+
+    Attributes
+    ----------
+    rects:
+        ``(n, 4)`` float rows of ``(x_lo, y_lo, x_hi, y_hi)`` per node.
+    depths:
+        ``(n,)`` BFS level of each node (root = 0); non-decreasing.
+    child_offsets:
+        ``(n + 1,)`` CSR offsets: children of node ``v`` are the nodes
+        ``child_offsets[v]:child_offsets[v + 1]``.  Equal bounds mean a
+        leaf.
+    noisy_counts:
+        ``(n,)`` raw measurements; ``NaN`` marks an unmeasured node.
+    variances:
+        ``(n,)`` measurement variances (``inf`` for unmeasured nodes).
+    counts:
+        ``(n,)`` query-time estimates (post-inference when applied).
+    level_offsets:
+        ``(height + 2,)`` slab bounds: level ``l`` is the index range
+        ``level_offsets[l]:level_offsets[l + 1]``.
+    """
+
+    rects: np.ndarray
+    depths: np.ndarray
+    child_offsets: np.ndarray
+    noisy_counts: np.ndarray
+    variances: np.ndarray
+    counts: np.ndarray
+    level_offsets: np.ndarray
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _assemble_offsets(
+        depths: np.ndarray, fan_out: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """CSR child offsets + level slab bounds from level-order metadata.
+
+        In BFS level order the children of nodes 0..n-1 fill indices
+        1..n-1 consecutively, so node ``v``'s children start at ``1 +
+        sum(fan_out[:v])``; level slabs fall out of the sorted depths.
+        """
+        n = depths.size
+        child_offsets = np.empty(n + 1, dtype=np.int64)
+        child_offsets[0] = 1
+        np.cumsum(fan_out, out=child_offsets[1:])
+        child_offsets[1:] += 1
+        n_levels = int(depths[-1]) + 1
+        level_offsets = np.searchsorted(
+            depths, np.arange(n_levels + 1), side="left"
+        ).astype(np.int64)
+        return child_offsets, level_offsets
+
+    @classmethod
+    def from_records(
+        cls,
+        rects: np.ndarray,
+        depths: np.ndarray,
+        parents: np.ndarray,
+        noisy_counts: np.ndarray,
+        variances: np.ndarray,
+        counts: np.ndarray | None = None,
+    ) -> "TreeArrays":
+        """Assemble level-order arrays from parent-pointer records.
+
+        The records may arrive in any order in which every node's parent
+        precedes it and siblings appear in split order (DFS pre-order and
+        BFS both qualify); ``parents[v]`` is the record index of ``v``'s
+        parent (-1 for the root).  A stable sort by depth produces BFS
+        level order — within one level, two nodes compare like their
+        parents, so children of consecutive parents land contiguously.
+        """
+        rects = np.asarray(rects, dtype=float).reshape(-1, 4)
+        depths = np.asarray(depths, dtype=np.int64)
+        parents = np.asarray(parents, dtype=np.int64)
+        noisy_counts = np.asarray(noisy_counts, dtype=float)
+        variances = np.asarray(variances, dtype=float)
+        n = depths.size
+        if n == 0:
+            raise ValueError("tree must have at least one node")
+        order = np.argsort(depths, kind="stable")
+        rank = np.empty(n, dtype=np.int64)
+        rank[order] = np.arange(n)
+        new_depths = depths[order]
+        new_parents = np.where(parents[order] >= 0, rank[parents[order]], -1)
+        fan_out = np.bincount(new_parents[1:], minlength=n) if n > 1 else (
+            np.zeros(n, dtype=np.int64)
+        )
+        child_offsets, level_offsets = cls._assemble_offsets(new_depths, fan_out)
+        counts_in = (
+            noisy_counts if counts is None else np.asarray(counts, dtype=float)
+        )
+        return cls(
+            rects=np.ascontiguousarray(rects[order]),
+            depths=new_depths,
+            child_offsets=child_offsets,
+            noisy_counts=noisy_counts[order].copy(),
+            variances=variances[order].copy(),
+            counts=counts_in[order].copy(),
+            level_offsets=level_offsets,
+        )
+
+    @classmethod
+    def from_root(cls, root: SpatialNode) -> "TreeArrays":
+        """Flatten a :class:`SpatialNode` graph (BFS, siblings in order)."""
+        nodes: list[SpatialNode] = [root]
+        depths: list[int] = [0]
+        index = 0
+        while index < len(nodes):  # the list grows while iterating: a BFS queue
+            for child in nodes[index].children:
+                nodes.append(child)
+                depths.append(depths[index] + 1)
+            index += 1
+        rects = np.array([node.rect.as_tuple() for node in nodes], dtype=float)
+        noisy = np.array(
+            [
+                np.nan if node.noisy_count is None else float(node.noisy_count)
+                for node in nodes
+            ]
+        )
+        variances = np.array([float(node.variance) for node in nodes])
+        counts = np.array([float(node.count) for node in nodes])
+        depths_arr = np.asarray(depths, dtype=np.int64)
+        fan_out = np.array([len(node.children) for node in nodes], dtype=np.int64)
+        child_offsets, level_offsets = cls._assemble_offsets(depths_arr, fan_out)
+        return cls(
+            rects=rects,
+            depths=depths_arr,
+            child_offsets=child_offsets,
+            noisy_counts=noisy,
+            variances=variances,
+            counts=counts,
+            level_offsets=level_offsets,
+        )
+
+    def to_root(self) -> SpatialNode:
+        """Materialise the equivalent :class:`SpatialNode` object graph."""
+        nodes = [
+            SpatialNode(
+                rect=Rect(*self.rects[v]),
+                noisy_count=(
+                    None if np.isnan(self.noisy_counts[v])
+                    else float(self.noisy_counts[v])
+                ),
+                variance=float(self.variances[v]),
+                count=float(self.counts[v]),
+                depth=int(self.depths[v]),
+            )
+            for v in range(self.n_nodes)
+        ]
+        for v, node in enumerate(nodes):
+            lo, hi = self.child_offsets[v], self.child_offsets[v + 1]
+            node.children = nodes[lo:hi]
+        return nodes[0]
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.depths.size)
+
+    @property
+    def n_levels(self) -> int:
+        return int(self.level_offsets.size - 1)
+
+    @property
+    def leaf_mask(self) -> np.ndarray:
+        """Boolean per-node mask of leaves (empty child range)."""
+        return self.child_offsets[1:] == self.child_offsets[:-1]
+
+    def node_count(self) -> int:
+        return self.n_nodes
+
+    def leaf_count(self) -> int:
+        return int(self.leaf_mask.sum())
+
+    def height(self) -> int:
+        """Length of the longest root-to-leaf path (single node = 0)."""
+        return self.n_levels - 1
+
+    @property
+    def nbytes(self) -> int:
+        """In-memory footprint of the released arrays."""
+        return sum(
+            array.nbytes
+            for array in (
+                self.rects, self.depths, self.child_offsets,
+                self.noisy_counts, self.variances, self.counts,
+                self.level_offsets,
+            )
+        )
+
+    def validate(self) -> None:
+        """Check the level-order invariants; raises ``ValueError`` on breakage.
+
+        Used by tests and by unpacking untrusted archives — the hot paths
+        assume these invariants rather than re-checking them.
+        """
+        n = self.n_nodes
+        if self.rects.shape != (n, 4):
+            raise ValueError(f"rects shape {self.rects.shape} != ({n}, 4)")
+        if self.child_offsets.shape != (n + 1,):
+            raise ValueError("child_offsets must have n + 1 entries")
+        if n and (self.child_offsets[0] != 1 or self.child_offsets[-1] != n):
+            raise ValueError("child offsets must span nodes 1..n")
+        if np.any(np.diff(self.child_offsets) < 0):
+            raise ValueError("child_offsets must be non-decreasing")
+        if np.any(np.diff(self.depths) < 0):
+            raise ValueError("depths must be non-decreasing (BFS level order)")
+        if self.level_offsets[0] != 0 or self.level_offsets[-1] != n:
+            raise ValueError("level_offsets must span 0..n")
+        for level in range(self.n_levels):
+            lo, hi = self.level_offsets[level], self.level_offsets[level + 1]
+            if not np.all(self.depths[lo:hi] == level):
+                raise ValueError(f"level slab {level} holds wrong depths")
+        # Children of each node must sit one level deeper, contiguously.
+        starts = self.child_offsets[:-1]
+        ends = self.child_offsets[1:]
+        parents = np.repeat(np.arange(n), ends - starts)
+        children = np.arange(1, n) if n > 1 else np.empty(0, dtype=np.int64)
+        if parents.size != children.size:
+            raise ValueError("child ranges must cover nodes 1..n exactly once")
+        if n > 1 and not np.all(self.depths[children] == self.depths[parents] + 1):
+            raise ValueError("children must be exactly one level below parents")
+
+
 def apply_tree_inference(root: SpatialNode) -> None:
     """Run Hay-et-al constrained inference over a spatial tree in place.
 
-    Builds the parallel :class:`~repro.baselines.constrained_inference.
-    CountNode` structure, solves it, and writes the consistent estimates
-    back into each node's ``count``.
+    The recursive reference: builds the parallel :class:`~repro.baselines.
+    constrained_inference.CountNode` structure, solves it, and writes the
+    consistent estimates back into each node's ``count``.  The production
+    path is :func:`apply_tree_inference_arrays`.
     """
     mapping: dict[int, SpatialNode] = {}
 
@@ -104,28 +368,77 @@ def apply_tree_inference(root: SpatialNode) -> None:
         stack.extend(count_node.children)
 
 
-class TreeSynopsis(Synopsis):
-    """A released spatial decomposition answering queries top-down."""
+def apply_tree_inference_arrays(tree: TreeArrays) -> None:
+    """Run constrained inference in place on a flat level-order tree.
 
-    def __init__(self, domain: Domain2D, epsilon: float, root: SpatialNode):
+    Writes the consistent estimates into ``tree.counts``; bit-identical
+    to :func:`apply_tree_inference` on the equivalent object graph (see
+    :func:`~repro.baselines.constrained_inference.infer_level_order`).
+    The write updates the existing ``counts`` buffer rather than
+    rebinding it, so engines already built over these arrays (which
+    reference the buffer) see the refreshed estimates.
+    """
+    tree.counts[:] = infer_level_order(
+        tree.noisy_counts, tree.variances, tree.child_offsets, tree.level_offsets
+    )
+
+
+class TreeSynopsis(Synopsis):
+    """A released spatial decomposition answering queries top-down.
+
+    The released state is a :class:`TreeArrays`; a :class:`SpatialNode`
+    root is also accepted and converted.  The object graph is only
+    materialised on demand (:attr:`root`) for the scalar reference path
+    and tree-walking callers — batches never touch it.
+    """
+
+    def __init__(
+        self,
+        domain: Domain2D,
+        epsilon: float,
+        tree: "TreeArrays | SpatialNode",
+    ):
         super().__init__(domain, epsilon)
-        self._root = root
+        if isinstance(tree, TreeArrays):
+            self._arrays = tree
+            self._root: SpatialNode | None = None
+        elif isinstance(tree, SpatialNode):
+            self._arrays = TreeArrays.from_root(tree)
+            self._root = tree
+        else:
+            raise TypeError(
+                f"tree must be TreeArrays or SpatialNode, got {type(tree).__name__}"
+            )
+        self._engine = None  # lazy FlatTreeEngine for answer_many
+
+    @property
+    def arrays(self) -> TreeArrays:
+        """The flat released state (what engines and serialisation read)."""
+        return self._arrays
 
     @property
     def root(self) -> SpatialNode:
+        """The object-graph view, materialised from the arrays on demand.
+
+        A read-only snapshot: the arrays are the released state, and
+        mutating the returned nodes does not write back to them (nor to
+        engines, serialization, or ``answer_many``).
+        """
+        if self._root is None:
+            self._root = self._arrays.to_root()
         return self._root
 
     def node_count(self) -> int:
-        return self._root.node_count()
+        return self._arrays.node_count()
 
     def leaf_count(self) -> int:
-        return self._root.leaf_count()
+        return self._arrays.leaf_count()
 
     def height(self) -> int:
-        return self._root.height()
+        return self._arrays.height()
 
     def answer(self, rect: Rect) -> float:
-        return self._answer_node(self._root, rect)
+        return self._answer_node(self.root, rect)
 
     def _answer_node(self, node: SpatialNode, rect: Rect) -> float:
         region = node.rect
@@ -140,16 +453,39 @@ class TreeSynopsis(Synopsis):
             total += self._answer_node(child, rect)
         return total
 
+    def answer_many(self, rects: "list[Rect] | np.ndarray") -> np.ndarray:
+        """Batch answering via the flat level-order engine (see
+        :class:`~repro.queries.engine.FlatTreeEngine`); equal to the
+        scalar descent up to floating-point rounding.  Accepts a list of
+        :class:`Rect`, a list of 4-number rows, or an ``(n, 4)`` array."""
+        if self._engine is None:
+            from repro.queries.engine import make_engine
+
+            self._engine = make_engine(self)
+        return self._engine.answer_batch(rects)
+
     def synthetic_points(self, rng: np.random.Generator) -> np.ndarray:
         """Sample points uniformly within each leaf region by its count."""
-        clouds = []
-        for leaf in self._root.iter_leaves():
-            n = int(max(0, round(leaf.count)))
-            if n == 0:
-                continue
-            xs = rng.uniform(leaf.rect.x_lo, leaf.rect.x_hi, size=n)
-            ys = rng.uniform(leaf.rect.y_lo, leaf.rect.y_hi, size=n)
-            clouds.append(np.column_stack([xs, ys]))
-        if not clouds:
+        arrays = self._arrays
+        leaves = np.flatnonzero(arrays.leaf_mask)
+        sizes = np.maximum(0, np.round(arrays.counts[leaves])).astype(np.int64)
+        keep = sizes > 0
+        leaves, sizes = leaves[keep], sizes[keep]
+        if leaves.size == 0:
             return np.empty((0, 2))
-        return np.vstack(clouds)
+        boxes = np.repeat(arrays.rects[leaves], sizes, axis=0)
+        total = int(sizes.sum())
+        xs = rng.uniform(boxes[:, 0], boxes[:, 2], size=total)
+        ys = rng.uniform(boxes[:, 1], boxes[:, 3], size=total)
+        return np.column_stack([xs, ys])
+
+
+def _register_engine() -> None:
+    # Self-registration keeps queries.engine's make_engine registry in
+    # sync without that module having to know about tree synopses.
+    from repro.queries.engine import FlatTreeEngine, register_engine
+
+    register_engine(TreeSynopsis, FlatTreeEngine)
+
+
+_register_engine()

@@ -611,3 +611,14 @@ class AdaptiveGridBuilder(SynopsisBuilder):
             totals,
             np.concatenate(leaf_chunks),
         )
+
+
+def _register_engine() -> None:
+    # Self-registration keeps queries.engine's make_engine registry in
+    # sync without that module having to know about grid synopses.
+    from repro.queries.engine import FlatAdaptiveGridEngine, register_engine
+
+    register_engine(AdaptiveGridSynopsis, FlatAdaptiveGridEngine)
+
+
+_register_engine()

@@ -18,7 +18,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.baselines.tree import SpatialNode, TreeSynopsis
+from repro.baselines.tree import SpatialNode, TreeArrays, TreeSynopsis
 from repro.core.adaptive_grid import AdaptiveGridSynopsis
 from repro.core.geometry import Domain2D, Rect
 from repro.core.grid import GridLayout
@@ -151,31 +151,53 @@ def _unpack_adaptive(data: dict[str, np.ndarray]) -> AdaptiveGridSynopsis:
 
 
 def _pack_tree(synopsis: TreeSynopsis) -> dict[str, np.ndarray]:
-    # Flatten the tree in pre-order; record each node's child count so the
-    # structure can be rebuilt without pickling.
-    rects, counts, child_counts, depths = [], [], [], []
-
-    def visit(node: SpatialNode) -> None:
-        rects.append(node.rect.as_tuple())
-        counts.append(node.count)
-        child_counts.append(len(node.children))
-        depths.append(node.depth)
-        for child in node.children:
-            visit(child)
-
-    visit(synopsis.root)
+    # The flat TreeArrays state *is* the archive layout: level-order node
+    # arrays with CSR child offsets.  noisy_counts / variances ride along
+    # so constrained inference can be re-run on a loaded release.
+    arrays = synopsis.arrays
     return {
         "kind": np.array("tree"),
         "domain": _domain_array(synopsis.domain),
         "epsilon": np.array(synopsis.epsilon),
-        "rects": np.array(rects),
-        "counts": np.array(counts),
-        "child_counts": np.array(child_counts, dtype=np.int64),
-        "depths": np.array(depths, dtype=np.int64),
+        "rects": arrays.rects,
+        "counts": arrays.counts,
+        "noisy_counts": arrays.noisy_counts,
+        "variances": arrays.variances,
+        "depths": arrays.depths,
+        "child_offsets": arrays.child_offsets,
+        "level_offsets": arrays.level_offsets,
     }
 
 
 def _unpack_tree(data: dict[str, np.ndarray]) -> TreeSynopsis:
+    if "child_offsets" not in data:
+        return _unpack_tree_legacy(data)
+    arrays = TreeArrays(
+        rects=np.asarray(data["rects"], dtype=float),
+        depths=np.asarray(data["depths"], dtype=np.int64),
+        child_offsets=np.asarray(data["child_offsets"], dtype=np.int64),
+        noisy_counts=np.asarray(data["noisy_counts"], dtype=float),
+        variances=np.asarray(data["variances"], dtype=float),
+        counts=np.asarray(data["counts"], dtype=float),
+        level_offsets=np.asarray(data["level_offsets"], dtype=np.int64),
+    )
+    try:
+        arrays.validate()
+    except ValueError as exc:
+        raise ValueError(f"corrupt tree archive: {exc}") from exc
+    return TreeSynopsis(
+        _domain_from_array(data["domain"]), float(data["epsilon"]), arrays
+    )
+
+
+def _unpack_tree_legacy(data: dict[str, np.ndarray]) -> TreeSynopsis:
+    """Restore the pre-flat-kernel pre-order archive layout.
+
+    Older archives stored per-node child *counts* in DFS pre-order (and
+    no raw measurements); the object graph is rebuilt recursively and
+    converted, so releases persisted before the flat tree kernel stay
+    loadable.
+    """
     rects = np.asarray(data["rects"], dtype=float)
     counts = np.asarray(data["counts"], dtype=float)
     child_counts = np.asarray(data["child_counts"], dtype=np.int64)

@@ -180,3 +180,17 @@ class UniformGridBuilder(SynopsisBuilder):
         mx = max(1, round(m * math.sqrt(aspect)))
         my = max(1, round(m / math.sqrt(aspect)))
         return mx, my
+
+
+def _register_engine() -> None:
+    # Self-registration keeps queries.engine's make_engine registry in
+    # sync without that module having to know about grid synopses.
+    from repro.queries.engine import BatchQueryEngine, register_engine
+
+    register_engine(
+        UniformGridSynopsis,
+        lambda synopsis: BatchQueryEngine(synopsis.layout, synopsis.counts),
+    )
+
+
+_register_engine()

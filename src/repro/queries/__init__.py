@@ -5,8 +5,10 @@ from repro.queries.engine import (
     BatchQueryEngine,
     FallbackEngine,
     FlatAdaptiveGridEngine,
+    FlatTreeEngine,
     make_engine,
     rects_to_boxes,
+    register_engine,
     scalar_answer_batch,
 )
 from repro.queries.metrics import (
@@ -28,8 +30,10 @@ __all__ = [
     "ErrorProfile",
     "FallbackEngine",
     "FlatAdaptiveGridEngine",
+    "FlatTreeEngine",
     "make_engine",
     "rects_to_boxes",
+    "register_engine",
     "scalar_answer_batch",
     "QuerySize",
     "QueryWorkload",

@@ -30,12 +30,27 @@ flat leaf vector) and answers a batch by expanding it into
 Python loop over cells or queries.  :class:`AdaptiveGridEngine`, the
 historical one-``BatchQueryEngine``-per-cell composite, is retained as
 the reference implementation for equivalence tests and benchmarks.
-:func:`make_engine` picks the right engine for any supported synopsis,
-which is how the serving layer (:mod:`repro.service`) reuses one
-prepared engine across many incoming query batches.
+
+For spatial trees (quadtree, KD-standard, KD-hybrid), whose released
+state is the flat level-order :class:`~repro.baselines.tree.TreeArrays`,
+:class:`FlatTreeEngine` answers a whole batch by level-synchronous
+frontier descent: every live (query, node) pair is classified as
+contained / disjoint / partial in one vectorised pass per tree level,
+contained nodes contribute their counts through one ``bincount`` gather,
+partial leaves resolve the uniformity estimate in the same fused pass,
+and only partial internal pairs expand to the next level's frontier.
+
+:func:`make_engine` picks the right engine for any supported synopsis
+from a **registry**: synopsis modules call :func:`register_engine` at
+import time to map their type to an engine factory, so adding a synopsis
+type never edits this module.  That is how the serving layer
+(:mod:`repro.service`) reuses one prepared engine across many incoming
+query batches for every synopsis family.
 """
 
 from __future__ import annotations
+
+from typing import Callable
 
 import numpy as np
 
@@ -45,9 +60,11 @@ from repro.core.grid import GridLayout
 __all__ = [
     "BatchQueryEngine",
     "FlatAdaptiveGridEngine",
+    "FlatTreeEngine",
     "AdaptiveGridEngine",
     "FallbackEngine",
     "make_engine",
+    "register_engine",
     "rects_to_boxes",  # canonical home: repro.core.geometry
     "scalar_answer_batch",
 ]
@@ -56,17 +73,22 @@ __all__ = [
 def scalar_answer_batch(synopsis, rects: "list[Rect] | np.ndarray") -> np.ndarray:
     """Answer a batch through a synopsis's scalar ``answer`` loop.
 
-    The shared fallback path: same contract as the vectorised engines —
-    inverted rows (``x_hi < x_lo`` or ``y_hi < y_lo``) answer 0 instead
-    of raising from the :class:`Rect` constructor.  Used by
+    The shared fallback path: same contract as the vectorised engines.
+    An empty batch returns an empty ``(0,)`` vector without touching the
+    synopsis; inverted rows (``x_hi < x_lo`` or ``y_hi < y_lo``, which
+    includes NaN bounds) answer 0 instead of raising from the
+    :class:`Rect` constructor; degenerate zero-area rows are answered
+    exactly like the equivalent edge/point :class:`Rect` query.  Used by
     :class:`FallbackEngine` and by ``AdaptiveGridSynopsis.answer_many``'s
     small-batch branch.
     """
     boxes = rects_to_boxes(rects)
     out = np.zeros(boxes.shape[0])
-    for idx, row in enumerate(boxes):
-        if row[2] >= row[0] and row[3] >= row[1]:
-            out[idx] = synopsis.answer(Rect(*row))
+    if boxes.shape[0] == 0:
+        return out
+    valid = (boxes[:, 2] >= boxes[:, 0]) & (boxes[:, 3] >= boxes[:, 1])
+    for idx in np.flatnonzero(valid):
+        out[idx] = synopsis.answer(Rect(*boxes[idx]))
     return out
 
 
@@ -503,12 +525,147 @@ class AdaptiveGridEngine:
         return total
 
 
+class FlatTreeEngine:
+    """Flat level-order batch engine for ``TreeSynopsis`` releases.
+
+    Preprocessing copies the released :class:`~repro.baselines.tree.
+    TreeArrays` state into per-coordinate node vectors (rect bounds,
+    counts, CSR child offsets, leaf areas).  A batch is answered by
+    level-synchronous frontier descent: the frontier starts as one
+    (query, root) pair per valid query, and each round classifies every
+    frontier pair in one vectorised pass —
+
+    * **disjoint** pairs (node rect and closed query share no point)
+      are dropped;
+    * **contained** pairs (query covers the node rect) contribute the
+      node's whole count;
+    * **partial leaves** contribute ``count * overlap_fraction`` — the
+      same uniformity estimate the scalar descent computes, with
+      zero-area leaves counted fully when touched;
+    * **partial internal** pairs expand to their children via
+      ``repeat``/``arange`` arithmetic on the CSR offsets.
+
+    Contributions accumulate per query with ``np.bincount``; the loop
+    runs at most ``height + 1`` times regardless of batch size.  Answers
+    equal ``TreeSynopsis.answer`` up to floating-point rounding: the
+    per-pair classification and estimates evaluate the same expressions,
+    but contributions are summed level by level instead of in the scalar
+    path's depth-first order, so the additions associate differently.
+    """
+
+    def __init__(self, synopsis):
+        arrays = synopsis.arrays
+        rects = np.asarray(arrays.rects, dtype=float)
+        self._x_lo = np.ascontiguousarray(rects[:, 0])
+        self._y_lo = np.ascontiguousarray(rects[:, 1])
+        self._x_hi = np.ascontiguousarray(rects[:, 2])
+        self._y_hi = np.ascontiguousarray(rects[:, 3])
+        self._areas = (self._x_hi - self._x_lo) * (self._y_hi - self._y_lo)
+        self._counts = np.asarray(arrays.counts, dtype=float)
+        self._child_offsets = np.asarray(arrays.child_offsets, dtype=np.int64)
+        self._fan_out = self._child_offsets[1:] - self._child_offsets[:-1]
+        self._is_leaf = self._fan_out == 0
+        self._n_levels = arrays.n_levels
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self._counts.size)
+
+    @property
+    def nbytes(self) -> int:
+        """In-memory footprint of the prepared buffers."""
+        arrays = (
+            self._x_lo, self._y_lo, self._x_hi, self._y_hi, self._areas,
+            self._counts, self._child_offsets, self._fan_out, self._is_leaf,
+        )
+        return sum(a.nbytes for a in arrays)
+
+    def answer_batch(self, rects: list[Rect] | np.ndarray) -> np.ndarray:
+        """Uniformity estimates for every rectangle in the batch."""
+        boxes = rects_to_boxes(rects)
+        n = boxes.shape[0]
+        if n == 0:
+            return np.empty(0)
+        out = np.zeros(n)
+        # Inverted rows (including NaN bounds) answer 0, matching
+        # scalar_answer_batch; they never enter the frontier.
+        valid = (boxes[:, 2] >= boxes[:, 0]) & (boxes[:, 3] >= boxes[:, 1])
+        frontier_q = np.flatnonzero(valid)
+        frontier_v = np.zeros(frontier_q.size, dtype=np.int64)
+        qx_lo = boxes[frontier_q, 0]
+        qy_lo = boxes[frontier_q, 1]
+        qx_hi = boxes[frontier_q, 2]
+        qy_hi = boxes[frontier_q, 3]
+
+        while frontier_q.size:
+            nx_lo = self._x_lo[frontier_v]
+            ny_lo = self._y_lo[frontier_v]
+            nx_hi = self._x_hi[frontier_v]
+            ny_hi = self._y_hi[frontier_v]
+            # Closed-rect classification: the same comparisons as
+            # Rect.intersects / Rect.contains_rect in the scalar descent.
+            intersects = (
+                (nx_lo <= qx_hi) & (qx_lo <= nx_hi)
+                & (ny_lo <= qy_hi) & (qy_lo <= ny_hi)
+            )
+            contained = (
+                (qx_lo <= nx_lo) & (nx_hi <= qx_hi)
+                & (qy_lo <= ny_lo) & (ny_hi <= qy_hi)
+            )
+            leaf = self._is_leaf[frontier_v]
+            partial_leaf = intersects & ~contained & leaf
+
+            scores = np.zeros(frontier_q.size)
+            scores[contained] = self._counts[frontier_v[contained]]
+            if partial_leaf.any():
+                pv = frontier_v[partial_leaf]
+                # interval_overlap per axis, then the overlap fraction —
+                # expression for expression what Rect.overlap_fraction
+                # computes, with zero-area regions counted fully.
+                dx = np.minimum(nx_hi[partial_leaf], qx_hi[partial_leaf]) - (
+                    np.maximum(nx_lo[partial_leaf], qx_lo[partial_leaf])
+                )
+                dy = np.minimum(ny_hi[partial_leaf], qy_hi[partial_leaf]) - (
+                    np.maximum(ny_lo[partial_leaf], qy_lo[partial_leaf])
+                )
+                overlap = np.maximum(0.0, dx) * np.maximum(0.0, dy)
+                areas = self._areas[pv]
+                degenerate = areas == 0.0
+                fraction = overlap / np.where(degenerate, 1.0, areas)
+                fraction[degenerate] = 1.0
+                scores[partial_leaf] = self._counts[pv] * fraction
+            contributes = contained | partial_leaf
+            if contributes.any():
+                out += np.bincount(
+                    frontier_q[contributes], weights=scores[contributes],
+                    minlength=n,
+                )
+
+            # Expand partial internal pairs to (query, child) pairs.
+            expand = intersects & ~contained & ~leaf
+            if not expand.any():
+                break
+            parents = frontier_v[expand]
+            fan_out = self._fan_out[parents]
+            total = int(fan_out.sum())
+            starts = np.cumsum(fan_out) - fan_out
+            local = np.arange(total, dtype=np.int64) - np.repeat(starts, fan_out)
+            frontier_v = np.repeat(self._child_offsets[parents], fan_out) + local
+            frontier_q = np.repeat(frontier_q[expand], fan_out)
+            qx_lo = np.repeat(qx_lo[expand], fan_out)
+            qy_lo = np.repeat(qy_lo[expand], fan_out)
+            qx_hi = np.repeat(qx_hi[expand], fan_out)
+            qy_hi = np.repeat(qy_hi[expand], fan_out)
+        return out
+
+
 class FallbackEngine:
     """Adapter giving any :class:`~repro.core.synopsis.Synopsis` the
     ``answer_batch`` interface, via its scalar ``answer`` loop.
 
-    Used for synopsis types without a vectorised engine (e.g. spatial
-    trees) so the serving layer can treat every release uniformly.
+    Used for synopsis types without a registered vectorised engine so
+    the serving layer can treat every release uniformly, and as the
+    scalar second opinion in engine equivalence tests and benchmarks.
     """
 
     def __init__(self, synopsis):
@@ -518,20 +675,38 @@ class FallbackEngine:
         return scalar_answer_batch(self._synopsis, rects)
 
 
+#: Synopsis type -> engine factory.  Populated by the synopsis modules
+#: themselves at import time (see :func:`register_engine`), so the
+#: registry is always in sync with whichever synopsis types exist in the
+#: process: a synopsis instance cannot reach :func:`make_engine` without
+#: its defining module — and hence its registration — having run.
+_ENGINE_FACTORIES: dict[type, Callable] = {}
+
+
+def register_engine(synopsis_type: type, factory: Callable) -> None:
+    """Register (or replace) the batch-engine factory for a synopsis type.
+
+    ``factory`` takes the synopsis and returns an object exposing
+    ``answer_batch(rects) -> np.ndarray``.  Subclasses inherit their
+    nearest registered ancestor's factory unless they register their own.
+    """
+    _ENGINE_FACTORIES[synopsis_type] = factory
+
+
 def make_engine(synopsis):
     """Build the fastest available batch engine for a released synopsis.
 
-    Grid-backed synopses get prefix-sum engines (:class:`BatchQueryEngine`
-    for uniform grids, :class:`FlatAdaptiveGridEngine` for adaptive
-    grids); anything else falls back to the scalar loop.  The returned
-    object exposes ``answer_batch(rects) -> np.ndarray`` and holds no
-    reference to raw data, so it can be cached and shared across threads.
+    Looks the synopsis type (nearest registered ancestor first) up in
+    the engine registry — uniform grids register the prefix-sum
+    :class:`BatchQueryEngine`, adaptive grids the flat CSR
+    :class:`FlatAdaptiveGridEngine`, spatial trees the level-order
+    :class:`FlatTreeEngine` — and falls back to the scalar
+    :class:`FallbackEngine` for unregistered types.  The returned object
+    exposes ``answer_batch(rects) -> np.ndarray`` and holds no reference
+    to raw data, so it can be cached and shared across threads.
     """
-    from repro.core.adaptive_grid import AdaptiveGridSynopsis
-    from repro.core.uniform_grid import UniformGridSynopsis
-
-    if isinstance(synopsis, UniformGridSynopsis):
-        return BatchQueryEngine(synopsis.layout, synopsis.counts)
-    if isinstance(synopsis, AdaptiveGridSynopsis):
-        return FlatAdaptiveGridEngine(synopsis)
+    for cls in type(synopsis).__mro__:
+        factory = _ENGINE_FACTORIES.get(cls)
+        if factory is not None:
+            return factory(synopsis)
     return FallbackEngine(synopsis)

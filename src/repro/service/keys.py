@@ -61,11 +61,19 @@ def make_builder(method: str) -> SynopsisBuilder:
 
 
 def _register_defaults() -> None:
+    from repro.baselines.kd_tree import KDHybridBuilder, KDStandardBuilder
+    from repro.baselines.quadtree import QuadtreeBuilder
     from repro.core.adaptive_grid import AdaptiveGridBuilder
     from repro.core.uniform_grid import UniformGridBuilder
 
     register_method("UG", UniformGridBuilder)
     register_method("AG", AdaptiveGridBuilder)
+    # The tree baselines serve like grids since the flat tree kernel:
+    # TreeArrays releases serialise, report synopsis_nbytes, and
+    # batch-answer through FlatTreeEngine.
+    register_method("Quad", QuadtreeBuilder)
+    register_method("Kst", KDStandardBuilder)
+    register_method("Khy", KDHybridBuilder)
 
 
 _register_defaults()

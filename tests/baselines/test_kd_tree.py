@@ -207,3 +207,64 @@ class TestUniformitySplitStrategy:
             small_skewed, 1.0, rng, budget=budget
         )
         assert budget.spent == pytest.approx(1.0)
+
+
+class TestFlatBuildEquivalence:
+    """fit (flat TreeArrays emission) == fit_reference (object graph)."""
+
+    @pytest.mark.parametrize(
+        "make_builder",
+        [
+            lambda: KDStandardBuilder(depth=6),
+            lambda: KDHybridBuilder(depth=7),
+            lambda: KDTreeBuilder(
+                depth=5, split_strategy="uniformity", median_fraction=0.2,
+                min_split_count=0.0,
+            ),
+            lambda: KDTreeBuilder(depth=4, median_fraction=0.0),
+        ],
+        ids=["kst", "khy", "uniformity", "no-median"],
+    )
+    def test_release_bit_identical(self, small_skewed, make_builder):
+        flat = make_builder().fit(small_skewed, 1.0, np.random.default_rng(17))
+        reference = make_builder().fit_reference(
+            small_skewed, 1.0, np.random.default_rng(17)
+        )
+        a, b = flat.arrays, reference.arrays
+        a.validate()
+        b.validate()
+        np.testing.assert_array_equal(a.rects, b.rects)
+        np.testing.assert_array_equal(a.depths, b.depths)
+        np.testing.assert_array_equal(a.child_offsets, b.child_offsets)
+        np.testing.assert_array_equal(a.noisy_counts, b.noisy_counts)
+        np.testing.assert_array_equal(a.variances, b.variances)
+        np.testing.assert_array_equal(a.counts, b.counts)
+        np.testing.assert_array_equal(a.level_offsets, b.level_offsets)
+
+    def test_budget_ledgers_match(self, small_skewed):
+        from repro.privacy.budget import PrivacyBudget
+
+        flat_budget = PrivacyBudget(1.0)
+        KDHybridBuilder(depth=6).fit(
+            small_skewed, 1.0, np.random.default_rng(3), budget=flat_budget
+        )
+        reference_budget = PrivacyBudget(1.0)
+        KDHybridBuilder(depth=6).fit_reference(
+            small_skewed, 1.0, np.random.default_rng(3), budget=reference_budget
+        )
+        assert [
+            (entry.epsilon, entry.label) for entry in flat_budget.ledger
+        ] == [
+            (entry.epsilon, entry.label) for entry in reference_budget.ledger
+        ]
+
+    def test_answer_many_matches_scalar_descent(self, small_skewed, rng):
+        synopsis = KDHybridBuilder(depth=6).fit(small_skewed, 1.0, rng)
+        rects = [
+            Rect(0.0, 0.0, 1.0, 1.0),
+            Rect(0.1, 0.2, 0.6, 0.9),
+            Rect(0.25, 0.25, 0.25, 0.75),  # degenerate edge
+        ]
+        many = synopsis.answer_many(rects)
+        singles = np.array([synopsis.answer(rect) for rect in rects])
+        np.testing.assert_allclose(many, singles, rtol=1e-9, atol=1e-9)

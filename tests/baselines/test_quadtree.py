@@ -57,3 +57,21 @@ class TestAccuracy:
         quadrant = Rect(0.0, 0.0, 0.5, 0.5)
         truth = small_skewed.count_in(quadrant)
         assert synopsis.answer(quadrant) == pytest.approx(truth, rel=0.15)
+
+
+class TestFlatBuildEquivalence:
+    def test_release_bit_identical(self, small_skewed):
+        import numpy as np
+
+        flat = QuadtreeBuilder(depth=5).fit(
+            small_skewed, 1.0, np.random.default_rng(23)
+        )
+        reference = QuadtreeBuilder(depth=5).fit_reference(
+            small_skewed, 1.0, np.random.default_rng(23)
+        )
+        a, b = flat.arrays, reference.arrays
+        a.validate()
+        np.testing.assert_array_equal(a.rects, b.rects)
+        np.testing.assert_array_equal(a.noisy_counts, b.noisy_counts)
+        np.testing.assert_array_equal(a.counts, b.counts)
+        np.testing.assert_array_equal(a.child_offsets, b.child_offsets)

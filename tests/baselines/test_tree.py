@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.baselines.tree import SpatialNode, TreeSynopsis, apply_tree_inference
+from repro.baselines.tree import (
+    SpatialNode,
+    TreeArrays,
+    TreeSynopsis,
+    apply_tree_inference,
+)
 from repro.core.geometry import Domain2D, Rect
 
 
@@ -79,3 +84,93 @@ class TestTreeInference:
         apply_tree_inference(root)
         assert root.count == pytest.approx(100.0)
         assert root.children[0].count == pytest.approx(70.0)
+
+
+class TestTreeArrays:
+    def test_from_root_level_order(self):
+        arrays = TreeArrays.from_root(two_level_tree())
+        arrays.validate()
+        assert arrays.n_nodes == 3
+        assert arrays.n_levels == 2
+        np.testing.assert_array_equal(arrays.depths, [0, 1, 1])
+        np.testing.assert_array_equal(arrays.child_offsets, [1, 3, 3, 3])
+        np.testing.assert_array_equal(arrays.level_offsets, [0, 1, 3])
+        np.testing.assert_array_equal(arrays.counts, [100.0, 70.0, 30.0])
+        # Siblings keep their split order: left child first.
+        assert arrays.rects[1, 2] == 0.5
+
+    def test_structure_queries_match_object_graph(self):
+        root = two_level_tree()
+        arrays = TreeArrays.from_root(root)
+        assert arrays.node_count() == root.node_count()
+        assert arrays.leaf_count() == root.leaf_count()
+        assert arrays.height() == root.height()
+
+    def test_unmeasured_nodes_round_trip_as_nan(self):
+        root = two_level_tree()
+        root.noisy_count = None
+        root.variance = float("inf")
+        arrays = TreeArrays.from_root(root)
+        assert np.isnan(arrays.noisy_counts[0])
+        rebuilt = arrays.to_root()
+        assert rebuilt.noisy_count is None
+        assert rebuilt.variance == float("inf")
+        assert rebuilt.children[0].noisy_count == 70.0
+
+    def test_single_node(self):
+        leaf = SpatialNode(
+            rect=Rect(0.0, 0.0, 1.0, 1.0), noisy_count=5.0, variance=1.0,
+            count=5.0,
+        )
+        arrays = TreeArrays.from_root(leaf)
+        arrays.validate()
+        assert arrays.n_nodes == 1
+        assert arrays.height() == 0
+        assert arrays.leaf_count() == 1
+
+    def test_nbytes_positive(self):
+        assert TreeArrays.from_root(two_level_tree()).nbytes > 0
+
+    def test_validate_rejects_shuffled_depths(self):
+        arrays = TreeArrays.from_root(two_level_tree())
+        arrays.depths = arrays.depths[::-1].copy()
+        with pytest.raises(ValueError):
+            arrays.validate()
+
+    def test_synopsis_accepts_arrays_and_materialises_root(self):
+        arrays = TreeArrays.from_root(two_level_tree())
+        synopsis = TreeSynopsis(Domain2D.unit(), 1.0, arrays)
+        assert synopsis.arrays is arrays
+        assert synopsis.node_count() == 3
+        assert synopsis.root.children[0].count == 70.0
+        assert synopsis.answer(Rect(0.0, 0.0, 0.5, 1.0)) == 70.0
+
+    def test_synopsis_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            TreeSynopsis(Domain2D.unit(), 1.0, "not a tree")
+
+    def test_answer_many_routes_through_flat_engine(self):
+        from repro.queries.engine import FlatTreeEngine
+
+        synopsis = TreeSynopsis(Domain2D.unit(), 1.0, two_level_tree())
+        rects = [Rect(0.0, 0.0, 0.25, 1.0), Rect(0.0, 0.0, 1.0, 1.0)]
+        np.testing.assert_allclose(
+            synopsis.answer_many(rects), [35.0, 100.0], rtol=1e-12
+        )
+        assert isinstance(synopsis._engine, FlatTreeEngine)
+
+    def test_flat_inference_matches_object_graph_path(self):
+        from repro.baselines.tree import (
+            apply_tree_inference,
+            apply_tree_inference_arrays,
+        )
+
+        root = two_level_tree()
+        root.noisy_count = 120.0
+        arrays = TreeArrays.from_root(root)
+        apply_tree_inference_arrays(arrays)
+        apply_tree_inference(root)
+        np.testing.assert_array_equal(
+            arrays.counts,
+            [root.count, root.children[0].count, root.children[1].count],
+        )

@@ -84,6 +84,81 @@ class TestTreeRoundtrip:
         assert restored.height() == synopsis.height()
         assert_same_answers(synopsis, restored)
 
+    def test_flat_arrays_round_trip_exactly(self, small_skewed, rng, tmp_path):
+        """The archive is the TreeArrays state: every field is preserved,
+        including the raw measurements (so inference can be re-run)."""
+        synopsis = KDHybridBuilder(depth=5).fit(small_skewed, 1.0, rng)
+        path = tmp_path / "tree.npz"
+        save_synopsis(synopsis, path)
+        restored = load_synopsis(path)
+        a, b = synopsis.arrays, restored.arrays
+        np.testing.assert_array_equal(a.rects, b.rects)
+        np.testing.assert_array_equal(a.depths, b.depths)
+        np.testing.assert_array_equal(a.child_offsets, b.child_offsets)
+        np.testing.assert_array_equal(a.noisy_counts, b.noisy_counts)
+        np.testing.assert_array_equal(a.variances, b.variances)
+        np.testing.assert_array_equal(a.counts, b.counts)
+        np.testing.assert_array_equal(a.level_offsets, b.level_offsets)
+
+    def test_restored_batch_answers_match(self, small_skewed, rng, tmp_path):
+        from repro.queries.engine import make_engine
+
+        synopsis = KDHybridBuilder(depth=5).fit(small_skewed, 1.0, rng)
+        path = tmp_path / "tree.npz"
+        save_synopsis(synopsis, path)
+        restored = load_synopsis(path)
+        np.testing.assert_array_equal(
+            make_engine(restored).answer_batch(QUERIES),
+            make_engine(synopsis).answer_batch(QUERIES),
+        )
+
+    def test_legacy_preorder_archive_loads(self, small_skewed, rng, tmp_path):
+        """Archives written before the flat kernel (pre-order rects +
+        child_counts, no measurements) must still restore."""
+        synopsis = KDHybridBuilder(depth=4).fit(small_skewed, 1.0, rng)
+
+        # Re-create the legacy payload from the object graph.
+        rects, counts, child_counts, depths = [], [], [], []
+
+        def visit(node):
+            rects.append(node.rect.as_tuple())
+            counts.append(node.count)
+            child_counts.append(len(node.children))
+            depths.append(node.depth)
+            for child in node.children:
+                visit(child)
+
+        visit(synopsis.root)
+        path = tmp_path / "legacy.npz"
+        np.savez_compressed(
+            path,
+            format_version=np.array(1),
+            kind=np.array("tree"),
+            domain=np.array(synopsis.domain.bounds.as_tuple()),
+            epsilon=np.array(synopsis.epsilon),
+            rects=np.array(rects),
+            counts=np.array(counts),
+            child_counts=np.array(child_counts, dtype=np.int64),
+            depths=np.array(depths, dtype=np.int64),
+        )
+        restored = load_synopsis(path)
+        assert restored.node_count() == synopsis.node_count()
+        assert restored.height() == synopsis.height()
+        assert_same_answers(synopsis, restored)
+
+    def test_corrupt_offsets_rejected(self, small_skewed, rng, tmp_path):
+        synopsis = KDHybridBuilder(depth=4).fit(small_skewed, 1.0, rng)
+        path = tmp_path / "tree.npz"
+        save_synopsis(synopsis, path)
+        with np.load(path) as archive:
+            data = {key: archive[key] for key in archive.files}
+        offsets = data["child_offsets"].copy()
+        offsets[0] = 5  # children must start at node 1
+        data["child_offsets"] = offsets
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="corrupt tree archive"):
+            load_synopsis(path)
+
 
 class TestErrors:
     def test_unknown_type_rejected(self, tmp_path):

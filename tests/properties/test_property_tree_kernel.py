@@ -1,0 +1,242 @@
+"""Property tests for the flat tree kernel.
+
+Two equivalences pin the kernel to its recursive references:
+
+* ``infer_level_order`` (flat level-wise array inference) must be
+  **bit-identical** to ``infer_tree`` over the equivalent ``CountNode``
+  graph — including unbalanced trees, single-node trees, unmeasured
+  internals, and variance-infinity roots.
+* ``FlatTreeEngine`` (level-synchronous frontier descent) must match
+  ``TreeSynopsis.answer``'s recursive descent up to floating-point
+  rounding on adversarial query mixes: boundary-aligned, duplicated,
+  degenerate, inverted, and out-of-domain rectangles.
+"""
+
+import math
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.baselines.constrained_inference import CountNode, infer_tree
+from repro.baselines.tree import (
+    SpatialNode,
+    TreeArrays,
+    TreeSynopsis,
+    apply_tree_inference_arrays,
+)
+from repro.core.geometry import Domain2D, Rect
+from repro.queries.engine import FlatTreeEngine, scalar_answer_batch
+
+counts = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+variances = st.floats(min_value=0.01, max_value=100.0, allow_nan=False)
+fractions = st.floats(min_value=0.1, max_value=0.9)
+
+
+@st.composite
+def random_spatial_trees(draw, max_depth: int = 4) -> SpatialNode:
+    """A random measured spatial tree whose children partition parents.
+
+    Shapes are deliberately ragged: each internal node draws its own
+    fan-out (an axis split or a quadrant split) and every child decides
+    independently whether to keep splitting, so the tree can be a single
+    node, a full quadtree, or anything unbalanced in between.  Internal
+    nodes may be unmeasured (``noisy_count=None, variance=inf``) — the
+    variance-infinity-root case included; leaves always carry a
+    measurement, as both inference implementations require.
+    """
+
+    def build(rect: Rect, level: int) -> SpatialNode:
+        is_leaf = level >= max_depth or draw(st.booleans())
+        if is_leaf:
+            return SpatialNode(
+                rect=rect,
+                noisy_count=draw(counts),
+                variance=draw(variances),
+                depth=level,
+            )
+        if draw(st.booleans()):  # quadrant split
+            fx = rect.x_lo + draw(fractions) * rect.width
+            fy = rect.y_lo + draw(fractions) * rect.height
+            child_rects = [
+                Rect(rect.x_lo, rect.y_lo, fx, fy),
+                Rect(fx, rect.y_lo, rect.x_hi, fy),
+                Rect(rect.x_lo, fy, fx, rect.y_hi),
+                Rect(fx, fy, rect.x_hi, rect.y_hi),
+            ]
+        else:  # axis split
+            axis = draw(st.integers(min_value=0, max_value=1))
+            if axis == 0:
+                split = rect.x_lo + draw(fractions) * rect.width
+                child_rects = [
+                    Rect(rect.x_lo, rect.y_lo, split, rect.y_hi),
+                    Rect(split, rect.y_lo, rect.x_hi, rect.y_hi),
+                ]
+            else:
+                split = rect.y_lo + draw(fractions) * rect.height
+                child_rects = [
+                    Rect(rect.x_lo, rect.y_lo, rect.x_hi, split),
+                    Rect(rect.x_lo, split, rect.x_hi, rect.y_hi),
+                ]
+        measured = draw(st.booleans())
+        node = SpatialNode(
+            rect=rect,
+            noisy_count=draw(counts) if measured else None,
+            variance=draw(variances) if measured else math.inf,
+            depth=level,
+        )
+        node.children = [build(child, level + 1) for child in child_rects]
+        return node
+
+    root = build(Rect(0.0, 0.0, 1.0, 1.0), 0)
+    if root.is_leaf and root.noisy_count is None:
+        root.noisy_count = draw(counts)
+        root.variance = draw(variances)
+    return root
+
+
+def _to_count_node(node: SpatialNode) -> CountNode:
+    return CountNode(
+        noisy_count=node.noisy_count,
+        variance=node.variance,
+        children=[_to_count_node(child) for child in node.children],
+    )
+
+
+def _bfs_inferred(root: CountNode) -> list[float]:
+    out, queue = [], [root]
+    index = 0
+    while index < len(queue):
+        node = queue[index]
+        out.append(node.inferred_count)
+        queue.extend(node.children)
+        index += 1
+    return out
+
+
+@settings(max_examples=120)
+@given(random_spatial_trees())
+def test_flat_inference_bit_identical_to_recursive(root: SpatialNode):
+    count_root = _to_count_node(root)
+    infer_tree(count_root)
+    reference = np.array(_bfs_inferred(count_root))
+
+    arrays = TreeArrays.from_root(root)
+    arrays.validate()
+    apply_tree_inference_arrays(arrays)
+    np.testing.assert_array_equal(arrays.counts, reference)
+
+
+@settings(max_examples=60)
+@given(random_spatial_trees())
+def test_flat_inference_consistent(root: SpatialNode):
+    """Every parent's inferred count equals the sum of its children's."""
+    arrays = TreeArrays.from_root(root)
+    apply_tree_inference_arrays(arrays)
+    offsets = arrays.child_offsets
+    for v in range(arrays.n_nodes):
+        lo, hi = offsets[v], offsets[v + 1]
+        if hi > lo:
+            np.testing.assert_allclose(
+                arrays.counts[v], arrays.counts[lo:hi].sum(),
+                rtol=1e-6, atol=1e-6,
+            )
+
+
+def test_single_node_tree_inference():
+    leaf = SpatialNode(
+        rect=Rect(0.0, 0.0, 1.0, 1.0), noisy_count=7.5, variance=2.0
+    )
+    arrays = TreeArrays.from_root(leaf)
+    apply_tree_inference_arrays(arrays)
+    np.testing.assert_array_equal(arrays.counts, [7.5])
+
+
+def test_variance_infinity_root_takes_children_sum():
+    """An unmeasured root's estimate is exactly its children's z-sum."""
+    left = SpatialNode(
+        rect=Rect(0.0, 0.0, 0.5, 1.0), noisy_count=10.0, variance=3.0, depth=1
+    )
+    right = SpatialNode(
+        rect=Rect(0.5, 0.0, 1.0, 1.0), noisy_count=20.0, variance=3.0, depth=1
+    )
+    root = SpatialNode(
+        rect=Rect(0.0, 0.0, 1.0, 1.0),
+        noisy_count=None,
+        variance=math.inf,
+        children=[left, right],
+    )
+    count_root = _to_count_node(root)
+    infer_tree(count_root)
+    arrays = TreeArrays.from_root(root)
+    apply_tree_inference_arrays(arrays)
+    np.testing.assert_array_equal(arrays.counts, _bfs_inferred(count_root))
+    assert arrays.counts[0] == 30.0
+
+
+@st.composite
+def query_batches(draw, max_queries: int = 12) -> list[Rect]:
+    """Query mixes that stress the engine's classification boundaries."""
+    rects: list[Rect] = [
+        Rect(0.0, 0.0, 1.0, 1.0),  # exact domain cover
+        Rect(-0.5, -0.5, 1.5, 1.5),  # strict superset
+        Rect(2.0, 2.0, 3.0, 3.0),  # fully disjoint
+        Rect(0.25, 0.25, 0.25, 0.75),  # degenerate vertical edge
+        Rect(0.5, 0.5, 0.5, 0.5),  # degenerate point
+    ]
+    n_random = draw(st.integers(min_value=0, max_value=max_queries))
+    for _ in range(n_random):
+        # Snap coordinates to a coarse lattice so many query edges land
+        # exactly on node boundaries (the scalar/flat tie-break paths).
+        coords = sorted(
+            draw(st.integers(min_value=-2, max_value=18)) / 16.0
+            for _ in range(2)
+        )
+        coords_y = sorted(
+            draw(st.integers(min_value=-2, max_value=18)) / 16.0
+            for _ in range(2)
+        )
+        rects.append(Rect(coords[0], coords_y[0], coords[1], coords_y[1]))
+    if rects and draw(st.booleans()):
+        rects.append(rects[draw(st.integers(0, len(rects) - 1))])  # duplicate
+    return rects
+
+
+@settings(max_examples=100)
+@given(random_spatial_trees(), query_batches())
+def test_flat_tree_engine_matches_scalar_answer(root, rects):
+    synopsis = TreeSynopsis(Domain2D.unit(), 1.0, TreeArrays.from_root(root))
+    engine = FlatTreeEngine(synopsis)
+    flat = engine.answer_batch(rects)
+    scalar = np.array([synopsis.answer(rect) for rect in rects])
+    np.testing.assert_allclose(flat, scalar, rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=40)
+@given(random_spatial_trees())
+def test_flat_tree_engine_empty_and_inverted_batches(root):
+    synopsis = TreeSynopsis(Domain2D.unit(), 1.0, TreeArrays.from_root(root))
+    engine = FlatTreeEngine(synopsis)
+    assert engine.answer_batch([]).shape == (0,)
+    assert engine.answer_batch(np.empty((0, 4))).shape == (0,)
+    # Inverted rows answer 0, matching scalar_answer_batch's contract.
+    boxes = np.array([[0.8, 0.1, 0.2, 0.9], [0.1, 0.9, 0.9, 0.1]])
+    np.testing.assert_array_equal(engine.answer_batch(boxes), [0.0, 0.0])
+    np.testing.assert_array_equal(
+        engine.answer_batch(boxes), scalar_answer_batch(synopsis, boxes)
+    )
+
+
+@settings(max_examples=60)
+@given(random_spatial_trees())
+def test_tree_arrays_object_graph_round_trip(root):
+    """from_root -> to_root -> from_root is a fixed point of the arrays."""
+    arrays = TreeArrays.from_root(root)
+    rebuilt = TreeArrays.from_root(arrays.to_root())
+    np.testing.assert_array_equal(arrays.rects, rebuilt.rects)
+    np.testing.assert_array_equal(arrays.depths, rebuilt.depths)
+    np.testing.assert_array_equal(arrays.child_offsets, rebuilt.child_offsets)
+    np.testing.assert_array_equal(arrays.noisy_counts, rebuilt.noisy_counts)
+    np.testing.assert_array_equal(arrays.variances, rebuilt.variances)
+    np.testing.assert_array_equal(arrays.counts, rebuilt.counts)
+    np.testing.assert_array_equal(arrays.level_offsets, rebuilt.level_offsets)

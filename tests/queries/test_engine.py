@@ -273,6 +273,47 @@ class TestScalarAnswerBatch:
         assert out[0] == 0.0
         assert out[1] != 0.0
 
+    def test_empty_batch_returns_zero_length_vector(self, small_skewed, rng):
+        """Pins the empty-batch contract: shape (0,), synopsis untouched."""
+        synopsis = UniformGridBuilder(grid_size=8).fit(small_skewed, 1.0, rng)
+        for empty in ([], np.empty((0, 4)), np.array([])):
+            out = scalar_answer_batch(synopsis, empty)
+            assert out.shape == (0,)
+            assert out.dtype == float
+
+    def test_empty_batch_never_calls_answer(self, unit_domain):
+        from repro.core.synopsis import Synopsis
+
+        class ExplodingSynopsis(Synopsis):
+            def answer(self, rect):
+                raise AssertionError("answer must not be called")
+
+        synopsis = ExplodingSynopsis(unit_domain, 1.0)
+        assert scalar_answer_batch(synopsis, []).shape == (0,)
+        assert FallbackEngine(synopsis).answer_batch([]).shape == (0,)
+
+    def test_degenerate_rows_answer_exact_edge(self, small_skewed, rng):
+        """Zero-area rows evaluate the equivalent edge/point Rect query."""
+        synopsis = UniformGridBuilder(grid_size=8).fit(small_skewed, 1.0, rng)
+        boxes = np.array(
+            [
+                [0.3, 0.2, 0.3, 0.8],  # vertical edge
+                [0.2, 0.5, 0.8, 0.5],  # horizontal edge
+                [0.5, 0.5, 0.5, 0.5],  # point
+            ]
+        )
+        out = scalar_answer_batch(synopsis, boxes)
+        expected = np.array([synopsis.answer(Rect(*row)) for row in boxes])
+        np.testing.assert_array_equal(out, expected)
+
+    def test_nan_rows_answer_zero(self, small_skewed, rng):
+        synopsis = UniformGridBuilder(grid_size=8).fit(small_skewed, 1.0, rng)
+        out = scalar_answer_batch(
+            synopsis,
+            np.array([[np.nan, 0.1, 0.5, 0.5], [0.1, 0.1, 0.5, np.nan]]),
+        )
+        np.testing.assert_array_equal(out, [0.0, 0.0])
+
     def test_fallback_engine_routes_through_helper(self, small_skewed, rng):
         from repro.baselines.kd_tree import KDStandardBuilder
 
@@ -295,13 +336,51 @@ class TestMakeEngine:
         )
         assert isinstance(make_engine(synopsis), FlatAdaptiveGridEngine)
 
-    def test_other_synopses_get_fallback(self, small_skewed, rng):
+    def test_tree_synopses_get_flat_tree_engine(self, small_skewed, rng):
         from repro.baselines.kd_tree import KDStandardBuilder
+        from repro.queries.engine import FlatTreeEngine
 
         synopsis = KDStandardBuilder(depth=3).fit(small_skewed, 1.0, rng)
         engine = make_engine(synopsis)
-        assert isinstance(engine, FallbackEngine)
+        assert isinstance(engine, FlatTreeEngine)
         rect = Rect(0.1, 0.1, 0.6, 0.6)
         assert engine.answer_batch([rect])[0] == pytest.approx(
             synopsis.answer(rect)
         )
+
+    def test_unregistered_synopses_get_fallback(self, unit_domain):
+        from repro.core.synopsis import Synopsis
+
+        class FortyTwoSynopsis(Synopsis):
+            def answer(self, rect):
+                return 42.0
+
+        engine = make_engine(FortyTwoSynopsis(unit_domain, 1.0))
+        assert isinstance(engine, FallbackEngine)
+        assert engine.answer_batch([Rect(0.1, 0.1, 0.6, 0.6)])[0] == 42.0
+
+    def test_registry_prefers_nearest_ancestor(self, unit_domain):
+        from repro.core.synopsis import Synopsis
+        from repro.queries.engine import register_engine
+
+        class BaseSynopsis(Synopsis):
+            def answer(self, rect):
+                return 1.0
+
+        class DerivedSynopsis(BaseSynopsis):
+            pass
+
+        sentinel = object()
+        try:
+            register_engine(BaseSynopsis, lambda synopsis: sentinel)
+            # Subclasses inherit the nearest registered ancestor's factory.
+            assert make_engine(DerivedSynopsis(unit_domain, 1.0)) is sentinel
+            override = object()
+            register_engine(DerivedSynopsis, lambda synopsis: override)
+            assert make_engine(DerivedSynopsis(unit_domain, 1.0)) is override
+            assert make_engine(BaseSynopsis(unit_domain, 1.0)) is sentinel
+        finally:
+            from repro.queries.engine import _ENGINE_FACTORIES
+
+            _ENGINE_FACTORIES.pop(BaseSynopsis, None)
+            _ENGINE_FACTORIES.pop(DerivedSynopsis, None)

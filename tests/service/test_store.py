@@ -235,3 +235,57 @@ class TestValidation:
     def test_bad_configuration_rejected(self, kwargs):
         with pytest.raises(ValueError):
             SynopsisStore(**kwargs)
+
+
+class TestTreeReleases:
+    """Tree synopses store, budget, persist, and serve like grids."""
+
+    def test_build_persist_reload_round_trip(self, tmp_path):
+        from repro.baselines.tree import TreeSynopsis
+
+        store = SynopsisStore(store_dir=tmp_path, n_points=N_POINTS)
+        k = key(method="Quad")
+        synopsis, built = store.build(k)
+        assert built
+        assert isinstance(synopsis, TreeSynopsis)
+        # Evict and force a disk reload; the release must be unchanged.
+        store.evict(k)
+        reloaded = store.get(k)
+        np.testing.assert_array_equal(
+            reloaded.arrays.counts, synopsis.arrays.counts
+        )
+        np.testing.assert_array_equal(
+            reloaded.arrays.child_offsets, synopsis.arrays.child_offsets
+        )
+
+    @pytest.mark.parametrize("method", ["Quad", "Kst", "Khy"])
+    def test_nbytes_accounted_in_cache_bytes(self, method):
+        store = SynopsisStore(n_points=N_POINTS)
+        synopsis, _ = store.build(key(method=method))
+        reported = synopsis_nbytes(synopsis)
+        assert reported > 0
+        # The store's byte accounting must charge the tree release.
+        assert store.cached_bytes() >= reported
+        # And the released arrays dominate the figure.
+        assert reported >= synopsis.arrays.nbytes
+
+    def test_tree_budget_refusal(self):
+        store = SynopsisStore(n_points=N_POINTS, dataset_budget=1.5)
+        store.build(key(method="Khy", epsilon=1.0))
+        with pytest.raises(BudgetRefused):
+            store.build(key(method="Quad", epsilon=1.0))
+
+    def test_query_service_batch_serves_tree(self):
+        from repro.queries.engine import FlatTreeEngine
+        from repro.service.query_service import QueryService
+
+        store = SynopsisStore(n_points=N_POINTS)
+        k = key(method="Kst")
+        synopsis, _ = store.build(k)
+        service = QueryService(store)
+        engine = service.engine_for(k)
+        assert isinstance(engine, FlatTreeEngine)
+        bounds = synopsis.domain.bounds
+        result = service.answer(k, [bounds])
+        assert result.estimates.shape == (1,)
+        assert result.estimates[0] == pytest.approx(synopsis.total(), rel=1e-9)
