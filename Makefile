@@ -4,18 +4,20 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: help test bench-quick bench-engine bench-experiments bench-tree bench-tree-quick serve serve-smoke quickstart
+.PHONY: help test bench-quick bench-engine bench-experiments bench-tree bench-tree-quick bench-service bench-service-quick serve serve-smoke quickstart
 
 help:
-	@echo "make test              run the full unit/property test suite (tier-1)"
-	@echo "make bench-quick       every paper experiment at quick scale, one report"
-	@echo "make bench-engine      engine perf benches only; refreshes BENCH_*.json"
-	@echo "make bench-experiments evaluation fast-path benches; refreshes BENCH_experiments.json"
-	@echo "make bench-tree        flat tree kernel benches; refreshes BENCH_tree_kernel.json"
-	@echo "make bench-tree-quick  tree kernel equivalence smoke (small scale, no JSON)"
-	@echo "make serve             start the synopsis HTTP server on port 8731"
-	@echo "make serve-smoke       build + query + budget-refusal round trip over HTTP"
-	@echo "make quickstart        run examples/quickstart.py"
+	@echo "make test                run the full unit/property test suite (tier-1)"
+	@echo "make bench-quick         every paper experiment at quick scale, one report"
+	@echo "make bench-engine        engine perf benches only; refreshes BENCH_*.json"
+	@echo "make bench-experiments   evaluation fast-path benches; refreshes BENCH_experiments.json"
+	@echo "make bench-tree          flat tree kernel benches; refreshes BENCH_tree_kernel.json"
+	@echo "make bench-tree-quick    tree kernel equivalence smoke (small scale, no JSON)"
+	@echo "make bench-service       HTTP load bench (JSON vs binary, cold vs warm); refreshes BENCH_service.json"
+	@echo "make bench-service-quick service bench smoke (bit-identity always, ratios only on >= 4 CPUs)"
+	@echo "make serve               start the synopsis HTTP server on port 8731 (--workers N via SERVE_ARGS)"
+	@echo "make serve-smoke         build + query + budget-refusal round trip over HTTP"
+	@echo "make quickstart          run examples/quickstart.py"
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -35,8 +37,14 @@ bench-tree:
 bench-tree-quick:
 	BENCH_TREE_QUICK=1 $(PYTHON) -m pytest benchmarks/bench_tree_kernel.py -q
 
+bench-service:
+	$(PYTHON) -m pytest benchmarks/bench_service.py -q
+
+bench-service-quick:
+	BENCH_SERVICE_QUICK=1 $(PYTHON) -m pytest benchmarks/bench_service.py -q
+
 serve:
-	$(PYTHON) -m repro serve
+	$(PYTHON) -m repro serve $(SERVE_ARGS)
 
 serve-smoke:
 	$(PYTHON) -m repro serve --smoke

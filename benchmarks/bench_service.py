@@ -1,0 +1,316 @@
+"""Load benchmark: the HTTP serving hot path.
+
+Not a paper figure — an engineering benchmark for the serving layer
+(ISSUE 5), measuring what a consumer of ``POST /query`` actually sees:
+sustained batches/second through a real ``SynopsisHTTPServer`` on a
+loopback socket, with persistent keep-alive client threads and
+pre-encoded request bodies (the server, not the client, must be the
+bottleneck).  Four modes cross the two axes the PR added:
+
+* **json_cold** — the pre-PR path: JSON request + JSON response, every
+  batch distinct so the answer cache always misses;
+* **json_warm** — JSON transport, one batch repeated (cache hits);
+* **binary_cold** — binary batch protocol both ways, distinct batches;
+* **binary_warm** — binary protocol + answer-cache hits: the PR's
+  target hot path.
+
+All modes query the same AG release with 1,000-rectangle batches whose
+coordinates are float32-exact, so every transport produces bit-identical
+estimates — asserted here for **every** servable method (UG, AG, Quad,
+Kst, Khy) by comparing JSON and binary answers for the same batch.
+
+Results are written to ``BENCH_service.json`` at the repo root so the
+perf trajectory is tracked in-tree; ``cpu_count`` is recorded alongside.
+The hard target asserted in full mode is the ISSUE 5 acceptance
+criterion: >= 3x sustained batches/sec on the warm-cache binary path vs
+the (cold, JSON) baseline.
+
+``BENCH_SERVICE_QUICK=1`` (the CI smoke mode, ``make
+bench-service-quick``) shrinks the dataset and request counts and keeps
+the bit-identity assertions, but asserts the throughput ratio only when
+``cpu_count >= 4`` (same convention as ``BENCH_experiments.json``) and
+leaves the tracked JSON untouched — a smoke run on a loaded CI box must
+not rewrite the repo's perf history.
+"""
+
+import http.client
+import json
+import os
+import threading
+import time
+
+import numpy as np
+from conftest import write_json_report, write_report
+
+from repro.datasets.registry import get_spec
+from repro.experiments.report import format_table
+from repro.queries.engine import fallback_engine_count
+from repro.service import protocol
+from repro.service.keys import ReleaseKey, method_names
+from repro.service.query_service import QueryService
+from repro.service.server import serve
+from repro.service.store import SynopsisStore
+
+QUICK = os.environ.get("BENCH_SERVICE_QUICK", "") not in ("", "0")
+
+N_POINTS = 2_000 if QUICK else 9_000  # storage at its full paper scale
+BATCH_SIZE = 200 if QUICK else 1_000
+REQUESTS_PER_MODE = 12 if QUICK else 96
+CLIENT_THREADS = 2 if QUICK else 4
+EPSILON = 1.0
+
+#: The acceptance floor: warm-cache binary vs the cold JSON baseline.
+MIN_WARM_BINARY_SPEEDUP = 3.0
+
+RELEASE = {"dataset": "storage", "method": "AG", "epsilon": EPSILON, "seed": 0}
+
+
+def _f32_exact_batches(domain, n_batches, rng):
+    """Distinct ``(BATCH_SIZE, 4)`` float64 batches, float32-exact.
+
+    float32-exact coordinates make the JSON and binary transports
+    bit-equivalent: the binary frame's float32 payload widens back to
+    the same float64 the JSON body carries.
+    """
+    bounds = domain.bounds
+    batches = []
+    for _ in range(n_batches):
+        x = rng.uniform(bounds.x_lo, bounds.x_hi, size=(BATCH_SIZE, 2))
+        y = rng.uniform(bounds.y_lo, bounds.y_hi, size=(BATCH_SIZE, 2))
+        boxes = np.column_stack(
+            [x.min(axis=1), y.min(axis=1), x.max(axis=1), y.max(axis=1)]
+        )
+        batches.append(boxes.astype(np.float32).astype(np.float64))
+    return batches
+
+
+def _json_body(key_payload, boxes):
+    return json.dumps(
+        {**key_payload, "rects": boxes.tolist()}, separators=(",", ":")
+    ).encode()
+
+
+class _KeepAliveClient:
+    """One persistent HTTP/1.1 connection (reconnects when dropped)."""
+
+    def __init__(self, host, port):
+        self._host, self._port = host, port
+        self._conn = http.client.HTTPConnection(host, port, timeout=60)
+
+    def post(self, path, body, content_type, accept=None):
+        headers = {"Content-Type": content_type}
+        if accept:
+            headers["Accept"] = accept
+        for attempt in (0, 1):
+            try:
+                self._conn.request("POST", path, body=body, headers=headers)
+                response = self._conn.getresponse()
+                return response.status, response.read()
+            except (http.client.HTTPException, ConnectionError, OSError):
+                self._conn.close()
+                self._conn = http.client.HTTPConnection(
+                    self._host, self._port, timeout=60
+                )
+                if attempt:
+                    raise
+
+    def close(self):
+        self._conn.close()
+
+
+def _run_mode(host, port, bodies, content_type, accept):
+    """Fire all request bodies from persistent client threads; seconds."""
+    shares = [bodies[i::CLIENT_THREADS] for i in range(CLIENT_THREADS)]
+    barrier = threading.Barrier(CLIENT_THREADS + 1)
+    failures = []
+
+    def worker(share):
+        client = _KeepAliveClient(host, port)
+        try:
+            barrier.wait()
+            for body in share:
+                status, payload = client.post(
+                    "/query", body, content_type, accept=accept
+                )
+                if status != 200:
+                    failures.append(payload[:200])
+                    return
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(share,), daemon=True)
+        for share in shares
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    assert not failures, failures[0]
+    return elapsed
+
+
+def test_service_throughput_json_vs_binary():
+    store = SynopsisStore(
+        n_points=N_POINTS, dataset_budget=float(len(method_names())) * EPSILON
+    )
+    service = QueryService(store)
+    server = serve(service, "127.0.0.1", 0)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        domain = get_spec("storage").make(n=16, rng=0).domain
+        rng = np.random.default_rng(17)
+
+        # ------------------------------------------------------------------
+        # Bit-identity: JSON == binary for every servable method.
+        # ------------------------------------------------------------------
+        check_batch = _f32_exact_batches(domain, 1, rng)[0][:64]
+        identical = {}
+        for method in method_names():
+            key = ReleaseKey("storage", method, epsilon=EPSILON, seed=0)
+            store.build(key)
+            client = _KeepAliveClient(host, port)
+            try:
+                status, raw = client.post(
+                    "/query",
+                    _json_body(key.to_payload(), check_batch),
+                    "application/json",
+                )
+                assert status == 200, raw
+                json_estimates = np.array(json.loads(raw)["estimates"])
+                status, raw = client.post(
+                    "/query",
+                    protocol.encode_query(key, check_batch),
+                    protocol.CONTENT_TYPE,
+                    accept=protocol.CONTENT_TYPE,
+                )
+                assert status == 200, raw
+                binary_estimates = protocol.decode_answer(raw)
+            finally:
+                client.close()
+            np.testing.assert_array_equal(binary_estimates, json_estimates)
+            identical[method] = True
+
+        # ------------------------------------------------------------------
+        # Throughput: 4 modes against the AG release.
+        # ------------------------------------------------------------------
+        key = ReleaseKey(**RELEASE)
+        key_payload = key.to_payload()
+        cold_batches = _f32_exact_batches(domain, 2 * REQUESTS_PER_MODE, rng)
+        warm_batch = _f32_exact_batches(domain, 1, rng)[0]
+
+        modes = {
+            "json_cold": (
+                [
+                    _json_body(key_payload, boxes)
+                    for boxes in cold_batches[:REQUESTS_PER_MODE]
+                ],
+                "application/json",
+                None,
+            ),
+            "json_warm": (
+                [_json_body(key_payload, warm_batch)] * REQUESTS_PER_MODE,
+                "application/json",
+                None,
+            ),
+            "binary_cold": (
+                [
+                    protocol.encode_query(key, boxes)
+                    for boxes in cold_batches[REQUESTS_PER_MODE:]
+                ],
+                protocol.CONTENT_TYPE,
+                protocol.CONTENT_TYPE,
+            ),
+            "binary_warm": (
+                [protocol.encode_query(key, warm_batch)] * REQUESTS_PER_MODE,
+                protocol.CONTENT_TYPE,
+                protocol.CONTENT_TYPE,
+            ),
+        }
+
+        # Prime the engine and the warm-mode cache entry outside timing.
+        service.answer(key, warm_batch)
+
+        results = {}
+        for name, (bodies, content_type, accept) in modes.items():
+            seconds = _run_mode(host, port, bodies, content_type, accept)
+            results[name] = {
+                "seconds": seconds,
+                "batches_per_s": len(bodies) / seconds,
+                "queries_per_s": len(bodies) * BATCH_SIZE / seconds,
+            }
+
+        stats = service.stats()
+        assert stats["engine_fallbacks"] == fallback_engine_count() == 0
+        ratio = (
+            results["binary_warm"]["batches_per_s"]
+            / results["json_cold"]["batches_per_s"]
+        )
+        ratios = {
+            "binary_warm_vs_json_cold": ratio,
+            "json_warm_vs_json_cold": (
+                results["json_warm"]["batches_per_s"]
+                / results["json_cold"]["batches_per_s"]
+            ),
+            "binary_cold_vs_json_cold": (
+                results["binary_cold"]["batches_per_s"]
+                / results["json_cold"]["batches_per_s"]
+            ),
+        }
+
+        rows = [
+            [
+                name,
+                f"{entry['seconds'] * 1e3 / REQUESTS_PER_MODE:.2f}",
+                f"{entry['batches_per_s']:.0f}",
+                f"{entry['queries_per_s']:,.0f}",
+            ]
+            for name, entry in results.items()
+        ]
+        write_report(
+            "service",
+            format_table(
+                ["mode", "ms/batch", "batches/s", "queries/s"], rows
+            )
+            + f"\n\nbinary_warm vs json_cold: {ratio:.1f}x"
+            f"  (batch={BATCH_SIZE}, clients={CLIENT_THREADS})",
+        )
+
+        cpu_count = os.cpu_count() or 1
+        if QUICK:
+            # Smoke mode: bit-identity is asserted above; throughput is
+            # only meaningful with headroom for client + server threads.
+            if cpu_count >= 4:
+                assert ratio >= MIN_WARM_BINARY_SPEEDUP, results
+            return
+
+        payload = {
+            "cpu_count": cpu_count,
+            "n_points": N_POINTS,
+            "batch_size": BATCH_SIZE,
+            "requests_per_mode": REQUESTS_PER_MODE,
+            "client_threads": CLIENT_THREADS,
+            "bit_identical_json_vs_binary": identical,
+            "modes": results,
+            "ratios": ratios,
+            "answer_cache": {
+                "hits": stats["answer_cache_hits"],
+                "misses": stats["answer_cache_misses"],
+                "entries": stats["answer_cache_entries"],
+                "bytes": stats["answer_cache_bytes"],
+            },
+        }
+        write_json_report("service", payload)
+
+        # Acceptance (ISSUE 5): the warm-cache binary path sustains >= 3x
+        # the cold JSON baseline's batches/sec at 1,000-rect batches.
+        assert ratio >= MIN_WARM_BINARY_SPEEDUP, results
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)

@@ -52,9 +52,20 @@ class Synopsis(abc.ABC):
         who need non-negative counts can clamp.
         """
 
-    def answer_many(self, rects: list[Rect]) -> np.ndarray:
-        """Vector of estimates for a list of query rectangles."""
-        return np.array([self.answer(rect) for rect in rects], dtype=float)
+    def answer_many(self, rects: "list[Rect] | np.ndarray") -> np.ndarray:
+        """Vector of estimates for a batch of query rectangles.
+
+        The default routes through :func:`~repro.queries.engine.
+        scalar_answer_batch` — still a per-rect Python loop, but with the
+        engines' shared batch contract (empty batches return ``(0,)``,
+        inverted/NaN rows answer 0, ``(n, 4)`` arrays accepted).
+        Subclasses with a registered batch engine override this with a
+        vectorised path; anything left on this default shows up in
+        :func:`~repro.queries.engine.fallback_engine_count` when served.
+        """
+        from repro.queries.engine import scalar_answer_batch
+
+        return scalar_answer_batch(self, rects)
 
     def total(self) -> float:
         """Estimated total number of points (query over the whole domain)."""

@@ -63,6 +63,7 @@ __all__ = [
     "FlatTreeEngine",
     "AdaptiveGridEngine",
     "FallbackEngine",
+    "fallback_engine_count",
     "make_engine",
     "register_engine",
     "rects_to_boxes",  # canonical home: repro.core.geometry
@@ -682,6 +683,18 @@ class FallbackEngine:
 #: its defining module — and hence its registration — having run.
 _ENGINE_FACTORIES: dict[type, Callable] = {}
 
+#: How many times :func:`make_engine` had to fall back to the scalar
+#: :class:`FallbackEngine` because no engine was registered for the
+#: synopsis type.  A scalar fallback on a hot path is an
+#: order-of-magnitude regression, so benchmarks and the serving layer's
+#: ``stats()`` surface this count instead of letting it hide.
+_fallback_count = 0
+
+
+def fallback_engine_count() -> int:
+    """Process-wide count of scalar-fallback engines built so far."""
+    return _fallback_count
+
 
 def register_engine(synopsis_type: type, factory: Callable) -> None:
     """Register (or replace) the batch-engine factory for a synopsis type.
@@ -705,8 +718,10 @@ def make_engine(synopsis):
     exposes ``answer_batch(rects) -> np.ndarray`` and holds no reference
     to raw data, so it can be cached and shared across threads.
     """
+    global _fallback_count
     for cls in type(synopsis).__mro__:
         factory = _ENGINE_FACTORIES.get(cls)
         if factory is not None:
             return factory(synopsis)
+    _fallback_count += 1
     return FallbackEngine(synopsis)

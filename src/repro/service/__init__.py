@@ -12,9 +12,13 @@ artifacts behind a query API:
   per-dataset privacy budget, refusing overdrafts;
 * :class:`~repro.service.query_service.QueryService` — routes batched
   rectangle queries to a prepared per-release engine
-  (:func:`~repro.queries.engine.make_engine`);
-* :mod:`~repro.service.server` — a stdlib-only JSON/HTTP adapter,
-  started with ``python -m repro serve``.
+  (:func:`~repro.queries.engine.make_engine`), with a byte-bounded LRU
+  answer cache for repeat batches;
+* :mod:`~repro.service.protocol` — the binary batch wire format for the
+  ``POST /query`` hot path (``Content-Type: application/x-repro-batch``);
+* :mod:`~repro.service.server` — a stdlib-only HTTP adapter, started
+  with ``python -m repro serve`` (``--workers N`` forks ``SO_REUSEPORT``
+  siblings sharing the port).
 
 Quickstart::
 

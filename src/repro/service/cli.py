@@ -5,6 +5,10 @@ Examples::
     # serve AG and UG releases of the storage dataset, persisted on disk
     python -m repro serve --store-dir /var/lib/repro --preload storage_AG_eps1.0_seed0
 
+    # saturate a multi-core box: 4 worker processes share the port
+    python -m repro serve --workers 4 --store-dir /var/lib/repro \
+        --preload storage_AG_eps1.0_seed0
+
     # one-request self-test on an ephemeral port (used by `make serve-smoke`)
     python -m repro serve --smoke
 
@@ -15,23 +19,42 @@ Build a release and query it::
     curl -X POST localhost:8731/query \
         -d '{"dataset": "storage", "method": "AG", "epsilon": 1.0, "seed": 0,
              "rects": [[-100, 30, -80, 45]]}'
+
+**Multi-worker model.**  ``--workers N`` forks N processes, each binding
+the same ``(host, port)`` with ``SO_REUSEPORT`` so the kernel balances
+incoming connections across them (falling back to one worker, with a
+warning, where fork or ``SO_REUSEPORT`` is unavailable — or when no
+``--store-dir`` is given, since N independent in-memory ledgers would
+silently multiply every dataset's privacy budget).  Each worker
+owns an independent :class:`~repro.service.store.SynopsisStore` handle
+over the shared ``--store-dir``: releases preloaded (or built) by one
+worker are persisted as ``.npz`` artifacts every other worker reloads on
+demand, and builds are bit-deterministic per key, so all workers answer
+identically.  The budget ledger, however, is loaded per process — with
+several workers accepting *builds* concurrently, each enforces the
+budget against its own view and last-writer-wins on ``budgets.json``.
+Preload every release before traffic (``--preload``) or direct builds at
+a single worker when strict cross-worker budget accounting matters.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import signal
+import socket
 import sys
 import threading
 import urllib.error
 import urllib.request
 
 from repro.service.keys import ReleaseKey, method_names
-from repro.service.query_service import QueryService
+from repro.service.query_service import DEFAULT_ANSWER_CACHE_BYTES, QueryService
 from repro.service.server import serve
 from repro.service.store import SynopsisStore
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "main", "resolve_workers"]
 
 DEFAULT_PORT = 8731
 
@@ -48,9 +71,14 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"bind port, 0 for ephemeral (default: {DEFAULT_PORT})",
     )
     parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes sharing the port via SO_REUSEPORT "
+        "(default: 1; falls back to 1 where unsupported)",
+    )
+    parser.add_argument(
         "--store-dir", default=None,
         help="directory for persisted releases and the budget ledger "
-        "(default: in-memory only)",
+        "(default: in-memory only; required for workers to share releases)",
     )
     parser.add_argument(
         "--dataset-budget", type=float, default=None,
@@ -64,6 +92,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--max-bytes", type=int, default=512 * 1024 * 1024,
         help="LRU cache bound on released-state bytes (default: 512 MiB)",
+    )
+    parser.add_argument(
+        "--answer-cache-bytes", type=int, default=DEFAULT_ANSWER_CACHE_BYTES,
+        help="byte bound on the per-worker answer cache, 0 to disable "
+        f"(default: {DEFAULT_ANSWER_CACHE_BYTES})",
     )
     parser.add_argument(
         "--n-points", type=int, default=None,
@@ -82,6 +115,43 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def resolve_workers(requested: int, store_dir=None) -> tuple[int, str | None]:
+    """Clamp the requested worker count to what the deployment supports.
+
+    Returns ``(workers, reason)`` where ``reason`` explains a fallback to
+    1 (``None`` when the request is honoured unchanged).  Multi-worker
+    serving without a shared ``store_dir`` is refused: each worker would
+    hold an independent in-memory store *and budget ledger*, silently
+    multiplying every dataset's privacy budget by N — the one guarantee
+    the serving layer must never weaken.
+    """
+    if requested < 1:
+        return 1, f"--workers {requested} clamped to 1"
+    if requested == 1:
+        return 1, None
+    if store_dir is None:
+        return 1, (
+            "--workers > 1 requires --store-dir: without a shared store "
+            "each worker keeps its own budget ledger, multiplying the "
+            "per-dataset privacy budget; serving with 1 worker"
+        )
+    if not hasattr(os, "fork"):
+        return 1, "multi-worker serving needs os.fork(); serving with 1 worker"
+    if not hasattr(socket, "SO_REUSEPORT"):
+        return 1, "this platform lacks SO_REUSEPORT; serving with 1 worker"
+    return requested, None
+
+
+def _make_store(args) -> SynopsisStore:
+    return SynopsisStore(
+        store_dir=args.store_dir,
+        dataset_budget=args.dataset_budget,
+        max_entries=args.max_entries,
+        max_bytes=args.max_bytes,
+        n_points=args.n_points,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.smoke:
@@ -91,15 +161,11 @@ def main(argv: list[str] | None = None) -> int:
         args.n_points = args.n_points or 4_000
     if args.dataset_budget is None:
         args.dataset_budget = 1.0 if args.smoke else 4.0
-    store = SynopsisStore(
-        store_dir=args.store_dir,
-        dataset_budget=args.dataset_budget,
-        max_entries=args.max_entries,
-        max_bytes=args.max_bytes,
-        n_points=args.n_points,
-    )
-    service = QueryService(store)
+    store = _make_store(args)
+    service = QueryService(store, answer_cache_bytes=args.answer_cache_bytes)
 
+    # Preload in the parent, before any fork: with a --store-dir the
+    # artifacts land on disk where every worker reloads them on demand.
     for slug in args.preload:
         key = ReleaseKey.from_slug(slug)
         _, built = store.build(key)
@@ -107,6 +173,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.smoke:
         return _smoke(service, args.host, args.dataset_budget)
+
+    workers, fallback_reason = resolve_workers(args.workers, args.store_dir)
+    if fallback_reason is not None:
+        print(fallback_reason, file=sys.stderr)
+    if workers > 1:
+        return _serve_workers(args, workers)
 
     server = serve(service, args.host, args.port)
     print(f"serving synopses on {server.url} (Ctrl-C to stop)")
@@ -119,15 +191,94 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Multi-worker serving
+# ----------------------------------------------------------------------
+
+
+def _free_port(host: str) -> int:
+    """Pick a currently free port for an ephemeral multi-worker bind.
+
+    Workers each bind the concrete port with ``SO_REUSEPORT``, so the
+    parent cannot simply bind port 0 once — every worker would get a
+    different ephemeral port.  Probing then closing leaves a small race
+    window; pass an explicit ``--port`` for production deployments.
+    """
+    with socket.socket() as probe:
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        probe.bind((host, 0))
+        return probe.getsockname()[1]
+
+
+def _worker_main(args, host: str, port: int) -> int:
+    """Body of one forked worker: own store handle, shared listen port."""
+    # A clean, immediate exit on SIGTERM: daemon handler threads carry no
+    # state that needs flushing (budget spends are persisted before fits,
+    # artifacts are written atomically).
+    signal.signal(signal.SIGTERM, lambda *_: os._exit(0))
+    store = _make_store(args)
+    service = QueryService(store, answer_cache_bytes=args.answer_cache_bytes)
+    server = serve(service, host, port, reuse_port=True)
+    print(f"worker {os.getpid()} serving on {server.url}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _serve_workers(args, n_workers: int) -> int:
+    host = args.host
+    port = args.port if args.port != 0 else _free_port(args.host)
+    pids: list[int] = []
+    for _ in range(n_workers):
+        pid = os.fork()
+        if pid == 0:
+            code = 1
+            try:
+                code = _worker_main(args, host, port)
+            finally:
+                os._exit(code)
+        pids.append(pid)
+    print(
+        f"serving synopses on http://{host}:{port} "
+        f"with {n_workers} workers (Ctrl-C to stop)",
+        flush=True,
+    )
+    exit_code = 0
+    try:
+        for pid in pids:
+            _, status = os.waitpid(pid, 0)
+            if os.waitstatus_to_exitcode(status) not in (0, -signal.SIGTERM):
+                exit_code = 1
+    except KeyboardInterrupt:
+        print("shutting down workers")
+    finally:
+        for pid in pids:
+            try:
+                os.kill(pid, signal.SIGTERM)
+            except ProcessLookupError:
+                continue
+        for pid in pids:
+            try:
+                os.waitpid(pid, 0)
+            except ChildProcessError:
+                pass
+    return exit_code
+
+
 def _smoke(service: QueryService, host: str, dataset_budget: float) -> int:
     """End-to-end self-test: build AG over HTTP, query it, check refusal.
 
     Exercises the acceptance path: a batched rectangle query answered
-    from a cached AG synopsis through the HTTP adapter, plus a forced
-    rebuild refused once the dataset budget is exhausted.  Works for any
-    configured budget — the smoke release's epsilon is ``min(1.0,
-    budget)`` and forced rebuilds drain the remainder — and against a
-    store directory that already holds the release.
+    from a cached AG synopsis through the HTTP adapter — once as JSON and
+    once through the binary batch protocol, asserted identical — plus a
+    forced rebuild refused once the dataset budget is exhausted.  Works
+    for any configured budget — the smoke release's epsilon is
+    ``min(1.0, budget)`` and forced rebuilds drain the remainder — and
+    against a store directory that already holds the release.
     """
     server = serve(service, host, 0)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
@@ -165,6 +316,33 @@ def _smoke(service: QueryService, host: str, dataset_budget: float) -> int:
         checks.append(
             ("batched query", status == 200 and body["count"] == len(rects))
         )
+
+        # The same batch through the binary protocol must answer
+        # bit-identically (the rects above are float32-exact).
+        from repro.service import protocol
+
+        binary_request = urllib.request.Request(
+            server.url + "/query",
+            data=protocol.encode_query(
+                ReleaseKey(**release), rects, clamp=True
+            ),
+            method="POST",
+            headers={
+                "Content-Type": protocol.CONTENT_TYPE,
+                "Accept": protocol.CONTENT_TYPE,
+            },
+        )
+        try:
+            with urllib.request.urlopen(binary_request, timeout=30) as response:
+                binary_estimates = protocol.decode_answer(response.read())
+                binary_ok = (
+                    status == 200
+                    and list(binary_estimates) == body["estimates"]
+                )
+        except urllib.error.HTTPError:
+            binary_ok = False
+        print(f"binary query: estimates identical = {binary_ok}")
+        checks.append(("binary protocol round trip", binary_ok))
 
         # Drain whatever budget remains with forced rebuilds; the
         # refusal must arrive within remaining / epsilon + 1 attempts.

@@ -1,0 +1,197 @@
+"""Binary batch protocol for the query hot path.
+
+JSON is the serving layer's lingua franca, but at production batch sizes
+most of a ``POST /query`` round trip is spent encoding and decoding
+numbers as text: a 1,000-rectangle batch is ~70 KB of JSON parsed row by
+row, and the response re-renders every estimate through ``repr``.  This
+module defines a fixed binary framing that the HTTP adapter accepts (and
+answers) under ``Content-Type: application/x-repro-batch``, decoded
+zero-copy with ``np.frombuffer`` — the request body's rectangle block is
+*viewed*, not parsed.
+
+Both frames share one 12-byte little-endian header::
+
+    offset  size  field
+    0       4     magic   b"RPB1"
+    4       1     version (currently 1)
+    5       1     kind    (0 = query, 1 = answer)
+    6       1     flags   (bit 0: clamp requested / applied)
+    7       1     key_len (query: byte length of the release slug; else 0)
+    8       4     count   (number of rectangles / estimates, uint32)
+
+A **query** frame follows the header with the UTF-8 release slug
+(``key_len`` bytes, e.g. ``storage_AG_eps1.0_seed0``) and then ``count``
+rectangles as little-endian float32 ``(x_lo, y_lo, x_hi, y_hi)`` rows —
+``count * 16`` bytes.  float32 keeps the wire format half the size of
+float64; coordinates that are exactly representable in float32 (query
+grids, rounded client values) convert losslessly, so JSON and binary
+requests for the same rectangles produce bit-identical estimates.
+
+An **answer** frame follows the header with ``count`` little-endian
+float64 estimates (``count * 8`` bytes).  Estimates stay float64 on the
+wire: they are the computation's native precision, and truncating them
+would break the JSON/binary bit-identity guarantee.
+
+Validation failures raise :class:`~repro.service.errors.ValidationError`
+(HTTP 400) with messages that say what was wrong with the frame, exactly
+like the JSON schema parsers in :mod:`repro.service.schemas`.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.core.geometry import Rect, rects_to_boxes
+from repro.service.errors import ValidationError
+from repro.service.keys import ReleaseKey
+from repro.service.schemas import (
+    MAX_BATCH_SIZE,
+    QueryRequest,
+    validate_batch_size,
+    validate_boxes,
+)
+
+__all__ = [
+    "CONTENT_TYPE",
+    "MAGIC",
+    "VERSION",
+    "HEADER_SIZE",
+    "encode_query",
+    "decode_query",
+    "encode_answer",
+    "decode_answer",
+]
+
+#: The negotiated media type for both frame kinds.
+CONTENT_TYPE = "application/x-repro-batch"
+
+MAGIC = b"RPB1"
+VERSION = 1
+_KIND_QUERY = 0
+_KIND_ANSWER = 1
+_FLAG_CLAMP = 0x01
+_KNOWN_FLAGS = _FLAG_CLAMP
+
+#: ``<`` = little-endian throughout: magic, version, kind, flags,
+#: key_len, count.
+_HEADER = struct.Struct("<4sBBBBI")
+HEADER_SIZE = _HEADER.size  # 12 bytes
+
+_RECT_DTYPE = np.dtype("<f4")
+_ESTIMATE_DTYPE = np.dtype("<f8")
+_RECT_ROW_BYTES = 4 * _RECT_DTYPE.itemsize
+
+
+def encode_query(
+    key: ReleaseKey, rects: "list[Rect] | np.ndarray", clamp: bool = False
+) -> bytes:
+    """Serialise one query batch as a binary frame.
+
+    Rectangle coordinates are cast to float32; values outside float32
+    range raise ``ValueError`` rather than travelling as ``inf``.
+    """
+    boxes = rects_to_boxes(rects)
+    validate_batch_size(boxes.shape[0])
+    if boxes.shape[0] == 0:
+        raise ValueError("cannot encode an empty batch")
+    with np.errstate(over="ignore"):  # overflow is reported as ValueError below
+        payload = np.ascontiguousarray(boxes, dtype=_RECT_DTYPE)
+    if not np.all(np.isfinite(payload)):
+        raise ValueError(
+            "rect coordinates must be finite and within float32 range"
+        )
+    slug = key.slug().encode("utf-8")
+    if len(slug) > 255:
+        raise ValueError(f"release slug too long for the frame: {len(slug)} bytes")
+    header = _HEADER.pack(
+        MAGIC,
+        VERSION,
+        _KIND_QUERY,
+        _FLAG_CLAMP if clamp else 0,
+        len(slug),
+        boxes.shape[0],
+    )
+    return header + slug + payload.tobytes()
+
+
+def decode_query(body: bytes) -> QueryRequest:
+    """Parse a binary query frame into the same request the JSON path builds.
+
+    The rectangle block is decoded zero-copy (``np.frombuffer`` over the
+    request body) and then widened to float64 — the engines' native
+    dtype, and the dtype the answer cache hashes — so a float32-exact
+    batch hits the same cache entry whether it arrived as JSON or binary.
+    """
+    kind, flags, key_len, count = _decode_header(body, _KIND_QUERY)
+    if key_len == 0:
+        raise ValidationError("binary query frame carries an empty release slug")
+    if count < 1:
+        raise ValidationError("binary query frame must carry at least one rectangle")
+    validate_batch_size(count)
+    expected = HEADER_SIZE + key_len + count * _RECT_ROW_BYTES
+    if len(body) != expected:
+        raise ValidationError(
+            f"binary query frame truncated or padded: header promises "
+            f"{count} rectangle(s) ({expected} bytes total), got {len(body)}"
+        )
+    try:
+        slug = body[HEADER_SIZE : HEADER_SIZE + key_len].decode("utf-8")
+    except UnicodeDecodeError:
+        raise ValidationError("release slug is not valid UTF-8") from None
+    key = ReleaseKey.from_slug(slug)  # raises ValidationError on bad slugs
+    rect_block = np.frombuffer(body, dtype=_RECT_DTYPE, offset=HEADER_SIZE + key_len)
+    boxes = rect_block.reshape(count, 4).astype(np.float64)
+    validate_boxes(boxes)
+    return QueryRequest(key=key, boxes=boxes, clamp=bool(flags & _FLAG_CLAMP))
+
+
+def encode_answer(estimates: np.ndarray, clamp: bool = False) -> bytes:
+    """Serialise a vector of estimates as a binary answer frame."""
+    values = np.ascontiguousarray(estimates, dtype=_ESTIMATE_DTYPE)
+    if values.ndim != 1:
+        raise ValueError(f"estimates must be a 1-D vector, got shape {values.shape}")
+    header = _HEADER.pack(
+        MAGIC, VERSION, _KIND_ANSWER, _FLAG_CLAMP if clamp else 0, 0, values.size
+    )
+    return header + values.tobytes()
+
+
+def decode_answer(body: bytes) -> np.ndarray:
+    """Parse a binary answer frame back into a float64 estimate vector."""
+    _, _, key_len, count = _decode_header(body, _KIND_ANSWER)
+    if key_len != 0:
+        raise ValidationError("binary answer frame must not carry a release slug")
+    expected = HEADER_SIZE + count * _ESTIMATE_DTYPE.itemsize
+    if len(body) != expected:
+        raise ValidationError(
+            f"binary answer frame truncated or padded: header promises "
+            f"{count} estimate(s) ({expected} bytes total), got {len(body)}"
+        )
+    return np.frombuffer(body, dtype=_ESTIMATE_DTYPE, offset=HEADER_SIZE).copy()
+
+
+def _decode_header(body: bytes, expected_kind: int) -> tuple[int, int, int, int]:
+    """Validate the shared header; returns ``(kind, flags, key_len, count)``."""
+    if len(body) < HEADER_SIZE:
+        raise ValidationError(
+            f"binary frame shorter than its {HEADER_SIZE}-byte header "
+            f"({len(body)} bytes)"
+        )
+    magic, version, kind, flags, key_len, count = _HEADER.unpack_from(body)
+    if magic != MAGIC:
+        raise ValidationError(
+            f"bad magic {magic!r}: not a {CONTENT_TYPE} frame (expected {MAGIC!r})"
+        )
+    if version != VERSION:
+        raise ValidationError(
+            f"unsupported binary protocol version {version} (supported: {VERSION})"
+        )
+    if kind != expected_kind:
+        raise ValidationError(
+            f"unexpected frame kind {kind} (expected {expected_kind})"
+        )
+    if flags & ~_KNOWN_FLAGS:
+        raise ValidationError(f"unknown flag bits 0x{flags & ~_KNOWN_FLAGS:02x} set")
+    return kind, flags, key_len, count

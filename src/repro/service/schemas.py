@@ -23,6 +23,8 @@ __all__ = [
     "QueryRequest",
     "parse_build_request",
     "parse_query_request",
+    "validate_batch_size",
+    "validate_boxes",
 ]
 
 #: Upper bound on rectangles per query request; protects the server from
@@ -83,6 +85,36 @@ def _parse_flag(payload: dict, field: str) -> bool:
     return value
 
 
+def validate_batch_size(n_rects: int) -> None:
+    """Enforce the per-request batch bound (shared with the binary path)."""
+    if n_rects > MAX_BATCH_SIZE:
+        raise ValidationError(
+            f"batch of {n_rects} rectangles exceeds the per-request "
+            f"limit of {MAX_BATCH_SIZE}; split it into smaller batches"
+        )
+
+
+def validate_boxes(boxes: np.ndarray) -> np.ndarray:
+    """Validate an already-decoded ``(n, 4)`` float rectangle array.
+
+    The value checks every ``POST /query`` transport shares: shape,
+    finiteness, and non-inverted bounds.  Raises
+    :class:`~repro.service.errors.ValidationError` naming the problem.
+    """
+    if boxes.ndim != 2 or boxes.shape[1] != 4:
+        raise ValidationError(
+            f"each rectangle needs exactly 4 numbers "
+            f"(x_lo, y_lo, x_hi, y_hi); got shape {boxes.shape}"
+        )
+    if not np.all(np.isfinite(boxes)):
+        raise ValidationError("'rects' must contain only finite numbers")
+    if np.any(boxes[:, 2] < boxes[:, 0]) or np.any(boxes[:, 3] < boxes[:, 1]):
+        raise ValidationError(
+            "'rects' rows must satisfy x_lo <= x_hi and y_lo <= y_hi"
+        )
+    return boxes
+
+
 def parse_build_request(payload) -> BuildRequest:
     payload = _require_mapping(payload)
     return BuildRequest(key=_parse_key(payload), force=_parse_flag(payload, "force"))
@@ -96,24 +128,10 @@ def parse_query_request(payload) -> QueryRequest:
         raise ValidationError(
             "'rects' must be a non-empty list of [x_lo, y_lo, x_hi, y_hi] rows"
         )
-    if len(rects) > MAX_BATCH_SIZE:
-        raise ValidationError(
-            f"batch of {len(rects)} rectangles exceeds the per-request "
-            f"limit of {MAX_BATCH_SIZE}; split it into smaller batches"
-        )
+    validate_batch_size(len(rects))
     try:
         boxes = np.array(rects, dtype=float)
     except (TypeError, ValueError):
         raise ValidationError("'rects' rows must contain only numbers") from None
-    if boxes.ndim != 2 or boxes.shape[1] != 4:
-        raise ValidationError(
-            f"each rectangle needs exactly 4 numbers "
-            f"(x_lo, y_lo, x_hi, y_hi); got shape {boxes.shape}"
-        )
-    if not np.all(np.isfinite(boxes)):
-        raise ValidationError("'rects' must contain only finite numbers")
-    if np.any(boxes[:, 2] < boxes[:, 0]) or np.any(boxes[:, 3] < boxes[:, 1]):
-        raise ValidationError(
-            "'rects' rows must satisfy x_lo <= x_hi and y_lo <= y_hi"
-        )
+    boxes = validate_boxes(boxes)
     return QueryRequest(key=key, boxes=boxes, clamp=_parse_flag(payload, "clamp"))

@@ -1,0 +1,172 @@
+"""Unit tests for the binary batch protocol (frame level, no socket)."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.service import protocol
+from repro.service.errors import ValidationError
+from repro.service.keys import ReleaseKey
+from repro.service.schemas import MAX_BATCH_SIZE
+
+KEY = ReleaseKey("storage", "AG", epsilon=1.0, seed=0)
+
+
+def frame(rects=((-110.0, 30.0, -80.0, 45.0),), clamp=False):
+    return protocol.encode_query(KEY, np.array(rects, dtype=float), clamp=clamp)
+
+
+class TestQueryRoundTrip:
+    def test_key_boxes_and_clamp_survive(self):
+        rects = np.array(
+            [[-110.0, 30.0, -80.0, 45.0], [-80.5, 25.25, -70.0, 35.0]]
+        )
+        request = protocol.decode_query(protocol.encode_query(KEY, rects, clamp=True))
+        assert request.key == KEY
+        assert request.clamp is True
+        assert request.boxes.dtype == np.float64
+        np.testing.assert_array_equal(request.boxes, rects)
+
+    def test_float32_exact_coordinates_are_lossless(self):
+        # Power-of-two fractions survive the float64 -> float32 -> float64
+        # round trip bit for bit; that is the contract behind JSON/binary
+        # bit-identity.
+        rng = np.random.default_rng(7)
+        rects = np.sort(
+            rng.uniform(-100, 100, size=(50, 4)).astype(np.float32), axis=1
+        ).astype(np.float64)[:, [0, 2, 1, 3]]
+        rects = np.concatenate(
+            [np.minimum(rects[:, :2], rects[:, 2:]), np.maximum(rects[:, :2], rects[:, 2:])],
+            axis=1,
+        )
+        request = protocol.decode_query(protocol.encode_query(KEY, rects))
+        np.testing.assert_array_equal(request.boxes, rects)
+
+    def test_rect_list_accepted(self):
+        from repro.core.geometry import Rect
+
+        request = protocol.decode_query(
+            protocol.encode_query(KEY, [Rect(0.0, 0.0, 1.0, 2.0)])
+        )
+        np.testing.assert_array_equal(request.boxes, [[0.0, 0.0, 1.0, 2.0]])
+
+    def test_accepts_max_batch_exactly(self):
+        boxes = np.tile([0.0, 0.0, 1.0, 1.0], (MAX_BATCH_SIZE, 1))
+        request = protocol.decode_query(protocol.encode_query(KEY, boxes))
+        assert request.boxes.shape == (MAX_BATCH_SIZE, 1 * 4)[:1] + (4,)
+
+
+class TestEncodeRejects:
+    def test_empty_batch(self):
+        with pytest.raises(ValueError, match="empty"):
+            protocol.encode_query(KEY, np.empty((0, 4)))
+
+    def test_oversized_batch(self):
+        with pytest.raises(ValidationError, match="exceeds the per-request"):
+            protocol.encode_query(
+                KEY, np.tile([0.0, 0.0, 1.0, 1.0], (MAX_BATCH_SIZE + 1, 1))
+            )
+
+    def test_float32_overflow(self):
+        with pytest.raises(ValueError, match="float32"):
+            protocol.encode_query(KEY, np.array([[0.0, 0.0, 1e300, 1.0]]))
+
+
+class TestDecodeRejects:
+    def assert_400(self, body, match):
+        with pytest.raises(ValidationError, match=match) as excinfo:
+            protocol.decode_query(body)
+        assert excinfo.value.status == 400
+
+    def test_bad_magic(self):
+        body = frame()
+        self.assert_400(b"XXXX" + body[4:], "bad magic")
+
+    def test_short_header(self):
+        self.assert_400(frame()[: protocol.HEADER_SIZE - 1], "shorter than")
+
+    def test_truncated_payload(self):
+        self.assert_400(frame()[:-1], "truncated")
+
+    def test_padded_payload(self):
+        self.assert_400(frame() + b"\x00", "truncated or padded")
+
+    def test_unsupported_version(self):
+        body = bytearray(frame())
+        body[4] = 2
+        self.assert_400(bytes(body), "version")
+
+    def test_wrong_kind(self):
+        body = bytearray(frame())
+        body[5] = 1  # answer frame kind on the query endpoint
+        self.assert_400(bytes(body), "kind")
+
+    def test_unknown_flags(self):
+        body = bytearray(frame())
+        body[6] |= 0x80
+        self.assert_400(bytes(body), "flag bits")
+
+    def test_zero_rects(self):
+        header = struct.pack("<4sBBBBI", protocol.MAGIC, 1, 0, 0, 4, 0)
+        self.assert_400(header + b"abcd", "at least one rectangle")
+
+    def test_over_limit_count(self):
+        slug = KEY.slug().encode()
+        header = struct.pack(
+            "<4sBBBBI", protocol.MAGIC, 1, 0, 0, len(slug), MAX_BATCH_SIZE + 1
+        )
+        self.assert_400(header + slug, "exceeds the per-request")
+
+    def test_empty_slug(self):
+        header = struct.pack("<4sBBBBI", protocol.MAGIC, 1, 0, 0, 0, 1)
+        self.assert_400(header + b"\x00" * 16, "empty release slug")
+
+    def test_malformed_slug(self):
+        slug = b"not-a-slug"
+        header = struct.pack("<4sBBBBI", protocol.MAGIC, 1, 0, 0, len(slug), 1)
+        self.assert_400(header + slug + b"\x00" * 16, "malformed release slug")
+
+    def test_non_utf8_slug(self):
+        slug = b"\xff\xfe\xfd"
+        header = struct.pack("<4sBBBBI", protocol.MAGIC, 1, 0, 0, len(slug), 1)
+        self.assert_400(header + slug + b"\x00" * 16, "UTF-8")
+
+    def test_inverted_rect_rejected_like_json(self):
+        self.assert_400(
+            frame(rects=((5.0, 0.0, 1.0, 1.0),)), "x_lo <= x_hi"
+        )
+
+    def test_non_finite_rejected(self):
+        # NaN survives the float32 cast in encode (isfinite checks inf
+        # and NaN the same way) — build the frame by hand.
+        body = bytearray(frame())
+        nan = struct.pack("<f", float("nan"))
+        body[-4:] = nan
+        self.assert_400(bytes(body), "finite")
+
+
+class TestAnswerFrames:
+    def test_round_trip(self):
+        estimates = np.array([1.5, -2.25, 1e9, 0.0])
+        decoded = protocol.decode_answer(protocol.encode_answer(estimates))
+        assert decoded.dtype == np.float64
+        np.testing.assert_array_equal(decoded, estimates)
+
+    def test_empty_vector_round_trips(self):
+        decoded = protocol.decode_answer(protocol.encode_answer(np.empty(0)))
+        assert decoded.shape == (0,)
+
+    def test_float64_precision_survives(self):
+        estimates = np.array([1.0 + 2**-50])
+        decoded = protocol.decode_answer(protocol.encode_answer(estimates))
+        assert decoded[0] == estimates[0]
+
+    def test_truncated_answer_rejected(self):
+        body = protocol.encode_answer(np.array([1.0, 2.0]))
+        with pytest.raises(ValidationError, match="truncated"):
+            protocol.decode_answer(body[:-3])
+
+    def test_query_frame_rejected_as_answer(self):
+        with pytest.raises(ValidationError, match="kind"):
+            protocol.decode_answer(frame())

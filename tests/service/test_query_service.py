@@ -128,6 +128,157 @@ class TestEngineCache:
         assert service.stats()["engines_cached"] == 1
 
 
+class TestAnswerCache:
+    def test_repeat_batch_is_a_hit_with_identical_estimates(self, service, rng):
+        key = ReleaseKey("storage", "AG", epsilon=1.0, seed=0)
+        service.store.build(key)
+        rects = storage_rects(20, rng)
+        first = service.answer(key, rects)
+        second = service.answer(key, rects)
+        assert first.cached is False
+        assert second.cached is True
+        assert second.build_ms == 0.0
+        np.testing.assert_array_equal(first.estimates, second.estimates)
+        stats = service.stats()
+        assert stats["answer_cache_hits"] == 1
+        assert stats["answer_cache_misses"] == 1
+        assert stats["answer_cache_entries"] == 1
+        assert stats["answer_cache_bytes"] == first.estimates.nbytes
+
+    def test_clamp_is_part_of_the_cache_key(self, service, rng):
+        key = ReleaseKey("storage", "AG", epsilon=1.0, seed=0)
+        service.store.build(key)
+        rects = storage_rects(10, rng)
+        raw = service.answer(key, rects)
+        clamped = service.answer(key, rects, clamp=True)
+        assert clamped.cached is False
+        np.testing.assert_array_equal(
+            clamped.estimates, np.maximum(raw.estimates, 0.0)
+        )
+        assert service.stats()["answer_cache_entries"] == 2
+
+    def test_equal_boxes_from_different_input_forms_share_an_entry(self, service):
+        key = ReleaseKey("storage", "UG", epsilon=1.0, seed=0)
+        service.store.build(key)
+        rows = [[-110.0, 30.0, -80.0, 45.0]]
+        service.answer(key, rows)
+        as_array = service.answer(key, np.array(rows))
+        as_rects = service.answer(key, [Rect(-110.0, 30.0, -80.0, 45.0)])
+        assert as_array.cached and as_rects.cached
+
+    def test_byte_bound_evicts_lru(self, rng):
+        store = SynopsisStore(n_points=N_POINTS, dataset_budget=10.0)
+        # Room for exactly two 5-rect answer vectors (5 * 8 bytes each).
+        service = QueryService(store, answer_cache_bytes=80)
+        key = ReleaseKey("storage", "UG", epsilon=1.0, seed=0)
+        store.build(key)
+        batches = [storage_rects(5, rng) for _ in range(3)]
+        for batch in batches:
+            service.answer(key, batch)
+        assert service.stats()["answer_cache_entries"] == 2
+        assert service.stats()["answer_cache_bytes"] == 80
+        # batches[0] was evicted (LRU); batches[2] still hits.
+        assert service.answer(key, batches[2]).cached is True
+        assert service.answer(key, batches[0]).cached is False
+
+    def test_oversized_answers_are_not_cached(self, rng):
+        store = SynopsisStore(n_points=N_POINTS, dataset_budget=10.0)
+        service = QueryService(store, answer_cache_bytes=8)  # one estimate
+        key = ReleaseKey("storage", "UG", epsilon=1.0, seed=0)
+        store.build(key)
+        rects = storage_rects(4, rng)
+        service.answer(key, rects)
+        assert service.stats()["answer_cache_entries"] == 0
+        assert service.answer(key, rects).cached is False
+
+    def test_zero_budget_disables_caching(self, rng):
+        store = SynopsisStore(n_points=N_POINTS, dataset_budget=10.0)
+        service = QueryService(store, answer_cache_bytes=0)
+        key = ReleaseKey("storage", "UG", epsilon=1.0, seed=0)
+        store.build(key)
+        rects = storage_rects(4, rng)
+        assert service.answer(key, rects).cached is False
+        assert service.answer(key, rects).cached is False
+        stats = service.stats()
+        assert stats["answer_cache_hits"] == 0
+        assert stats["answer_cache_misses"] == 0
+
+    def test_forced_rebuild_invalidates(self, service, rng):
+        key = ReleaseKey("storage", "AG", epsilon=1.0, seed=0)
+        service.store.build(key)
+        rects = storage_rects(8, rng)
+        service.answer(key, rects)
+        assert service.answer(key, rects).cached is True
+        service.store.build(key, force=True)
+        refreshed = service.answer(key, rects)
+        assert refreshed.cached is False
+        # ...and the refreshed answer re-enters the cache immediately.
+        assert service.answer(key, rects).cached is True
+
+    def test_cached_estimates_are_frozen(self, service, rng):
+        key = ReleaseKey("storage", "AG", epsilon=1.0, seed=0)
+        service.store.build(key)
+        result = service.answer(key, storage_rects(4, rng))
+        with pytest.raises((ValueError, RuntimeError)):
+            result.estimates[0] = 123.0
+
+    def test_answer_built_during_eviction_race_is_not_cached(
+        self, monkeypatch, rng
+    ):
+        # If the key is evicted while its engine is being prepared, the
+        # engine is not installed — and the answer must not be cached
+        # either: the key's next incarnation would share generation 0
+        # with no engine entry left to trigger an invalidation, so the
+        # stale vector would never be dropped.
+        from repro.service import query_service as qs
+
+        store = SynopsisStore(n_points=N_POINTS, dataset_budget=10.0)
+        service = QueryService(store)
+        key = ReleaseKey("storage", "UG", epsilon=1.0, seed=0)
+        store.build(key)
+        real_make_engine = qs.make_engine
+
+        def evicting_make_engine(synopsis):
+            store.evict(key)  # lands mid-build, before the re-snapshot
+            return real_make_engine(synopsis)
+
+        monkeypatch.setattr(qs, "make_engine", evicting_make_engine)
+        rects = storage_rects(4, rng)
+        result = service.answer(key, rects)
+        assert result.cached is False
+        assert result.estimates.shape == (4,)
+        stats = service.stats()
+        assert stats["answer_cache_entries"] == 0
+        assert stats["engines_cached"] == 0
+
+    def test_concurrent_repeats_converge_to_one_entry(self, service, rng):
+        key = ReleaseKey("storage", "AG", epsilon=1.0, seed=0)
+        service.store.build(key)
+        rects = storage_rects(16, rng)
+        baseline = service.answer(key, rects).estimates
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(
+                pool.map(lambda _: service.answer(key, rects).estimates, range(16))
+            )
+        for estimates in results:
+            np.testing.assert_array_equal(estimates, baseline)
+        assert service.stats()["answer_cache_entries"] == 1
+
+
+class TestResultPayload:
+    def test_latency_split_fields(self, service, rng):
+        key = ReleaseKey("storage", "AG", epsilon=1.0, seed=0)
+        service.store.build(key)
+        payload = service.answer(key, storage_rects(3, rng)).to_payload()
+        assert payload["cached"] is False
+        assert payload["build_ms"] >= 0.0
+        assert payload["answer_ms"] >= 0.0
+        assert payload["elapsed_ms"] == pytest.approx(
+            payload["build_ms"] + payload["answer_ms"], abs=2e-3
+        )
+        assert service.stats()["engine_cold_starts"] == 1
+
+
 class TestConcurrency:
     def test_concurrent_batches_against_one_cached_synopsis(self, service, rng):
         key = ReleaseKey("storage", "AG", epsilon=1.0, seed=0)

@@ -1,9 +1,23 @@
 """Tests for the ``python -m repro serve`` entry point."""
 
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
 import pytest
 
 from repro.experiments.cli import main as repro_main
-from repro.service.cli import build_parser, main as serve_main
+from repro.service.cli import build_parser, main as serve_main, resolve_workers
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
 
 
 class TestParser:
@@ -13,6 +27,8 @@ class TestParser:
         assert args.port == 8731
         assert args.store_dir is None
         assert args.dataset_budget is None  # resolved in main(): 4.0 / 1.0
+        assert args.workers == 1
+        assert args.answer_cache_bytes == 32 * 1024 * 1024
 
     def test_help_exits_cleanly(self):
         with pytest.raises(SystemExit) as excinfo:
@@ -88,6 +104,137 @@ class TestPreload:
 
         with pytest.raises(ValidationError):
             serve_main(["--smoke", "--preload", "garbage"])
+
+
+class TestResolveWorkers:
+    def test_single_worker_passes_through(self):
+        assert resolve_workers(1) == (1, None)
+
+    def test_nonpositive_clamps_to_one(self):
+        workers, reason = resolve_workers(0)
+        assert workers == 1
+        assert "clamped" in reason
+
+    def test_multi_worker_honoured_or_explained(self):
+        workers, reason = resolve_workers(3, store_dir="/tmp/anywhere")
+        if hasattr(os, "fork") and hasattr(socket, "SO_REUSEPORT"):
+            assert (workers, reason) == (3, None)
+        else:
+            assert workers == 1
+            assert reason is not None
+
+    def test_missing_reuseport_falls_back(self, monkeypatch):
+        monkeypatch.delattr(socket, "SO_REUSEPORT", raising=False)
+        workers, reason = resolve_workers(4, store_dir="/tmp/anywhere")
+        assert workers == 1
+        assert "SO_REUSEPORT" in reason
+
+    def test_no_store_dir_falls_back_to_one_worker(self):
+        # N in-memory stores would mean N independent budget ledgers —
+        # an N-fold silent privacy-budget multiplication.  Refused.
+        workers, reason = resolve_workers(4, store_dir=None)
+        assert workers == 1
+        assert "privacy budget" in reason
+
+
+@pytest.mark.skipif(
+    not (hasattr(os, "fork") and hasattr(socket, "SO_REUSEPORT")),
+    reason="multi-worker serving needs fork + SO_REUSEPORT",
+)
+class TestMultiWorker:
+    def test_reuse_port_servers_share_an_address(self):
+        """Two in-process servers bound with reuse_port split one port."""
+        from repro.service.query_service import QueryService
+        from repro.service.server import serve
+        from repro.service.store import SynopsisStore
+
+        def make_server(port):
+            store = SynopsisStore(n_points=1_000, dataset_budget=2.0)
+            return serve(QueryService(store), "127.0.0.1", port, reuse_port=True)
+
+        first = make_server(0)
+        port = first.server_address[1]
+        second = make_server(port)  # binding the same port must succeed
+        threads = []
+        try:
+            for server in (first, second):
+                thread = threading.Thread(target=server.serve_forever, daemon=True)
+                thread.start()
+                threads.append(thread)
+            for _ in range(8):  # fresh connection per request
+                with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/health", timeout=10
+                ) as response:
+                    assert json.loads(response.read())["status"] == "ok"
+        finally:
+            for server in (first, second):
+                server.shutdown()
+                server.server_close()
+            for thread in threads:
+                thread.join(timeout=5)
+
+    def test_forked_workers_serve_and_shut_down(self, tmp_path):
+        """End-to-end --workers: forked processes share the port and the
+        persisted store; SIGINT shuts the whole tree down cleanly."""
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        env = dict(os.environ, PYTHONPATH=str(REPO_SRC))
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--workers", "2", "--port", str(port),
+                "--n-points", "1000", "--store-dir", str(tmp_path),
+                "--preload", "storage_UG_eps1.0_seed0",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+        )
+        url = f"http://127.0.0.1:{port}"
+        try:
+            body = None
+            for _ in range(120):  # wait for the workers to come up
+                if process.poll() is not None:
+                    break
+                try:
+                    with urllib.request.urlopen(url + "/health", timeout=5) as resp:
+                        body = json.loads(resp.read())
+                        break
+                except (urllib.error.URLError, ConnectionError, OSError):
+                    time.sleep(0.25)
+            assert process.poll() is None, process.stdout.read().decode()
+            assert body is not None and body["status"] == "ok"
+
+            # The preloaded release was persisted by the parent; any
+            # worker answering this query reloads it from the shared dir.
+            request = urllib.request.Request(
+                url + "/query",
+                data=json.dumps(
+                    {
+                        "dataset": "storage", "method": "UG",
+                        "epsilon": 1.0, "seed": 0,
+                        "rects": [[-110.0, 30.0, -80.0, 45.0]],
+                    }
+                ).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            estimates = set()
+            for _ in range(6):  # hit both workers with fresh connections
+                with urllib.request.urlopen(request, timeout=10) as resp:
+                    estimates.add(tuple(json.loads(resp.read())["estimates"]))
+            # Builds are bit-deterministic per key: every worker answers
+            # identically no matter which one the kernel picked.
+            assert len(estimates) == 1
+        finally:
+            process.send_signal(signal.SIGINT)
+            try:
+                process.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=10)
+        output = process.stdout.read().decode()
+        assert "with 2 workers" in output
 
 
 class TestExperimentCliStillWorks:
