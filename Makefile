@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: help test bench-quick bench-engine bench-experiments bench-tree bench-tree-quick bench-service bench-service-quick serve serve-smoke quickstart
+.PHONY: help test bench-quick bench-engine bench-experiments bench-tree bench-tree-quick bench-service bench-service-quick bench-longtail bench-longtail-quick serve serve-smoke quickstart
 
 help:
 	@echo "make test                run the full unit/property test suite (tier-1)"
@@ -15,6 +15,8 @@ help:
 	@echo "make bench-tree-quick    tree kernel equivalence smoke (small scale, no JSON)"
 	@echo "make bench-service       HTTP load bench (JSON vs binary, cold vs warm); refreshes BENCH_service.json"
 	@echo "make bench-service-quick service bench smoke (bit-identity always, ratios only on >= 4 CPUs)"
+	@echo "make bench-longtail      long-tail kernels (Privelet/Hier/UGnd); refreshes BENCH_longtail.json"
+	@echo "make bench-longtail-quick long-tail kernel equivalence smoke (small scale, no JSON)"
 	@echo "make serve               start the synopsis HTTP server on port 8731 (--workers N via SERVE_ARGS)"
 	@echo "make serve-smoke         build + query + budget-refusal round trip over HTTP"
 	@echo "make quickstart          run examples/quickstart.py"
@@ -42,6 +44,12 @@ bench-service:
 
 bench-service-quick:
 	BENCH_SERVICE_QUICK=1 $(PYTHON) -m pytest benchmarks/bench_service.py -q
+
+bench-longtail:
+	$(PYTHON) -m pytest benchmarks/bench_longtail.py -q
+
+bench-longtail-quick:
+	BENCH_LONGTAIL_QUICK=1 $(PYTHON) -m pytest benchmarks/bench_longtail.py -q
 
 serve:
 	$(PYTHON) -m repro serve $(SERVE_ARGS)

@@ -22,14 +22,22 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.dataset import GeoDataset
+from repro.core.geometry import Domain2D
 from repro.core.grid import GridLayout
+from repro.core.guidelines import DEFAULT_C, guideline1_grid_size
 from repro.core.synopsis import SynopsisBuilder
 from repro.core.uniform_grid import UniformGridSynopsis
 from repro.privacy.budget import PrivacyBudget
 from repro.privacy.composition import uniform_allocation
 from repro.privacy.mechanisms import ensure_rng, laplace_scale
 
-__all__ = ["HierarchicalGridBuilder", "block_sum", "block_repeat", "hierarchy_inference"]
+__all__ = [
+    "HierarchicalGridBuilder",
+    "HierarchicalGridSynopsis",
+    "block_sum",
+    "block_repeat",
+    "hierarchy_inference",
+]
 
 
 def block_sum(matrix: np.ndarray, factor: int) -> np.ndarray:
@@ -104,6 +112,192 @@ def hierarchy_inference(
     return inferred
 
 
+class HierarchicalGridSynopsis(UniformGridSynopsis):
+    """The released state of ``H_{b,d}``: the full level stack, flat.
+
+    The inferred leaf grid (held by the :class:`UniformGridSynopsis`
+    base) answers queries through the shared prefix-sum engine — after
+    constrained inference the hierarchy is exactly consistent, so the
+    leaves lose nothing.  The release additionally keeps the *raw* level
+    stack in CSR form — per-level sizes, one flat measurement array with
+    level offsets, one variance per level — so the measurements survive
+    serialization, inference is re-runnable (:meth:`infer_leaf_counts`),
+    and the stack can be lowered onto the generic tree kernel
+    (:meth:`to_tree_arrays`) where its uniform fan-out tree fits.
+    """
+
+    def __init__(
+        self,
+        domain: Domain2D,
+        epsilon: float,
+        layout: GridLayout,
+        leaf_counts: np.ndarray,
+        branching: int,
+        level_sizes: list[int],
+        measurements: np.ndarray,
+        level_variances: np.ndarray,
+    ):
+        super().__init__(domain, epsilon, layout, leaf_counts)
+        branching = int(branching)
+        level_sizes = [int(size) for size in level_sizes]
+        if branching < 2:
+            raise ValueError(f"branching must be >= 2, got {branching}")
+        if not level_sizes:
+            raise ValueError("at least one level required")
+        for coarse, fine in zip(level_sizes, level_sizes[1:]):
+            if fine != coarse * branching:
+                raise ValueError(
+                    f"level sizes {level_sizes} do not refine by {branching}"
+                )
+        if (level_sizes[-1], level_sizes[-1]) != layout.shape:
+            raise ValueError(
+                f"finest level {level_sizes[-1]} does not match leaf grid "
+                f"{layout.shape}"
+            )
+        offsets = np.zeros(len(level_sizes) + 1, dtype=np.int64)
+        np.cumsum([size * size for size in level_sizes], out=offsets[1:])
+        measurements = np.asarray(measurements, dtype=float)
+        if measurements.shape != (offsets[-1],):
+            raise ValueError(
+                f"measurements shape {measurements.shape} != ({offsets[-1]},)"
+            )
+        level_variances = np.asarray(level_variances, dtype=float)
+        if level_variances.shape != (len(level_sizes),):
+            raise ValueError("one variance per level required")
+        self._branching = branching
+        self._level_sizes = level_sizes
+        self._level_offsets = offsets
+        self._measurements = measurements
+        self._level_variances = level_variances
+
+    @property
+    def branching(self) -> int:
+        return self._branching
+
+    @property
+    def depth(self) -> int:
+        return len(self._level_sizes)
+
+    @property
+    def level_sizes(self) -> list[int]:
+        """Grid sizes, coarsest to finest."""
+        return list(self._level_sizes)
+
+    @property
+    def level_offsets(self) -> np.ndarray:
+        """CSR bounds: level ``l`` occupies ``measurements[off[l]:off[l+1]]``."""
+        return self._level_offsets
+
+    @property
+    def measurements(self) -> np.ndarray:
+        """All raw noisy level histograms, flattened coarsest-first."""
+        return self._measurements
+
+    @property
+    def level_variances(self) -> np.ndarray:
+        """Per-cell measurement variance of each level."""
+        return self._level_variances
+
+    def level_measurements(self, level: int) -> np.ndarray:
+        """The raw noisy ``s x s`` histogram of one level (a view)."""
+        size = self._level_sizes[level]
+        lo, hi = self._level_offsets[level], self._level_offsets[level + 1]
+        return self._measurements[lo:hi].reshape(size, size)
+
+    def infer_leaf_counts(self) -> np.ndarray:
+        """Re-run constrained inference over the stored measurement stack.
+
+        Bit-identical to the counts the builder released (same inputs
+        through the same :func:`hierarchy_inference`); serialization
+        round-trip tests lean on this.
+        """
+        if self.depth == 1:
+            return self.level_measurements(0).copy()
+        noisy_levels = [self.level_measurements(level) for level in range(self.depth)]
+        inferred = hierarchy_inference(
+            noisy_levels, [float(v) for v in self._level_variances], self._branching
+        )
+        return inferred[-1]
+
+    def tree_level_orders(self) -> list[np.ndarray]:
+        """Per-level record orders used by :meth:`to_tree_arrays`.
+
+        The tree layout requires siblings contiguous under their parent,
+        so each level is emitted in hierarchical order: children grouped
+        by their parent's record position, each ``b x b`` block row-major
+        inside its group.  ``orders[l][q]`` is the row-major flat grid
+        index (``row * size + col``) of the cell at record position ``q``
+        within level ``l`` — so a per-level tree slab maps back to the
+        grid with ``grid.ravel()[orders[l]] = slab``.
+        """
+        b = self._branching
+        orders = [np.arange(self._level_sizes[0] ** 2, dtype=np.int64)]
+        block = np.arange(b * b, dtype=np.int64)
+        d_row, d_col = block // b, block % b
+        for level in range(1, self.depth):
+            coarser = self._level_sizes[level - 1]
+            size = self._level_sizes[level]
+            parent_row = orders[level - 1] // coarser
+            parent_col = orders[level - 1] % coarser
+            row = (parent_row[:, None] * b + d_row[None, :]).ravel()
+            col = (parent_col[:, None] * b + d_col[None, :]).ravel()
+            orders.append(row * size + col)
+        return orders
+
+    def to_tree_arrays(self):
+        """Lower the level stack onto the generic flat tree kernel.
+
+        Returns a :class:`~repro.baselines.tree.TreeArrays` whose root is
+        a *virtual* unmeasured node (NaN measurement, infinite variance)
+        covering the domain, with the coarsest grid as its children and
+        each finer cell a child of the cell it refines.  Within a level,
+        nodes follow :meth:`tree_level_orders` (siblings contiguous).
+        Running :func:`~repro.baselines.tree.apply_tree_inference_arrays`
+        on it reproduces :func:`hierarchy_inference` (up to float
+        association: the tree kernel gathers child sums sequentially
+        while ``block_sum`` reduces with pairwise axis sums).
+        """
+        from repro.baselines.tree import TreeArrays
+
+        bounds = self.domain.bounds
+        b = self._branching
+        orders = self.tree_level_orders()
+        total = 1 + int(self._level_offsets[-1])
+        rects = np.empty((total, 4))
+        depths = np.empty(total, dtype=np.int64)
+        parents = np.empty(total, dtype=np.int64)
+        noisy = np.empty(total)
+        variances = np.empty(total)
+        rects[0] = (bounds.x_lo, bounds.y_lo, bounds.x_hi, bounds.y_hi)
+        depths[0], parents[0] = 0, -1
+        noisy[0], variances[0] = np.nan, np.inf
+
+        for level, size in enumerate(self._level_sizes):
+            lo = 1 + int(self._level_offsets[level])
+            hi = 1 + int(self._level_offsets[level + 1])
+            order = orders[level]
+            row, col = order // size, order % size
+            # Cell (row, col) spans row-major axis-0 = x, axis-1 = y,
+            # matching GridLayout's histogram orientation.
+            rects[lo:hi, 0] = bounds.x_lo + self.domain.width * row / size
+            rects[lo:hi, 2] = bounds.x_lo + self.domain.width * (row + 1) / size
+            rects[lo:hi, 1] = bounds.y_lo + self.domain.height * col / size
+            rects[lo:hi, 3] = bounds.y_lo + self.domain.height * (col + 1) / size
+            depths[lo:hi] = level + 1
+            noisy[lo:hi] = self._measurements[lo - 1 : hi - 1][order]
+            variances[lo:hi] = self._level_variances[level]
+            if level == 0:
+                parents[lo:hi] = 0
+            else:
+                # Hierarchical order means children of the parent at
+                # record position q fill positions q*b^2 .. (q+1)*b^2 - 1.
+                n_parents = self._level_sizes[level - 1] ** 2
+                parents[lo:hi] = 1 + int(self._level_offsets[level - 1]) + (
+                    np.repeat(np.arange(n_parents, dtype=np.int64), b * b)
+                )
+        return TreeArrays.from_records(rects, depths, parents, noisy, variances)
+
+
 class HierarchicalGridBuilder(SynopsisBuilder):
     """Builds ``H_{b,d}``: a ``d``-level hierarchy over an ``m x m`` leaf grid.
 
@@ -111,7 +305,9 @@ class HierarchicalGridBuilder(SynopsisBuilder):
     ----------
     leaf_grid_size:
         The finest grid size ``m``; must be divisible by
-        ``branching^(depth-1)``.
+        ``branching^(depth-1)``.  ``None`` applies Guideline 1 and rounds
+        up to the next multiple of ``branching^(depth-1)`` (needed by the
+        zero-argument service factory).
     branching:
         Per-axis branching factor ``b`` between consecutive levels.
     depth:
@@ -120,31 +316,84 @@ class HierarchicalGridBuilder(SynopsisBuilder):
 
     name = "Hierarchy"
 
-    def __init__(self, leaf_grid_size: int, branching: int = 2, depth: int = 2):
-        if leaf_grid_size < 1:
-            raise ValueError(f"leaf_grid_size must be >= 1, got {leaf_grid_size}")
+    def __init__(
+        self,
+        leaf_grid_size: int | None = None,
+        branching: int = 2,
+        depth: int = 2,
+        c: float = DEFAULT_C,
+    ):
         if branching < 2:
             raise ValueError(f"branching must be >= 2, got {branching}")
         if depth < 1:
             raise ValueError(f"depth must be >= 1, got {depth}")
-        if leaf_grid_size % (branching ** (depth - 1)):
-            raise ValueError(
-                f"leaf grid {leaf_grid_size} not divisible by "
-                f"branching^(depth-1) = {branching ** (depth - 1)}"
-            )
+        if leaf_grid_size is not None:
+            if leaf_grid_size < 1:
+                raise ValueError(
+                    f"leaf_grid_size must be >= 1, got {leaf_grid_size}"
+                )
+            if leaf_grid_size % (branching ** (depth - 1)):
+                raise ValueError(
+                    f"leaf grid {leaf_grid_size} not divisible by "
+                    f"branching^(depth-1) = {branching ** (depth - 1)}"
+                )
         self.leaf_grid_size = leaf_grid_size
         self.branching = branching
         self.depth = depth
+        self.c = c
 
     def label(self) -> str:
         return f"H{self.branching},{self.depth}"
 
-    def level_sizes(self) -> list[int]:
+    def _resolve_leaf_size(self, dataset: GeoDataset, epsilon: float) -> int:
+        if self.leaf_grid_size is not None:
+            return self.leaf_grid_size
+        guess = guideline1_grid_size(dataset.size, epsilon, self.c)
+        coarsest = self.branching ** (self.depth - 1)
+        return max(coarsest, -(-guess // coarsest) * coarsest)
+
+    def level_sizes(self, leaf_grid_size: int | None = None) -> list[int]:
         """Grid sizes from coarsest to finest, e.g. H(2,3) over 360: [90, 180, 360]."""
+        m = self.leaf_grid_size if leaf_grid_size is None else leaf_grid_size
+        if m is None:
+            raise ValueError(
+                "leaf grid size is data-dependent (Guideline 1); pass it in"
+            )
         return [
-            self.leaf_grid_size // (self.branching ** (self.depth - 1 - level))
+            m // (self.branching ** (self.depth - 1 - level))
             for level in range(self.depth)
         ]
+
+    def _measure_levels(
+        self,
+        dataset: GeoDataset,
+        epsilon: float,
+        rng: np.random.Generator,
+        budget: PrivacyBudget,
+        leaf_grid_size: int,
+    ) -> tuple[GridLayout, list[np.ndarray], list[float]]:
+        """The shared measurement stage: one noisy histogram per level.
+
+        ``fit`` and ``fit_reference`` both run exactly this sequence, so
+        they consume the same noise stream and release bit-identical
+        counts.
+        """
+        leaf_layout = GridLayout(dataset.domain, leaf_grid_size)
+        exact_leaf = leaf_layout.histogram(dataset.points)
+
+        level_epsilons = uniform_allocation(epsilon, self.depth)
+        sizes = self.level_sizes(leaf_grid_size)
+
+        noisy_levels: list[np.ndarray] = []
+        variances: list[float] = []
+        for level, (size, level_eps) in enumerate(zip(sizes, level_epsilons)):
+            budget.spend(level_eps, f"level {level} counts (size {size})")
+            factor = leaf_grid_size // size
+            exact = block_sum(exact_leaf, factor) if factor > 1 else exact_leaf
+            scale = laplace_scale(1.0, level_eps)
+            noisy_levels.append(exact + rng.laplace(0.0, scale, size=exact.shape))
+            variances.append(2.0 * scale**2)
+        return leaf_layout, noisy_levels, variances
 
     def fit(
         self,
@@ -152,25 +401,14 @@ class HierarchicalGridBuilder(SynopsisBuilder):
         epsilon: float,
         rng: np.random.Generator,
         budget: PrivacyBudget | None = None,
-    ) -> UniformGridSynopsis:
+    ) -> HierarchicalGridSynopsis:
         rng = ensure_rng(rng)
         budget = self._budget(epsilon, budget)
+        leaf_grid_size = self._resolve_leaf_size(dataset, epsilon)
 
-        leaf_layout = GridLayout(dataset.domain, self.leaf_grid_size)
-        exact_leaf = leaf_layout.histogram(dataset.points)
-
-        level_epsilons = uniform_allocation(epsilon, self.depth)
-        sizes = self.level_sizes()
-
-        noisy_levels: list[np.ndarray] = []
-        variances: list[float] = []
-        for level, (size, level_eps) in enumerate(zip(sizes, level_epsilons)):
-            budget.spend(level_eps, f"level {level} counts (size {size})")
-            factor = self.leaf_grid_size // size
-            exact = block_sum(exact_leaf, factor) if factor > 1 else exact_leaf
-            scale = laplace_scale(1.0, level_eps)
-            noisy_levels.append(exact + rng.laplace(0.0, scale, size=exact.shape))
-            variances.append(2.0 * scale**2)
+        leaf_layout, noisy_levels, variances = self._measure_levels(
+            dataset, epsilon, rng, budget, leaf_grid_size
+        )
 
         if self.depth == 1:
             leaf_counts = noisy_levels[0]
@@ -178,6 +416,61 @@ class HierarchicalGridBuilder(SynopsisBuilder):
             inferred = hierarchy_inference(noisy_levels, variances, self.branching)
             leaf_counts = inferred[-1]
 
-        # Consistency means leaf sums reproduce every interior estimate, so
-        # releasing the leaf grid alone loses nothing.
+        # Consistency means leaf sums reproduce every interior estimate,
+        # so queries run off the leaf grid alone; the raw stack rides
+        # along for serialization and the tree-kernel bridge.
+        return HierarchicalGridSynopsis(
+            dataset.domain,
+            epsilon,
+            leaf_layout,
+            leaf_counts,
+            self.branching,
+            self.level_sizes(leaf_grid_size),
+            np.concatenate([level.ravel() for level in noisy_levels]),
+            np.asarray(variances),
+        )
+
+    def fit_reference(
+        self,
+        dataset: GeoDataset,
+        epsilon: float,
+        rng: np.random.Generator,
+        budget: PrivacyBudget | None = None,
+    ) -> UniformGridSynopsis:
+        """The retained leaf-grid-only reference build.
+
+        Identical measurement and inference sequence as :meth:`fit`, but
+        releases only the inferred leaf grid as a plain
+        :class:`UniformGridSynopsis`; the property suite pins
+        :meth:`fit`'s counts bit-identical to these.
+        """
+        rng = ensure_rng(rng)
+        budget = self._budget(epsilon, budget)
+        leaf_grid_size = self._resolve_leaf_size(dataset, epsilon)
+
+        leaf_layout, noisy_levels, variances = self._measure_levels(
+            dataset, epsilon, rng, budget, leaf_grid_size
+        )
+
+        if self.depth == 1:
+            leaf_counts = noisy_levels[0]
+        else:
+            inferred = hierarchy_inference(noisy_levels, variances, self.branching)
+            leaf_counts = inferred[-1]
+
         return UniformGridSynopsis(dataset.domain, epsilon, leaf_layout, leaf_counts)
+
+
+def _register_engine() -> None:
+    # The subclass would inherit UniformGridSynopsis's registration via
+    # the MRO walk; registering explicitly documents that the hierarchy
+    # serves queries from its inferred leaf grid.
+    from repro.queries.engine import BatchQueryEngine, register_engine
+
+    register_engine(
+        HierarchicalGridSynopsis,
+        lambda synopsis: BatchQueryEngine(synopsis.layout, synopsis.counts),
+    )
+
+
+_register_engine()

@@ -42,8 +42,12 @@ from repro.privacy.mechanisms import ensure_rng
 
 __all__ = [
     "PriveletBuilder",
+    "PriveletSynopsis",
     "haar_forward",
     "haar_inverse",
+    "haar_forward_matrix",
+    "haar_inverse_matrix",
+    "reconstruct_counts",
     "coefficient_weights",
     "generalised_sensitivity",
 ]
@@ -92,6 +96,59 @@ def haar_inverse(coefficients: np.ndarray) -> np.ndarray:
     return averages
 
 
+def haar_forward_matrix(matrix: np.ndarray, axis: int) -> np.ndarray:
+    """Vectorised :func:`haar_forward` along one axis of a 2-D array.
+
+    Every lane runs the exact per-element arithmetic of the 1-D
+    transform (the butterfly operations are elementwise), so the result
+    is bit-identical to ``np.apply_along_axis(haar_forward, axis, m)``
+    without the per-lane Python dispatch.
+    """
+    lanes = np.moveaxis(np.asarray(matrix, dtype=float), axis, -1)
+    n = lanes.shape[-1]
+    h = _check_power_of_two(n)
+    coefficients = np.empty_like(lanes)
+    averages = lanes
+    for level in range(h - 1, -1, -1):
+        left = averages[..., 0::2]
+        right = averages[..., 1::2]
+        coefficients[..., 2**level : 2 ** (level + 1)] = (left - right) / 2.0
+        averages = (left + right) / 2.0
+    coefficients[..., 0] = averages[..., 0]
+    return np.moveaxis(coefficients, -1, axis)
+
+
+def haar_inverse_matrix(matrix: np.ndarray, axis: int) -> np.ndarray:
+    """Vectorised :func:`haar_inverse` along one axis of a 2-D array.
+
+    Bit-identical per lane to the ``apply_along_axis`` form for the same
+    reason as :func:`haar_forward_matrix`.
+    """
+    lanes = np.moveaxis(np.asarray(matrix, dtype=float), axis, -1)
+    n = lanes.shape[-1]
+    h = _check_power_of_two(n)
+    averages = lanes[..., :1]
+    for level in range(h):
+        details = lanes[..., 2**level : 2 ** (level + 1)]
+        expanded = np.empty(averages.shape[:-1] + (averages.shape[-1] * 2,))
+        expanded[..., 0::2] = averages + details
+        expanded[..., 1::2] = averages - details
+        averages = expanded
+    return np.moveaxis(averages, -1, axis)
+
+
+def reconstruct_counts(coefficients: np.ndarray, m: int) -> np.ndarray:
+    """Grid counts from a noisy 2-D coefficient matrix (crop to ``m x m``).
+
+    The single reconstruction path shared by the builder and the
+    serialization loader, so a release loaded from disk carries counts
+    bit-identical to the ones the builder produced.
+    """
+    reconstructed = haar_inverse_matrix(coefficients, 0)
+    reconstructed = haar_inverse_matrix(reconstructed, 1)
+    return reconstructed[:m, :m]
+
+
 def coefficient_weights(n: int) -> np.ndarray:
     """Privelet weights ``W(c)``: subtree size per coefficient position.
 
@@ -117,6 +174,62 @@ def _next_power_of_two(n: int) -> int:
     while power < n:
         power *= 2
     return power
+
+
+class PriveletSynopsis(UniformGridSynopsis):
+    """The released state of Privelet: noisy Haar coefficients plus the
+    reconstructed grid.
+
+    The reconstructed ``m x m`` counts (held by the
+    :class:`UniformGridSynopsis` base) keep every grid consumer working —
+    synthetic points, post-hoc analysis, serialization of the coarse
+    view.  The ``p x p`` coefficient matrix is the *primary* release: the
+    registered :class:`~repro.queries.engine.WaveletRangeEngine` answers
+    ranges straight from it in ``O(log^2 p)`` gathers per query, and the
+    scalar :meth:`answer` routes through a single-row engine call so the
+    scalar and batch paths are bit-identical by construction.
+    """
+
+    def __init__(
+        self,
+        domain,
+        epsilon: float,
+        layout: GridLayout,
+        counts: np.ndarray,
+        coefficients: np.ndarray,
+    ):
+        super().__init__(domain, epsilon, layout, counts)
+        coefficients = np.asarray(coefficients, dtype=float)
+        if (
+            coefficients.ndim != 2
+            or coefficients.shape[0] != coefficients.shape[1]
+        ):
+            raise ValueError(
+                f"coefficients must be square, got {coefficients.shape}"
+            )
+        _check_power_of_two(coefficients.shape[0])
+        if coefficients.shape[0] < max(layout.shape):
+            raise ValueError(
+                f"coefficient size {coefficients.shape[0]} smaller than "
+                f"grid {layout.shape}"
+            )
+        self._coefficients = coefficients
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """The ``p x p`` noisy Haar coefficient matrix (padded grid)."""
+        return self._coefficients
+
+    @property
+    def padded_size(self) -> int:
+        """``p``: the power-of-two side of the padded coefficient grid."""
+        return int(self._coefficients.shape[0])
+
+    def answer(self, rect) -> float:
+        # One-row batch through the registered wavelet engine: the
+        # scalar path and answer_many are then bit-identical (numpy's
+        # elementwise ops do not depend on batch size).
+        return float(self._batch_engine().answer_batch([rect])[0])
 
 
 class PriveletBuilder(SynopsisBuilder):
@@ -149,7 +262,7 @@ class PriveletBuilder(SynopsisBuilder):
         epsilon: float,
         rng: np.random.Generator,
         budget: PrivacyBudget | None = None,
-    ) -> UniformGridSynopsis:
+    ) -> PriveletSynopsis:
         rng = ensure_rng(rng)
         budget = self._budget(epsilon, budget)
 
@@ -164,7 +277,51 @@ class PriveletBuilder(SynopsisBuilder):
         matrix = np.zeros((padded, padded))
         matrix[:m, :m] = exact
 
-        # Standard decomposition: rows then columns.
+        # Standard decomposition: rows then columns.  The vectorised
+        # transforms are bit-identical per lane to the apply_along_axis
+        # reference (see fit_reference), so the noise stream consumes
+        # the same draws against the same coefficients.
+        coefficients = haar_forward_matrix(matrix, 1)
+        coefficients = haar_forward_matrix(coefficients, 0)
+
+        weights_1d = coefficient_weights(padded)
+        weight_matrix = np.outer(weights_1d, weights_1d)
+        sensitivity_2d = generalised_sensitivity(padded) ** 2
+
+        budget.spend(epsilon, "wavelet coefficients")
+        scales = sensitivity_2d / (epsilon * weight_matrix)
+        noisy = coefficients + rng.laplace(0.0, 1.0, size=coefficients.shape) * scales
+
+        counts = reconstruct_counts(noisy, m)
+        return PriveletSynopsis(dataset.domain, epsilon, layout, counts, noisy)
+
+    def fit_reference(
+        self,
+        dataset: GeoDataset,
+        epsilon: float,
+        rng: np.random.Generator,
+        budget: PrivacyBudget | None = None,
+    ) -> UniformGridSynopsis:
+        """The retained per-lane reference build.
+
+        Transforms with ``np.apply_along_axis`` over the 1-D routines and
+        releases a plain grid synopsis; :meth:`fit` must release
+        bit-identical counts (pinned by the property suite).
+        """
+        rng = ensure_rng(rng)
+        budget = self._budget(epsilon, budget)
+
+        m = self.grid_size
+        if m is None:
+            m = guideline1_grid_size(dataset.size, epsilon, self.c)
+
+        layout = GridLayout(dataset.domain, m, m)
+        exact = layout.histogram(dataset.points)
+
+        padded = _next_power_of_two(m)
+        matrix = np.zeros((padded, padded))
+        matrix[:m, :m] = exact
+
         coefficients = np.apply_along_axis(haar_forward, 1, matrix)
         coefficients = np.apply_along_axis(haar_forward, 0, coefficients)
 
@@ -181,3 +338,19 @@ class PriveletBuilder(SynopsisBuilder):
         counts = reconstructed[:m, :m]
 
         return UniformGridSynopsis(dataset.domain, epsilon, layout, counts)
+
+
+def _register_engine() -> None:
+    # Registered here (not in queries.engine) so the engine registry
+    # never has to import baseline modules.
+    from repro.queries.engine import WaveletRangeEngine, register_engine
+
+    register_engine(
+        PriveletSynopsis,
+        lambda synopsis: WaveletRangeEngine(
+            synopsis.layout, synopsis.coefficients
+        ),
+    )
+
+
+_register_engine()

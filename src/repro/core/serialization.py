@@ -6,10 +6,13 @@ module persists synopses to a single ``.npz`` file and restores them, so a
 data curator can run ``fit`` once on the sensitive data and distribute the
 file; consumers answer queries without ever seeing the raw points.
 
-Supported types: :class:`~repro.core.uniform_grid.UniformGridSynopsis`
-(which also covers Privelet and hierarchy releases — they release a grid),
-:class:`~repro.core.adaptive_grid.AdaptiveGridSynopsis`, and
-:class:`~repro.baselines.tree.TreeSynopsis`.
+Supported types: :class:`~repro.core.uniform_grid.UniformGridSynopsis`,
+its wavelet and hierarchy subclasses (:class:`~repro.baselines.privelet.
+PriveletSynopsis` keeps its coefficient matrix, :class:`~repro.baselines.
+hierarchy.HierarchicalGridSynopsis` its raw level stack),
+:class:`~repro.core.adaptive_grid.AdaptiveGridSynopsis`,
+:class:`~repro.baselines.tree.TreeSynopsis`, and the d = 2 ND-grid
+embedding :class:`~repro.extensions.multidim.MultiDimGridSynopsis`.
 """
 
 from __future__ import annotations
@@ -18,12 +21,20 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.baselines.hierarchy import HierarchicalGridSynopsis
+from repro.baselines.privelet import PriveletSynopsis, reconstruct_counts
 from repro.baselines.tree import SpatialNode, TreeArrays, TreeSynopsis
 from repro.core.adaptive_grid import AdaptiveGridSynopsis
 from repro.core.geometry import Domain2D, Rect
 from repro.core.grid import GridLayout
 from repro.core.synopsis import Synopsis
 from repro.core.uniform_grid import UniformGridSynopsis
+from repro.extensions.multidim import (
+    MultiDimGridSynopsis,
+    NDBox,
+    NDGridLayout,
+    NDUniformGridSynopsis,
+)
 
 __all__ = ["save_synopsis", "load_synopsis", "synopsis_nbytes"]
 
@@ -31,13 +42,24 @@ _FORMAT_VERSION = 1
 
 
 def _pack(synopsis: Synopsis) -> dict[str, np.ndarray]:
-    """Dispatch to the per-type packer; raises ``TypeError`` for others."""
+    """Dispatch to the per-type packer; raises ``TypeError`` for others.
+
+    Subclasses must be tested before their bases (Privelet and hierarchy
+    releases *are* ``UniformGridSynopsis`` instances, but carry extra
+    state the grid packer would silently drop).
+    """
+    if isinstance(synopsis, PriveletSynopsis):
+        return _pack_wavelet(synopsis)
+    if isinstance(synopsis, HierarchicalGridSynopsis):
+        return _pack_hierarchy(synopsis)
     if isinstance(synopsis, UniformGridSynopsis):
         return _pack_uniform(synopsis)
     if isinstance(synopsis, AdaptiveGridSynopsis):
         return _pack_adaptive(synopsis)
     if isinstance(synopsis, TreeSynopsis):
         return _pack_tree(synopsis)
+    if isinstance(synopsis, MultiDimGridSynopsis):
+        return _pack_ndgrid(synopsis)
     raise TypeError(
         f"cannot serialise synopsis of type {type(synopsis).__name__}"
     )
@@ -78,6 +100,12 @@ def load_synopsis(path: str | Path) -> Synopsis:
         return _unpack_adaptive(data)
     if kind == "tree":
         return _unpack_tree(data)
+    if kind == "wavelet":
+        return _unpack_wavelet(data)
+    if kind == "hierarchy":
+        return _unpack_hierarchy(data)
+    if kind == "ndgrid":
+        return _unpack_ndgrid(data)
     raise ValueError(f"unknown synopsis kind {kind!r}")
 
 
@@ -109,6 +137,114 @@ def _unpack_uniform(data: dict[str, np.ndarray]) -> UniformGridSynopsis:
     counts = np.asarray(data["counts"], dtype=float)
     layout = GridLayout(domain, counts.shape[0], counts.shape[1])
     return UniformGridSynopsis(domain, float(data["epsilon"]), layout, counts)
+
+
+# ----------------------------------------------------------------------
+# Privelet (wavelet)
+# ----------------------------------------------------------------------
+
+
+def _pack_wavelet(synopsis: PriveletSynopsis) -> dict[str, np.ndarray]:
+    # The coefficient matrix is the release; the reconstructed grid is
+    # deterministic post-processing and is rebuilt on load (bit-identical
+    # — the loader runs the same reconstruct_counts the builder ran).
+    return {
+        "kind": np.array("wavelet"),
+        "domain": _domain_array(synopsis.domain),
+        "epsilon": np.array(synopsis.epsilon),
+        "grid_size": np.array(synopsis.grid_size[0]),
+        "coefficients": synopsis.coefficients,
+    }
+
+
+def _unpack_wavelet(data: dict[str, np.ndarray]) -> PriveletSynopsis:
+    domain = _domain_from_array(data["domain"])
+    m = int(data["grid_size"])
+    coefficients = np.asarray(data["coefficients"], dtype=float)
+    layout = GridLayout(domain, m, m)
+    try:
+        return PriveletSynopsis(
+            domain,
+            float(data["epsilon"]),
+            layout,
+            reconstruct_counts(coefficients, m),
+            coefficients,
+        )
+    except ValueError as exc:
+        raise ValueError(f"corrupt wavelet archive: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Hierarchy
+# ----------------------------------------------------------------------
+
+
+def _pack_hierarchy(synopsis: HierarchicalGridSynopsis) -> dict[str, np.ndarray]:
+    # Leaf counts *and* the raw measurement stack both persist: counts so
+    # the loaded release answers bit-identically without re-running
+    # inference, the stack so inference remains re-runnable downstream.
+    return {
+        "kind": np.array("hierarchy"),
+        "domain": _domain_array(synopsis.domain),
+        "epsilon": np.array(synopsis.epsilon),
+        "branching": np.array(synopsis.branching),
+        "level_sizes": np.asarray(synopsis.level_sizes, dtype=np.int64),
+        "measurements": synopsis.measurements,
+        "level_variances": synopsis.level_variances,
+        "counts": synopsis.counts,
+    }
+
+
+def _unpack_hierarchy(data: dict[str, np.ndarray]) -> HierarchicalGridSynopsis:
+    domain = _domain_from_array(data["domain"])
+    level_sizes = [int(size) for size in data["level_sizes"]]
+    leaf_size = level_sizes[-1] if level_sizes else 0
+    counts = np.asarray(data["counts"], dtype=float)
+    try:
+        layout = GridLayout(domain, leaf_size, leaf_size)
+        return HierarchicalGridSynopsis(
+            domain,
+            float(data["epsilon"]),
+            layout,
+            counts,
+            int(data["branching"]),
+            level_sizes,
+            np.asarray(data["measurements"], dtype=float),
+            np.asarray(data["level_variances"], dtype=float),
+        )
+    except ValueError as exc:
+        raise ValueError(f"corrupt hierarchy archive: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# d-dimensional grid (servable d = 2 embedding)
+# ----------------------------------------------------------------------
+
+
+def _pack_ndgrid(synopsis: MultiDimGridSynopsis) -> dict[str, np.ndarray]:
+    nd = synopsis.nd
+    return {
+        "kind": np.array("ndgrid"),
+        "epsilon": np.array(nd.epsilon),
+        "lows": nd.layout.box.lows,
+        "highs": nd.layout.box.highs,
+        "per_axis_size": np.array(nd.layout.m),
+        "counts": nd.counts.ravel(),
+    }
+
+
+def _unpack_ndgrid(data: dict[str, np.ndarray]) -> MultiDimGridSynopsis:
+    lows = np.asarray(data["lows"], dtype=float)
+    highs = np.asarray(data["highs"], dtype=float)
+    m = int(data["per_axis_size"])
+    try:
+        layout = NDGridLayout(NDBox(lows, highs), m)
+        counts = np.asarray(data["counts"], dtype=float).reshape(layout.shape)
+        return MultiDimGridSynopsis(
+            NDUniformGridSynopsis(layout, counts, float(data["epsilon"]))
+        )
+    except ValueError as exc:
+        raise ValueError(f"corrupt ndgrid archive: {exc}") from exc
 
 
 # ----------------------------------------------------------------------

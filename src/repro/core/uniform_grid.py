@@ -67,13 +67,23 @@ class UniformGridSynopsis(Synopsis):
     def answer(self, rect: Rect) -> float:
         return self._layout.estimate(self._counts, rect)
 
-    def answer_many(self, rects: list[Rect]) -> np.ndarray:
-        """Vectorised batch answering via prefix sums (exact, O(1)/query)."""
-        if self._engine is None:
-            from repro.queries.engine import BatchQueryEngine
+    def _batch_engine(self):
+        """The registered batch engine for this synopsis, built lazily.
 
-            self._engine = BatchQueryEngine(self._layout, self._counts)
-        return self._engine.answer_batch(rects)
+        Routing through :func:`~repro.queries.engine.make_engine` (rather
+        than hard-coding ``BatchQueryEngine``) lets subclasses that carry
+        richer released state — wavelet coefficients, hierarchy levels —
+        answer batches through their own registered engines.
+        """
+        if self._engine is None:
+            from repro.queries.engine import make_engine
+
+            self._engine = make_engine(self)
+        return self._engine
+
+    def answer_many(self, rects: list[Rect]) -> np.ndarray:
+        """Vectorised batch answering via the registered engine."""
+        return self._batch_engine().answer_batch(rects)
 
     def synthetic_points(self, rng: np.random.Generator) -> np.ndarray:
         return self._layout.sample_points(self._counts, ensure_rng(rng))

@@ -34,7 +34,10 @@ import math
 
 import numpy as np
 
+from repro.core.dataset import GeoDataset
+from repro.core.geometry import Domain2D, Rect, rects_to_boxes
 from repro.core.guidelines import DEFAULT_C
+from repro.core.synopsis import Synopsis, SynopsisBuilder
 from repro.privacy.budget import PrivacyBudget
 from repro.privacy.mechanisms import ensure_rng, noisy_histogram
 
@@ -43,6 +46,8 @@ __all__ = [
     "NDGridLayout",
     "NDUniformGridSynopsis",
     "NDUniformGridBuilder",
+    "MultiDimGridSynopsis",
+    "MultiDimGridBuilder",
     "guideline1_nd_grid_size",
 ]
 
@@ -190,6 +195,7 @@ class NDUniformGridSynopsis:
         self.layout = layout
         self.counts = counts
         self.epsilon = epsilon
+        self._engine = None  # lazy NDPrefixSumEngine for answer_many
 
     @property
     def dimension(self) -> int:
@@ -197,6 +203,23 @@ class NDUniformGridSynopsis:
 
     def answer(self, query: NDBox) -> float:
         return self.layout.estimate(self.counts, query)
+
+    def batch_engine(self):
+        """The lazily built d-dimensional prefix-sum engine."""
+        if self._engine is None:
+            from repro.queries.engine import NDPrefixSumEngine
+
+            self._engine = NDPrefixSumEngine(self.layout, self.counts)
+        return self._engine
+
+    def answer_many(self, boxes: np.ndarray) -> np.ndarray:
+        """Vectorised estimates for ``(n, 2d)`` lows-then-highs rows.
+
+        Routed through :class:`~repro.queries.engine.NDPrefixSumEngine`;
+        the engine contract applies (inverted/NaN rows answer 0,
+        degenerate axes answer exactly 0).
+        """
+        return self.batch_engine().answer_batch(boxes)
 
     def total(self) -> float:
         return self.answer(self.layout.box)
@@ -257,3 +280,130 @@ class NDUniformGridBuilder:
             exact, epsilon, rng, budget=budget, label=f"{box.dimension}-d cell counts"
         )
         return NDUniformGridSynopsis(layout, counts, epsilon)
+
+
+class MultiDimGridSynopsis(Synopsis):
+    """The d = 2 embedding of the ND grid into the 2-D serving tier.
+
+    Wraps an :class:`NDUniformGridSynopsis` of dimension 2 so the
+    generalised machinery — ND layout, ND prefix-sum engine — plugs into
+    everything typed against :class:`~repro.core.synopsis.Synopsis`:
+    the engine registry, serialization, the synopsis store, and both
+    HTTP transports.  A :class:`~repro.core.geometry.Rect` row
+    ``(x_lo, y_lo, x_hi, y_hi)`` *is* the ND engine's lows-then-highs
+    layout at d = 2, so queries pass through unchanged; the scalar
+    :meth:`answer` routes through a single-row engine call, making the
+    scalar and batch paths bit-identical by construction.
+    """
+
+    def __init__(self, nd: NDUniformGridSynopsis):
+        if nd.dimension != 2:
+            raise ValueError(
+                f"servable embedding requires dimension 2, got {nd.dimension}"
+            )
+        box = nd.layout.box
+        domain = Domain2D(box.lows[0], box.lows[1], box.highs[0], box.highs[1])
+        super().__init__(domain, nd.epsilon)
+        self._nd = nd
+
+    @property
+    def nd(self) -> NDUniformGridSynopsis:
+        """The wrapped d-dimensional release."""
+        return self._nd
+
+    @property
+    def layout(self) -> NDGridLayout:
+        return self._nd.layout
+
+    @property
+    def counts(self) -> np.ndarray:
+        return self._nd.counts
+
+    @property
+    def grid_size(self) -> tuple[int, int]:
+        return (self._nd.layout.m, self._nd.layout.m)
+
+    def answer(self, rect: Rect) -> float:
+        return float(self._nd.answer_many(rects_to_boxes([rect]))[0])
+
+    def answer_many(self, rects: "list[Rect] | np.ndarray") -> np.ndarray:
+        return self._nd.answer_many(rects_to_boxes(rects))
+
+
+class MultiDimGridBuilder(SynopsisBuilder):
+    """Builds the servable 2-D specialisation of d-dimensional UG.
+
+    Delegates the entire build to :class:`NDUniformGridBuilder` at
+    ``d = 2`` — same guideline, same noise stream — and wraps the result
+    for the serving tier.  ``fit_reference`` returns the raw
+    :class:`NDUniformGridSynopsis`, which the property suite pins
+    bit-identical to the wrapped release.
+    """
+
+    name = "UGnd"
+
+    def __init__(
+        self,
+        per_axis_size: int | None = None,
+        c: float = DEFAULT_C,
+        max_cells: int = 20_000_000,
+    ):
+        self._nd_builder = NDUniformGridBuilder(
+            per_axis_size=per_axis_size, c=c, max_cells=max_cells
+        )
+
+    @property
+    def per_axis_size(self) -> int | None:
+        return self._nd_builder.per_axis_size
+
+    def label(self) -> str:
+        if self.per_axis_size is None:
+            return "UGnd(auto)"
+        return f"UGnd{self.per_axis_size}"
+
+    def _nd_box(self, dataset: GeoDataset) -> NDBox:
+        bounds = dataset.domain.bounds
+        return NDBox(
+            np.array([bounds.x_lo, bounds.y_lo]),
+            np.array([bounds.x_hi, bounds.y_hi]),
+        )
+
+    def fit(
+        self,
+        dataset: GeoDataset,
+        epsilon: float,
+        rng: np.random.Generator,
+        budget: PrivacyBudget | None = None,
+    ) -> MultiDimGridSynopsis:
+        budget = self._budget(epsilon, budget)
+        nd = self._nd_builder.fit(
+            dataset.points, self._nd_box(dataset), epsilon, rng, budget=budget
+        )
+        return MultiDimGridSynopsis(nd)
+
+    def fit_reference(
+        self,
+        dataset: GeoDataset,
+        epsilon: float,
+        rng: np.random.Generator,
+        budget: PrivacyBudget | None = None,
+    ) -> NDUniformGridSynopsis:
+        """The retained raw ND build (identical noise stream as fit)."""
+        budget = self._budget(epsilon, budget)
+        return self._nd_builder.fit(
+            dataset.points, self._nd_box(dataset), epsilon, rng, budget=budget
+        )
+
+
+def _register_engine() -> None:
+    # Self-registration keeps queries.engine's make_engine registry in
+    # sync without that module having to know about ND grids.
+    from repro.queries.engine import NDPrefixSumEngine, register_engine
+
+    register_engine(
+        MultiDimGridSynopsis,
+        lambda synopsis: NDPrefixSumEngine(synopsis.layout, synopsis.counts),
+    )
+
+
+_register_engine()

@@ -62,6 +62,8 @@ __all__ = [
     "FlatAdaptiveGridEngine",
     "FlatTreeEngine",
     "AdaptiveGridEngine",
+    "WaveletRangeEngine",
+    "NDPrefixSumEngine",
     "FallbackEngine",
     "fallback_engine_count",
     "make_engine",
@@ -161,7 +163,17 @@ class BatchQueryEngine:
         x_hi = np.clip(x_hi, 0.0, mx)
         y_lo = np.clip(y_lo, 0.0, my)
         y_hi = np.clip(y_hi, 0.0, my)
-        empty = (x_hi <= x_lo) | (y_hi <= y_lo)
+        # Degenerate, inverted, and NaN rows all answer 0, matching
+        # scalar_answer_batch.  NaN survives np.clip and would poison the
+        # int64 cast inside the interpolation (undefined conversion, then
+        # an out-of-bounds gather), so zero those coordinates out before
+        # evaluating; the mask overwrites the result afterwards.
+        empty = ~((x_hi > x_lo) & (y_hi > y_lo))
+        if empty.any():
+            x_lo = np.where(empty, 0.0, x_lo)
+            x_hi = np.where(empty, 0.0, x_hi)
+            y_lo = np.where(empty, 0.0, y_lo)
+            y_hi = np.where(empty, 0.0, y_hi)
 
         estimate = (
             self._continuous_prefix(x_hi, y_hi)
@@ -658,6 +670,230 @@ class FlatTreeEngine:
             qx_hi = np.repeat(qx_hi[expand], fan_out)
             qy_hi = np.repeat(qy_hi[expand], fan_out)
         return out
+
+
+class WaveletRangeEngine:
+    """Vectorised Haar range-sum engine for Privelet releases.
+
+    The released state is the noisy coefficient matrix ``A`` of the 2-D
+    standard Haar decomposition (padded to ``p x p``, ``p`` a power of
+    two).  A range estimate is the bilinear form ``fx^T R fy`` over the
+    reconstructed counts ``R``, but reconstructing ``R`` is never
+    necessary: writing the form in the coefficient basis gives
+
+    ``fx^T R fy = u(x)^T A v(y)``
+
+    where ``u(x)[k]`` is the integral of basis function ``k`` against the
+    cumulative coverage of ``[0, x]``.  For the unnormalised Haar basis
+    only ``h + 1`` entries of ``u`` are non-zero per endpoint — the base
+    coefficient (weight ``x``, in cell units) and, per level, the single
+    detail coefficient whose support straddles ``x`` (weight
+    ``clip(x - a, 0, s/2) - clip(x - a - s/2, 0, s/2)`` for support
+    ``[a, a + s)``).  A batch is answered with ``4 (h + 1)^2`` vectorised
+    coefficient gathers — ``O(log^2 p)`` terms per query instead of the
+    ``O(p^2)`` cells a reconstruction-based prefix engine pays to
+    prepare.
+
+    The four-corner inclusion-exclusion is evaluated in the nested form
+    ``wy1 (wx1 A[kx1, ky1] - wx0 A[kx0, ky1]) - wy0 (...)`` so both
+    zero-width and zero-height queries cancel term by term; degenerate,
+    inverted, and NaN rows additionally answer exactly 0 through the
+    same mask :class:`BatchQueryEngine` applies.  Padding columns never
+    contribute: clipped endpoints satisfy ``x <= m <= p``, so the
+    cumulative coverage of every padding cell is 0.
+    """
+
+    def __init__(self, layout: GridLayout, coefficients: np.ndarray):
+        coefficients = np.asarray(coefficients, dtype=float)
+        if (
+            coefficients.ndim != 2
+            or coefficients.shape[0] != coefficients.shape[1]
+        ):
+            raise ValueError(
+                f"coefficients must be square, got {coefficients.shape}"
+            )
+        p = coefficients.shape[0]
+        if p < 1 or (p & (p - 1)):
+            raise ValueError(f"coefficient size must be a power of two, got {p}")
+        if p < max(layout.shape):
+            raise ValueError(
+                f"coefficient size {p} smaller than grid {layout.shape}"
+            )
+        self._layout = layout
+        self._coefficients = coefficients
+        self._p = p
+        self._h = p.bit_length() - 1
+
+    @property
+    def layout(self) -> GridLayout:
+        return self._layout
+
+    @property
+    def nbytes(self) -> int:
+        """In-memory footprint of the prepared buffers."""
+        return self._coefficients.nbytes
+
+    def _endpoint_terms(self, xs: np.ndarray) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Per-level ``(coefficient index, weight)`` pairs for endpoints.
+
+        ``xs`` holds positions in cell units (0 .. m <= p).  Entry 0 is
+        the base coefficient (index 0, weight ``x``); entry ``l + 1`` is
+        level ``l``'s straddling detail coefficient.
+        """
+        terms = [(np.zeros(xs.size, dtype=np.int64), xs)]
+        for level in range(self._h):
+            support = self._p >> level  # s = p / 2^l, >= 2
+            half = support // 2
+            t = np.minimum(
+                (xs // support).astype(np.int64), (1 << level) - 1
+            )
+            start = t * support
+            weight = np.clip(xs - start, 0.0, half) - np.clip(
+                xs - start - half, 0.0, half
+            )
+            terms.append(((1 << level) + t, weight))
+        return terms
+
+    def answer_batch(self, rects: list[Rect] | np.ndarray) -> np.ndarray:
+        """Uniformity estimates for every rectangle in the batch."""
+        boxes = rects_to_boxes(rects)
+        n = boxes.shape[0]
+        if n == 0:
+            return np.zeros(0)
+        bounds = self._layout.domain.bounds
+        mx, my = self._layout.shape
+        x_lo = (boxes[:, 0] - bounds.x_lo) / self._layout.cell_width
+        y_lo = (boxes[:, 1] - bounds.y_lo) / self._layout.cell_height
+        x_hi = (boxes[:, 2] - bounds.x_lo) / self._layout.cell_width
+        y_hi = (boxes[:, 3] - bounds.y_lo) / self._layout.cell_height
+        x_lo = np.clip(x_lo, 0.0, mx)
+        x_hi = np.clip(x_hi, 0.0, mx)
+        y_lo = np.clip(y_lo, 0.0, my)
+        y_hi = np.clip(y_hi, 0.0, my)
+        # Same contract as BatchQueryEngine: degenerate, inverted, and
+        # NaN rows answer exactly 0 (NaN would poison the index cast).
+        empty = ~((x_hi > x_lo) & (y_hi > y_lo))
+        if empty.any():
+            x_lo = np.where(empty, 0.0, x_lo)
+            x_hi = np.where(empty, 0.0, x_hi)
+            y_lo = np.where(empty, 0.0, y_lo)
+            y_hi = np.where(empty, 0.0, y_hi)
+
+        a = self._coefficients
+        terms_x0 = self._endpoint_terms(x_lo)
+        terms_x1 = self._endpoint_terms(x_hi)
+        terms_y0 = self._endpoint_terms(y_lo)
+        terms_y1 = self._endpoint_terms(y_hi)
+        estimate = np.zeros(n)
+        for (kx0, wx0), (kx1, wx1) in zip(terms_x0, terms_x1):
+            for (ky0, wy0), (ky1, wy1) in zip(terms_y0, terms_y1):
+                estimate += wy1 * (
+                    wx1 * a[kx1, ky1] - wx0 * a[kx0, ky1]
+                ) - wy0 * (wx1 * a[kx1, ky0] - wx0 * a[kx0, ky0])
+        estimate[empty] = 0.0
+        return estimate
+
+
+class NDPrefixSumEngine:
+    """Prefix-sum batch engine over a d-dimensional equi-width grid.
+
+    Generalises :class:`BatchQueryEngine` beyond 2-D: one zero-bordered
+    cumulative-sum tensor of shape ``(m + 1)^d`` is prepared once, and a
+    batch row (a ``2d``-column hyper-rectangle, lows then highs) is
+    answered by ``2^d``-corner inclusion-exclusion over the continuous
+    prefix, each corner a ``2^d``-point multilinear interpolation —
+    ``4^d`` vectorised gathers per batch regardless of grid size.  The
+    layout is duck-typed (``dimension``, ``m``, ``box``) so this module
+    stays free of extension imports; d = 2 accepts :class:`~repro.core.
+    geometry.Rect` rows too, whose ``(x_lo, y_lo, x_hi, y_hi)`` order is
+    exactly lows-then-highs.
+
+    A degenerate axis (``lo == hi`` after clipping) makes the hi and lo
+    prefix evaluations gather identical corners, so the difference is
+    exactly 0.0 — no tolerance involved; inverted and NaN rows answer
+    exactly 0 through the same mask the 2-D engines apply.
+    """
+
+    def __init__(self, layout, counts: np.ndarray):
+        counts = np.asarray(counts, dtype=float)
+        if counts.shape != layout.shape:
+            raise ValueError(
+                f"counts shape {counts.shape} does not match grid {layout.shape}"
+            )
+        d = int(layout.dimension)
+        m = int(layout.m)
+        prefix = np.zeros((m + 1,) * d)
+        prefix[(slice(1, None),) * d] = counts
+        for axis in range(d):
+            np.cumsum(prefix, axis=axis, out=prefix)
+        self._layout = layout
+        self._d = d
+        self._m = m
+        self._flat_prefix = prefix.ravel()
+        # C-order index strides of the (m + 1)^d tensor, per axis.
+        self._strides = (m + 1) ** np.arange(d - 1, -1, -1, dtype=np.int64)
+
+    @property
+    def layout(self):
+        return self._layout
+
+    @property
+    def dimension(self) -> int:
+        return self._d
+
+    @property
+    def nbytes(self) -> int:
+        """In-memory footprint of the prepared buffers."""
+        return self._flat_prefix.nbytes + self._strides.nbytes
+
+    def _continuous_prefix(self, coords: np.ndarray) -> np.ndarray:
+        """Multilinear interpolation of the prefix tensor at ``(n, d)`` coords."""
+        base = np.minimum(coords.astype(np.int64), self._m - 1)
+        frac = coords - base
+        result = np.zeros(coords.shape[0])
+        for corner in range(1 << self._d):
+            offsets = (corner >> np.arange(self._d - 1, -1, -1)) & 1
+            flat = (base + offsets) @ self._strides
+            weight = np.prod(
+                np.where(offsets.astype(bool), frac, 1.0 - frac), axis=1
+            )
+            result += weight * self._flat_prefix[flat]
+        return result
+
+    def answer_batch(self, rects: "list | np.ndarray") -> np.ndarray:
+        """Uniformity estimates for a batch of hyper-rectangles.
+
+        Accepts an ``(n, 2d)`` array of lows-then-highs rows; when
+        ``d == 2`` also a list of :class:`~repro.core.geometry.Rect` or
+        4-number rows (the 2-D engines' shared input contract).
+        """
+        if self._d == 2:
+            boxes = rects_to_boxes(rects)
+        else:
+            boxes = np.asarray(rects, dtype=float).reshape(-1, 2 * self._d)
+        n = boxes.shape[0]
+        if n == 0:
+            return np.zeros(0)
+        box = self._layout.box
+        cell_widths = box.widths / self._m
+        lows = np.clip((boxes[:, : self._d] - box.lows) / cell_widths, 0.0, self._m)
+        highs = np.clip((boxes[:, self._d :] - box.lows) / cell_widths, 0.0, self._m)
+        # NaN compares false, so NaN rows land in `empty` alongside the
+        # inverted and degenerate ones; zero their coordinates so the
+        # int64 cast inside the interpolation stays defined.
+        empty = ~(highs > lows).all(axis=1)
+        if empty.any():
+            lows = np.where(empty[:, None], 0.0, lows)
+            highs = np.where(empty[:, None], 0.0, highs)
+
+        estimate = np.zeros(n)
+        for signs in range(1 << self._d):
+            pick_high = (signs >> np.arange(self._d - 1, -1, -1)) & 1
+            coords = np.where(pick_high.astype(bool), highs, lows)
+            parity = 1.0 if (self._d - int(pick_high.sum())) % 2 == 0 else -1.0
+            estimate += parity * self._continuous_prefix(coords)
+        estimate[empty] = 0.0
+        return estimate
 
 
 class FallbackEngine:

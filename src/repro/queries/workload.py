@@ -20,7 +20,14 @@ from repro.core.dataset import GeoDataset
 from repro.core.geometry import Domain2D, Rect
 from repro.privacy.mechanisms import ensure_rng
 
-__all__ = ["QuerySize", "SizedQuerySet", "QueryWorkload", "paper_query_sizes"]
+__all__ = [
+    "QuerySize",
+    "SizedQuerySet",
+    "QueryWorkload",
+    "paper_query_sizes",
+    "interval_workload",
+    "nd_hyperrectangle_workload",
+]
 
 #: Number of query sizes in the paper's workloads.
 N_SIZES = 6
@@ -162,3 +169,77 @@ class QueryWorkload:
         return np.concatenate(
             [query_set.true_answers for query_set in self._query_sets]
         )
+
+
+def interval_workload(
+    dataset: GeoDataset,
+    rng: np.random.Generator | int | None,
+    n_queries: int = DEFAULT_QUERIES_PER_SIZE,
+    axis: str = "x",
+) -> tuple[list[Rect], np.ndarray]:
+    """1-D interval queries over a 2-D dataset, with exact answers.
+
+    Each query is a random interval on one axis crossed with the full
+    extent of the other — the query class the wavelet baseline (and any
+    1-D hierarchy) is designed for, where range length drives the noise
+    cancellation.  Returns ``(rects, true_answers)``; answers come from
+    the dataset's ground-truth index in one batch.
+    """
+    rng = ensure_rng(rng)
+    if axis not in ("x", "y"):
+        raise ValueError(f"axis must be 'x' or 'y', got {axis!r}")
+    if n_queries < 1:
+        raise ValueError(f"n_queries must be >= 1, got {n_queries}")
+    bounds = dataset.domain.bounds
+    if axis == "x":
+        edges = rng.uniform(bounds.x_lo, bounds.x_hi, size=(n_queries, 2))
+        rects = [
+            Rect(lo, bounds.y_lo, hi, bounds.y_hi)
+            for lo, hi in zip(edges.min(axis=1), edges.max(axis=1))
+        ]
+    else:
+        edges = rng.uniform(bounds.y_lo, bounds.y_hi, size=(n_queries, 2))
+        rects = [
+            Rect(bounds.x_lo, lo, bounds.x_hi, hi)
+            for lo, hi in zip(edges.min(axis=1), edges.max(axis=1))
+        ]
+    return rects, dataset.count_many(rects)
+
+
+def nd_hyperrectangle_workload(
+    points: np.ndarray,
+    box,
+    rng: np.random.Generator | int | None,
+    n_queries: int = DEFAULT_QUERIES_PER_SIZE,
+    chunk_size: int = 256,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random d-dimensional hyper-rectangles with exact counts.
+
+    ``box`` is any object exposing ``lows``/``highs``/``dimension``
+    (e.g. :class:`~repro.extensions.multidim.NDBox`).  Queries are the
+    bounding boxes of uniform corner pairs inside the box; rows come back
+    as ``(n, 2d)`` lows-then-highs — the ND engines' batch layout.
+    Ground truth counts points with inclusive bounds (matching
+    ``NDBox.contains``), brute-forced in query chunks to bound the
+    boolean intermediate at ``chunk_size * n_points * d``.
+    """
+    rng = ensure_rng(rng)
+    if n_queries < 1:
+        raise ValueError(f"n_queries must be >= 1, got {n_queries}")
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    points = np.asarray(points, dtype=float)
+    d = int(box.dimension)
+    if points.ndim != 2 or points.shape[1] != d:
+        raise ValueError(f"points must have shape (n, {d}), got {points.shape}")
+    corners = rng.uniform(box.lows, box.highs, size=(n_queries, 2, d))
+    lows = corners.min(axis=1)
+    highs = corners.max(axis=1)
+    answers = np.empty(n_queries)
+    for start in range(0, n_queries, chunk_size):
+        stop = min(start + chunk_size, n_queries)
+        inside = (points[None, :, :] >= lows[start:stop, None, :]) & (
+            points[None, :, :] <= highs[start:stop, None, :]
+        )
+        answers[start:stop] = inside.all(axis=2).sum(axis=1)
+    return np.concatenate([lows, highs], axis=1), answers

@@ -74,6 +74,21 @@ def _register_defaults() -> None:
     register_method("Quad", QuadtreeBuilder)
     register_method("Kst", KDStandardBuilder)
     register_method("Khy", KDHybridBuilder)
+    _register_longtail()
+
+
+def _register_longtail() -> None:
+    # The long-tail families: hierarchy, wavelet, and the d = 2 embedding
+    # of the ND grid.  All three have zero-argument guideline defaults,
+    # registered engines, and serialization kinds, so they serve exactly
+    # like the core families.
+    from repro.baselines.hierarchy import HierarchicalGridBuilder
+    from repro.baselines.privelet import PriveletBuilder
+    from repro.extensions.multidim import MultiDimGridBuilder
+
+    register_method("Hier", HierarchicalGridBuilder)
+    register_method("Privelet", PriveletBuilder)
+    register_method("UGnd", MultiDimGridBuilder)
 
 
 _register_defaults()

@@ -325,6 +325,80 @@ class TestScalarAnswerBatch:
         )
 
 
+class TestDegenerateIntervalRows:
+    """Engines == ``scalar_answer_batch`` on 1-D degenerate rows.
+
+    Interval queries embed 1-D ranges as full-height (or full-width)
+    rectangles; the degenerate end of that family is the zero-width
+    interval ``[x, x]``.  Every vectorised engine must answer those rows
+    — plus inverted and NaN rows — exactly like the scalar loop, which
+    for grid-family synopses means exactly 0.0.  Regression for the
+    BatchQueryEngine NaN crash (undefined int64 cast -> out-of-bounds
+    gather).
+    """
+
+    @staticmethod
+    def interval_mix():
+        """Zero-width / zero-height intervals, NaN, inverted, valid rows."""
+        return np.array(
+            [
+                [0.3, 0.0, 0.3, 1.0],      # zero-width x-interval
+                [0.0, 0.6, 1.0, 0.6],      # zero-height y-interval
+                [0.0, 0.0, 0.0, 1.0],      # zero-width on the domain edge
+                [1.0, 0.0, 1.0, 1.0],      # zero-width on the far edge
+                [0.5, 0.5, 0.5, 0.5],      # point
+                [1.5, 0.0, 1.5, 1.0],      # zero-width outside the domain
+                [np.nan, 0.1, 0.5, 0.5],   # NaN low
+                [0.1, 0.1, 0.5, np.nan],   # NaN high
+                [np.nan] * 4,              # all-NaN
+                [0.9, 0.1, 0.1, 0.5],      # inverted x
+                [0.1, 0.9, 0.5, 0.1],      # inverted y
+                [0.1, 0.1, 0.6, 0.6],      # valid control row
+                [0.0, 0.0, 1.0, 1.0],      # full domain control row
+            ]
+        )
+
+    def test_batch_engine_matches_scalar(self, small_skewed, rng):
+        synopsis = UniformGridBuilder(grid_size=8).fit(small_skewed, 1.0, rng)
+        boxes = self.interval_mix()
+        engine = make_engine(synopsis)
+        out = engine.answer_batch(boxes)
+        expected = scalar_answer_batch(synopsis, boxes)
+        # Degenerate/invalid rows are exactly 0 on both paths.
+        np.testing.assert_array_equal(out[:11], np.zeros(11))
+        np.testing.assert_array_equal(expected[:11], np.zeros(11))
+        np.testing.assert_allclose(out, expected, rtol=1e-9)
+
+    def test_flat_adaptive_engine_matches_scalar(self, small_skewed, rng):
+        synopsis = AdaptiveGridBuilder(first_level_size=4).fit(
+            small_skewed, 1.0, rng
+        )
+        boxes = self.interval_mix()
+        out = make_engine(synopsis).answer_batch(boxes)
+        expected = scalar_answer_batch(synopsis, boxes)
+        np.testing.assert_array_equal(out[:11], np.zeros(11))
+        np.testing.assert_allclose(out, expected, rtol=1e-9)
+
+    def test_flat_tree_engine_matches_scalar(self, small_skewed, rng):
+        from repro.baselines.quadtree import QuadtreeBuilder
+
+        synopsis = QuadtreeBuilder(depth=4).fit(small_skewed, 1.0, rng)
+        boxes = self.interval_mix()
+        out = make_engine(synopsis).answer_batch(boxes)
+        expected = scalar_answer_batch(synopsis, boxes)
+        scale = max(1.0, float(np.abs(expected).max()))
+        np.testing.assert_allclose(out, expected, rtol=1e-9, atol=1e-9 * scale)
+
+    def test_nan_rows_do_not_crash_batch_engine(self, small_skewed, rng):
+        """The exact pre-fix failure: NaN row -> IndexError in the gather."""
+        synopsis = UniformGridBuilder(grid_size=8).fit(small_skewed, 1.0, rng)
+        out = synopsis.answer_many(
+            np.array([[np.nan, 0.1, 0.9, 0.9], [0.2, 0.2, 0.8, 0.8]])
+        )
+        assert out[0] == 0.0
+        assert np.isfinite(out[1])
+
+
 class TestMakeEngine:
     def test_uniform_grid_gets_prefix_sum_engine(self, small_skewed, rng):
         synopsis = UniformGridBuilder(grid_size=8).fit(small_skewed, 1.0, rng)

@@ -1,0 +1,95 @@
+"""Every concrete synopsis in the library resolves a real batch engine.
+
+The engine registry is the contract that keeps the service tier fast: an
+unregistered synopsis type silently degrades to :class:`FallbackEngine`
+(a scalar loop) and bumps ``fallback_engine_count()``.  This walk makes
+forgetting a registration a test failure instead of a performance bug —
+any new concrete :class:`Synopsis` subclass under ``repro.`` must be
+buildable by a servable method and must resolve a non-fallback engine.
+"""
+
+import inspect
+
+import numpy as np
+import pytest
+
+from repro.core.synopsis import Synopsis
+from repro.datasets.registry import get_spec
+from repro.queries.engine import (
+    FallbackEngine,
+    fallback_engine_count,
+    make_engine,
+)
+from repro.service.keys import make_builder, method_names
+
+# Importing the serialization module pulls in every synopsis-defining
+# module in the library, so the subclass walk below sees all of them.
+import repro.core.serialization  # noqa: F401
+
+
+def _concrete_repro_synopses() -> list[type]:
+    """All concrete Synopsis subclasses defined inside the library.
+
+    Test modules define throwaway subclasses (opaque stand-ins, fallback
+    probes); filtering on the defining module keeps the walk about the
+    library's own types.
+    """
+    found: list[type] = []
+    stack = list(Synopsis.__subclasses__())
+    while stack:
+        cls = stack.pop()
+        stack.extend(cls.__subclasses__())
+        if cls.__module__.startswith("repro.") and not inspect.isabstract(cls):
+            found.append(cls)
+    return sorted(set(found), key=lambda cls: cls.__qualname__)
+
+
+@pytest.fixture(scope="module")
+def built_synopses():
+    """One synopsis per servable method, built on a small dataset."""
+    dataset = get_spec("storage").make(2_000, np.random.default_rng(7))
+    built = {}
+    for method in method_names():
+        builder = make_builder(method)
+        built[method] = builder.fit(dataset, 1.0, np.random.default_rng(11))
+    return built
+
+
+def test_every_concrete_synopsis_is_servable(built_synopses):
+    """Each library synopsis type is produced by some registered method."""
+    servable_types = {type(s) for s in built_synopses.values()}
+    missing = [
+        cls.__qualname__
+        for cls in _concrete_repro_synopses()
+        if cls not in servable_types
+    ]
+    assert not missing, (
+        f"concrete Synopsis subclasses with no servable method: {missing}; "
+        "register a builder in repro.service.keys (and a serialization "
+        "kind) or make the type abstract"
+    )
+
+
+def test_every_servable_synopsis_resolves_without_fallback(built_synopses):
+    """make_engine never degrades a servable release to the scalar loop."""
+    for method, synopsis in built_synopses.items():
+        before = fallback_engine_count()
+        engine = make_engine(synopsis)
+        assert fallback_engine_count() == before, (
+            f"{method} ({type(synopsis).__qualname__}) incremented the "
+            "fallback counter"
+        )
+        assert not isinstance(engine, FallbackEngine), (
+            f"{method} ({type(synopsis).__qualname__}) resolved the "
+            "scalar FallbackEngine"
+        )
+
+
+def test_resolved_engines_answer_like_the_synopsis(built_synopses):
+    """Spot-check: each resolved engine answers the full-domain query."""
+    for method, synopsis in built_synopses.items():
+        b = synopsis.domain.bounds
+        rects = np.array([[b.x_lo, b.y_lo, b.x_hi, b.y_hi]])
+        got = make_engine(synopsis).answer_batch(rects)
+        want = synopsis.answer_many([r for r in map(tuple, rects)])
+        np.testing.assert_allclose(got, np.asarray(want), rtol=1e-9)
