@@ -4,10 +4,11 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: help test bench-quick bench-engine bench-experiments bench-tree bench-tree-quick bench-service bench-service-quick bench-longtail bench-longtail-quick serve serve-smoke quickstart
+.PHONY: help test test-faults bench-quick bench-engine bench-experiments bench-tree bench-tree-quick bench-service bench-service-quick bench-longtail bench-longtail-quick serve serve-smoke quickstart
 
 help:
 	@echo "make test                run the full unit/property test suite (tier-1)"
+	@echo "make test-faults         fault-injection suite: shedding, deadlines, crash-safe storage"
 	@echo "make bench-quick         every paper experiment at quick scale, one report"
 	@echo "make bench-engine        engine perf benches only; refreshes BENCH_*.json"
 	@echo "make bench-experiments   evaluation fast-path benches; refreshes BENCH_experiments.json"
@@ -23,6 +24,9 @@ help:
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+test-faults:
+	$(PYTHON) -m pytest tests/faults -q
 
 bench-quick:
 	$(PYTHON) -m repro suite

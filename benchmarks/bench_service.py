@@ -19,6 +19,10 @@ coordinates are float32-exact, so every transport produces bit-identical
 estimates — asserted here for **every** servable method (UG, AG, Quad,
 Kst, Khy) by comparing JSON and binary answers for the same batch.
 
+A second scenario (ISSUE 7) drives the same server at 2x its admission
+capacity with cold binary clients and records the shed rate and the
+server-measured p50/p95/p99 under overload.
+
 Results are written to ``BENCH_service.json`` at the repo root so the
 perf trajectory is tracked in-tree; ``cpu_count`` is recorded alongside.
 The hard target asserted in full mode is the ISSUE 5 acceptance
@@ -40,7 +44,7 @@ import threading
 import time
 
 import numpy as np
-from conftest import write_json_report, write_report
+from conftest import update_json_report, write_report
 
 from repro.datasets.registry import get_spec
 from repro.experiments.report import format_table
@@ -305,11 +309,161 @@ def test_service_throughput_json_vs_binary():
                 "bytes": stats["answer_cache_bytes"],
             },
         }
-        write_json_report("service", payload)
+        update_json_report("service", payload)
 
         # Acceptance (ISSUE 5): the warm-cache binary path sustains >= 3x
         # the cold JSON baseline's batches/sec at 1,000-rect batches.
         assert ratio >= MIN_WARM_BINARY_SPEEDUP, results
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+# ----------------------------------------------------------------------
+# Overload scenario (ISSUE 7): shed rate and tail latency at 2x saturation
+# ----------------------------------------------------------------------
+
+OVERLOAD_INFLIGHT = 2 if QUICK else 4
+OVERLOAD_QUEUE = 1 if QUICK else 2
+#: Concurrent clients vs server capacity (running + queued).
+OVERLOAD_SATURATION = 2
+OVERLOAD_REQUESTS_PER_CLIENT = 6 if QUICK else 32
+
+
+def test_service_overload_sheds_and_stays_observable():
+    """2x saturation: excess load sheds with 429, the rest is served.
+
+    A server with a small admission gate takes twice as many concurrent
+    cold binary clients as it has capacity (running + queued).  Recorded
+    into ``BENCH_service.json`` under ``overload``: the shed rate, the
+    throughput of the admitted requests, and the p50/p95/p99 the server
+    itself measured — the acceptance criterion is that overload degrades
+    into fast 429s and bounded tails, not thread pile-up.
+    """
+    store = SynopsisStore(n_points=N_POINTS, dataset_budget=2.0)
+    service = QueryService(store)
+    server = serve(
+        service,
+        "127.0.0.1",
+        0,
+        max_inflight=OVERLOAD_INFLIGHT,
+        queue_depth=OVERLOAD_QUEUE,
+    )
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        key = ReleaseKey(**RELEASE)
+        store.build(key)
+        domain = get_spec("storage").make(n=16, rng=0).domain
+        rng = np.random.default_rng(29)
+        service.answer(key, _f32_exact_batches(domain, 1, rng)[0])  # prime
+
+        n_clients = OVERLOAD_SATURATION * (OVERLOAD_INFLIGHT + OVERLOAD_QUEUE)
+        shares = [
+            [
+                protocol.encode_query(key, boxes)
+                for boxes in _f32_exact_batches(
+                    domain, OVERLOAD_REQUESTS_PER_CLIENT, rng
+                )
+            ]
+            for _ in range(n_clients)
+        ]
+        barrier = threading.Barrier(n_clients + 1)
+        counts = {"ok": 0, "shed": 0}
+        unexpected = []
+        lock = threading.Lock()
+
+        def client_worker(share):
+            client = _KeepAliveClient(host, port)
+            ok = shed = 0
+            try:
+                barrier.wait()
+                for body in share:
+                    status, payload = client.post(
+                        "/query",
+                        body,
+                        protocol.CONTENT_TYPE,
+                        accept=protocol.CONTENT_TYPE,
+                    )
+                    if status == 200:
+                        ok += 1
+                    elif status == 429:
+                        shed += 1  # no retry: overload means back off
+                    else:
+                        unexpected.append((status, payload[:200]))
+                        return
+            finally:
+                client.close()
+                with lock:
+                    counts["ok"] += ok
+                    counts["shed"] += shed
+
+        threads = [
+            threading.Thread(target=client_worker, args=(share,), daemon=True)
+            for share in shares
+        ]
+        for worker_thread in threads:
+            worker_thread.start()
+        barrier.wait()
+        start = time.perf_counter()
+        # Health must answer *while* the gate is shedding (GETs bypass
+        # admission control) — poll it mid-storm.
+        health_conn = http.client.HTTPConnection(host, port, timeout=30)
+        health_conn.request("GET", "/health")
+        health_mid = json.loads(health_conn.getresponse().read())
+        health_conn.close()
+        for worker_thread in threads:
+            worker_thread.join()
+        elapsed = time.perf_counter() - start
+
+        assert not unexpected, unexpected[0]
+        assert health_mid["status"] == "ok"
+        total = n_clients * OVERLOAD_REQUESTS_PER_CLIENT
+        assert counts["ok"] + counts["shed"] == total
+        assert counts["ok"] > 0, "overload starved every request"
+        assert counts["shed"] > 0, "2x saturation never shed -- gate inert?"
+
+        health_conn = http.client.HTTPConnection(host, port, timeout=30)
+        health_conn.request("GET", "/health")
+        health = json.loads(health_conn.getresponse().read())
+        health_conn.close()
+        assert health["shed_count"] >= counts["shed"]
+        latency = health["latency_ms"]
+        assert latency["p99_ms"] > 0
+
+        shed_rate = counts["shed"] / total
+        write_report(
+            "service_overload",
+            f"overload @ {OVERLOAD_SATURATION}x saturation "
+            f"(inflight={OVERLOAD_INFLIGHT}, queue={OVERLOAD_QUEUE}, "
+            f"clients={n_clients}):\n"
+            f"  served {counts['ok']}/{total}  shed {counts['shed']} "
+            f"({shed_rate:.0%})  "
+            f"p50={latency['p50_ms']:.1f}ms p95={latency['p95_ms']:.1f}ms "
+            f"p99={latency['p99_ms']:.1f}ms",
+        )
+        if QUICK:
+            return
+        update_json_report(
+            "service",
+            {
+                "overload": {
+                    "max_inflight": OVERLOAD_INFLIGHT,
+                    "queue_depth": OVERLOAD_QUEUE,
+                    "client_threads": n_clients,
+                    "saturation": OVERLOAD_SATURATION,
+                    "requests_total": total,
+                    "served": counts["ok"],
+                    "shed": counts["shed"],
+                    "shed_rate": round(shed_rate, 4),
+                    "elapsed_s": round(elapsed, 4),
+                    "served_batches_per_s": round(counts["ok"] / elapsed, 2),
+                    "latency_ms": latency,
+                }
+            },
+        )
     finally:
         server.shutdown()
         server.server_close()

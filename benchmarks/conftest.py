@@ -62,6 +62,20 @@ def write_json_report(name: str, payload: dict) -> Path:
     return path
 
 
+def update_json_report(name: str, updates: dict) -> Path:
+    """Merge ``updates`` into ``BENCH_<name>.json`` (created if missing).
+
+    For benches whose scenarios live in separate tests (e.g. the service
+    throughput modes and the overload scenario): each test overwrites
+    only its own top-level keys, so running one scenario never erases
+    the others' tracked numbers.
+    """
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    payload = json.loads(path.read_text(encoding="utf-8")) if path.exists() else {}
+    payload.update(updates)
+    return write_json_report(name, payload)
+
+
 @pytest.fixture
 def report_writer():
     return write_report

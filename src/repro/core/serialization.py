@@ -17,6 +17,9 @@ embedding :class:`~repro.extensions.multidim.MultiDimGridSynopsis`.
 
 from __future__ import annotations
 
+import hashlib
+import io
+import struct
 from pathlib import Path
 
 import numpy as np
@@ -36,9 +39,35 @@ from repro.extensions.multidim import (
     NDUniformGridSynopsis,
 )
 
-__all__ = ["save_synopsis", "load_synopsis", "synopsis_nbytes"]
+__all__ = [
+    "ChecksumError",
+    "load_synopsis",
+    "save_synopsis",
+    "synopsis_from_bytes",
+    "synopsis_nbytes",
+    "synopsis_to_bytes",
+]
 
 _FORMAT_VERSION = 1
+
+# Integrity footer appended after the ``.npz`` payload: 20-byte SHA-1 of
+# the payload, its 8-byte little-endian length, then an 8-byte magic.
+# Appending (rather than prepending) keeps the file a readable zip for
+# legacy ``np.load`` consumers — zip readers treat trailing bytes as the
+# archive comment — while letting the loader detect truncation and
+# bit-rot before any array is parsed.  Archives written before the
+# footer existed (no trailing magic) still load, unverified.
+_CHECKSUM_MAGIC = b"RPRSHA1\x00"
+_CHECKSUM_FOOTER = struct.Struct(f"<20sQ{len(_CHECKSUM_MAGIC)}s")
+
+
+class ChecksumError(ValueError):
+    """The archive's integrity footer does not match its payload.
+
+    Truncation, a short write, or on-disk bit-rot — the payload cannot be
+    trusted and must not be parsed.  The serving layer quarantines the
+    file and rebuilds on demand.
+    """
 
 
 def _pack(synopsis: Synopsis) -> dict[str, np.ndarray]:
@@ -65,14 +94,56 @@ def _pack(synopsis: Synopsis) -> dict[str, np.ndarray]:
     )
 
 
-def save_synopsis(synopsis: Synopsis, path: str | Path) -> None:
-    """Write a released synopsis to ``path`` (an ``.npz`` archive).
+def synopsis_to_bytes(synopsis: Synopsis) -> bytes:
+    """Serialise a released synopsis to checksummed archive bytes.
 
-    Raises ``TypeError`` for synopsis types without a registered format.
+    The result is the ``.npz`` payload followed by a SHA-1 integrity
+    footer (see ``_CHECKSUM_MAGIC``).  Raises ``TypeError`` for synopsis
+    types without a registered format.
     """
     payload = _pack(synopsis)
     payload["format_version"] = np.array(_FORMAT_VERSION)
-    np.savez_compressed(Path(path), **payload)
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **payload)
+    blob = buffer.getvalue()
+    footer = _CHECKSUM_FOOTER.pack(
+        hashlib.sha1(blob).digest(), len(blob), _CHECKSUM_MAGIC
+    )
+    return blob + footer
+
+
+def _verify_checksum(data: bytes) -> bytes:
+    """Strip and verify the integrity footer; returns the npz payload.
+
+    Data without a trailing magic is passed through unchanged (legacy
+    pre-footer archives); anything carrying the magic must verify.
+    """
+    if len(data) < _CHECKSUM_FOOTER.size or not data.endswith(_CHECKSUM_MAGIC):
+        return data
+    digest, length, _ = _CHECKSUM_FOOTER.unpack(data[-_CHECKSUM_FOOTER.size:])
+    blob = data[: -_CHECKSUM_FOOTER.size]
+    if length != len(blob):
+        raise ChecksumError(
+            f"archive truncated: footer records {length} payload bytes, "
+            f"found {len(blob)}"
+        )
+    if hashlib.sha1(blob).digest() != digest:
+        raise ChecksumError(
+            "archive payload does not match its SHA-1 footer (bit-rot or "
+            "a torn write)"
+        )
+    return blob
+
+
+def save_synopsis(synopsis: Synopsis, path: str | Path) -> None:
+    """Write a released synopsis to ``path`` (a checksummed ``.npz``).
+
+    Raises ``TypeError`` for synopsis types without a registered format.
+    The write itself is not atomic — callers that need crash safety
+    (the synopsis store does) write :func:`synopsis_to_bytes` to a temp
+    file and rename.
+    """
+    Path(path).write_bytes(synopsis_to_bytes(synopsis))
 
 
 def synopsis_nbytes(synopsis: Synopsis) -> int:
@@ -87,8 +158,19 @@ def synopsis_nbytes(synopsis: Synopsis) -> int:
 
 
 def load_synopsis(path: str | Path) -> Synopsis:
-    """Restore a synopsis previously written by :func:`save_synopsis`."""
-    with np.load(Path(path), allow_pickle=False) as archive:
+    """Restore a synopsis previously written by :func:`save_synopsis`.
+
+    Raises :class:`ChecksumError` when the archive carries an integrity
+    footer that does not match its payload, and ``ValueError`` for
+    payloads that parse but violate a synopsis invariant.
+    """
+    return synopsis_from_bytes(Path(path).read_bytes())
+
+
+def synopsis_from_bytes(data: bytes) -> Synopsis:
+    """Restore a synopsis from :func:`synopsis_to_bytes` output."""
+    blob = _verify_checksum(data)
+    with np.load(io.BytesIO(blob), allow_pickle=False) as archive:
         data = {key: archive[key] for key in archive.files}
     version = int(data.pop("format_version"))
     if version != _FORMAT_VERSION:

@@ -33,20 +33,30 @@ Quickstart::
 
 from repro.service.errors import (
     BudgetRefused,
+    DeadlineExpired,
     ReleaseNotFound,
+    ReleaseQuarantined,
+    ServerOverloaded,
     ServiceError,
     ValidationError,
 )
 from repro.service.keys import ReleaseKey, make_builder, method_names, register_method
 from repro.service.query_service import QueryResult, QueryService
 from repro.service.store import StoreStats, SynopsisStore
+from repro.service.telemetry import AdmissionController, Deadline, LatencyHistogram
 
 __all__ = [
+    "AdmissionController",
     "BudgetRefused",
+    "Deadline",
+    "DeadlineExpired",
+    "LatencyHistogram",
     "QueryResult",
     "QueryService",
     "ReleaseKey",
     "ReleaseNotFound",
+    "ReleaseQuarantined",
+    "ServerOverloaded",
     "ServiceError",
     "StoreStats",
     "SynopsisStore",

@@ -25,7 +25,10 @@ the same ``(host, port)`` with ``SO_REUSEPORT`` so the kernel balances
 incoming connections across them (falling back to one worker, with a
 warning, where fork or ``SO_REUSEPORT`` is unavailable — or when no
 ``--store-dir`` is given, since N independent in-memory ledgers would
-silently multiply every dataset's privacy budget).  Each worker
+silently multiply every dataset's privacy budget).  The parent stays
+resident as a supervisor: a worker that crashes is respawned with capped
+exponential backoff, and SIGTERM/SIGINT drains the whole tree (workers
+stop accepting, finish in-flight requests, then exit).  Each worker
 owns an independent :class:`~repro.service.store.SynopsisStore` handle
 over the shared ``--store-dir``: releases preloaded (or built) by one
 worker are persisted as ``.npz`` artifacts every other worker reloads on
@@ -46,9 +49,11 @@ import signal
 import socket
 import sys
 import threading
+import time
 import urllib.error
 import urllib.request
 
+from repro.service import faultinject
 from repro.service.keys import ReleaseKey, method_names
 from repro.service.query_service import DEFAULT_ANSWER_CACHE_BYTES, QueryService
 from repro.service.server import serve
@@ -108,6 +113,28 @@ def build_parser() -> argparse.ArgumentParser:
         "e.g. storage_AG_eps1.0_seed0",
     )
     parser.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="bound on concurrently executing POST requests per worker; "
+        "excess requests past the queue are shed with 429 (default: 64, "
+        "0 disables admission control)",
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="requests that may wait for an admission slot before new "
+        "arrivals are shed (default: 64)",
+    )
+    parser.add_argument(
+        "--request-deadline-ms", type=float, default=30_000.0,
+        help="per-request wall-clock budget in milliseconds; expiry "
+        "answers 504 (default: 30000, 0 disables deadlines)",
+    )
+    parser.add_argument(
+        "--read-timeout", type=float, default=30.0,
+        help="per-request budget in seconds for reading headers + body "
+        "off the socket; slow clients past it are disconnected "
+        "(default: 30)",
+    )
+    parser.add_argument(
         "--smoke", action="store_true",
         help="start on an ephemeral port, run one build + query round trip "
         "through HTTP, print the responses, and exit",
@@ -152,8 +179,40 @@ def _make_store(args) -> SynopsisStore:
     )
 
 
+def _fault_options(args) -> dict:
+    """The robustness knobs forwarded to :func:`serve`."""
+    return {
+        "max_inflight": args.max_inflight,
+        "queue_depth": args.queue_depth,
+        "request_deadline_ms": args.request_deadline_ms,
+        "read_timeout": args.read_timeout,
+    }
+
+
+def _install_graceful_shutdown(server) -> None:
+    """Drain on SIGTERM: stop accepting, let in-flight requests finish.
+
+    ``server.shutdown()`` must not run inside the handler — it blocks
+    until ``serve_forever`` notices, and the serve loop cannot advance
+    while the main thread sits in the handler — so a helper thread asks.
+    No-op when not on the main thread (in-process tests drive ``main``
+    from worker threads, where ``signal.signal`` raises).
+    """
+
+    def _request_stop(signum, frame):
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _request_stop)
+    except ValueError:
+        pass
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    # Fault-injection hooks for the crash-safety test harness; inert
+    # unless REPRO_FAULTS is set (see repro.service.faultinject).
+    faultinject.install_from_env()
     if args.smoke:
         # Small and fast by default; an explicit --n-points or
         # --dataset-budget is honoured (the self-test adapts to the
@@ -180,13 +239,15 @@ def main(argv: list[str] | None = None) -> int:
     if workers > 1:
         return _serve_workers(args, workers)
 
-    server = serve(service, args.host, args.port)
+    server = serve(service, args.host, args.port, **_fault_options(args))
+    _install_graceful_shutdown(server)
     print(f"serving synopses on {server.url} (Ctrl-C to stop)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("shutting down")
     finally:
+        server.drain()
         server.server_close()
     return 0
 
@@ -210,63 +271,134 @@ def _free_port(host: str) -> int:
         return probe.getsockname()[1]
 
 
+#: First respawn delay after a worker crash; doubles per consecutive
+#: fast failure up to the cap, and resets once a worker survives
+#: ``_WORKER_STABLE_S`` seconds (a crash loop must not busy-fork).
+_RESPAWN_BACKOFF_BASE_S = 0.5
+_RESPAWN_BACKOFF_CAP_S = 30.0
+_WORKER_STABLE_S = 30.0
+
+
 def _worker_main(args, host: str, port: int) -> int:
     """Body of one forked worker: own store handle, shared listen port."""
-    # A clean, immediate exit on SIGTERM: daemon handler threads carry no
-    # state that needs flushing (budget spends are persisted before fits,
-    # artifacts are written atomically).
-    signal.signal(signal.SIGTERM, lambda *_: os._exit(0))
     store = _make_store(args)
     service = QueryService(store, answer_cache_bytes=args.answer_cache_bytes)
-    server = serve(service, host, port, reuse_port=True)
+    server = serve(service, host, port, reuse_port=True, **_fault_options(args))
+    # Graceful drain on SIGTERM: stop accepting, finish what's in
+    # flight.  Budget spends are persisted before fits and artifacts are
+    # written atomically, so there is no extra state to flush.
+    _install_graceful_shutdown(server)
     print(f"worker {os.getpid()} serving on {server.url}", flush=True)
+    # Fault hook for supervision tests: REPRO_FAULTS=worker.serve:exit=3
+    # makes a worker die right after announcing itself.
+    faultinject.fire("worker.serve", pid=os.getpid())
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        server.drain()
         server.server_close()
     return 0
 
 
+def _spawn_worker(args, host: str, port: int) -> int:
+    pid = os.fork()
+    if pid == 0:
+        code = 1
+        try:
+            code = _worker_main(args, host, port)
+        finally:
+            os._exit(code)
+    return pid
+
+
 def _serve_workers(args, n_workers: int) -> int:
+    """Fork ``n_workers`` servers and supervise them until shutdown.
+
+    The parent is a supervisor: a worker that dies (bug, OOM kill,
+    injected crash) is respawned with capped exponential backoff, so the
+    deployment never silently serves at N-1 capacity.  SIGINT/SIGTERM
+    flip to drain mode — workers get SIGTERM (finish in-flight requests,
+    then exit) and are reaped, no respawns.
+    """
     host = args.host
     port = args.port if args.port != 0 else _free_port(args.host)
-    pids: list[int] = []
-    for _ in range(n_workers):
-        pid = os.fork()
-        if pid == 0:
-            code = 1
+    started_at: dict[int, float] = {}
+    shutting_down = threading.Event()
+
+    def _request_shutdown(signum, frame):
+        if not shutting_down.is_set():
+            shutting_down.set()
+            print("shutting down workers", flush=True)
+        # Forward to the children so the waitpid below wakes as they
+        # exit (PEP 475 would otherwise resume it indefinitely).
+        for pid in list(started_at):
             try:
-                code = _worker_main(args, host, port)
-            finally:
-                os._exit(code)
-        pids.append(pid)
+                os.kill(pid, signal.SIGTERM)
+            except ProcessLookupError:
+                continue
+
+    previous = {
+        sig: signal.signal(sig, _request_shutdown)
+        for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+    for _ in range(n_workers):
+        pid = _spawn_worker(args, host, port)
+        started_at[pid] = time.monotonic()
     print(
         f"serving synopses on http://{host}:{port} "
         f"with {n_workers} workers (Ctrl-C to stop)",
         flush=True,
     )
-    exit_code = 0
+    fast_failures = 0
     try:
-        for pid in pids:
-            _, status = os.waitpid(pid, 0)
-            if os.waitstatus_to_exitcode(status) not in (0, -signal.SIGTERM):
-                exit_code = 1
-    except KeyboardInterrupt:
-        print("shutting down workers")
+        while not shutting_down.is_set():
+            try:
+                pid, status = os.waitpid(-1, 0)
+            except ChildProcessError:  # pragma: no cover - all workers gone
+                break
+            launched = started_at.pop(pid, None)
+            if launched is None or shutting_down.is_set():
+                continue
+            code = os.waitstatus_to_exitcode(status)
+            lifetime = time.monotonic() - launched
+            if lifetime >= _WORKER_STABLE_S:
+                fast_failures = 0
+            else:
+                fast_failures += 1
+            delay = min(
+                _RESPAWN_BACKOFF_CAP_S,
+                _RESPAWN_BACKOFF_BASE_S * (2 ** max(0, fast_failures - 1)),
+            )
+            print(
+                f"worker {pid} exited with {code} after {lifetime:.1f}s; "
+                f"respawning in {delay:.1f}s",
+                file=sys.stderr,
+                flush=True,
+            )
+            give_up = time.monotonic() + delay
+            while not shutting_down.is_set() and time.monotonic() < give_up:
+                time.sleep(0.05)
+            if shutting_down.is_set():
+                break
+            new_pid = _spawn_worker(args, host, port)
+            started_at[new_pid] = time.monotonic()
+            print(f"worker {new_pid} respawned", flush=True)
     finally:
-        for pid in pids:
+        for pid in list(started_at):
             try:
                 os.kill(pid, signal.SIGTERM)
             except ProcessLookupError:
                 continue
-        for pid in pids:
+        for pid in list(started_at):
             try:
                 os.waitpid(pid, 0)
             except ChildProcessError:
-                pass
-    return exit_code
+                break
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    return 0
 
 
 def _smoke(service: QueryService, host: str, dataset_budget: float) -> int:

@@ -13,6 +13,9 @@ __all__ = [
     "ValidationError",
     "ReleaseNotFound",
     "BudgetRefused",
+    "ServerOverloaded",
+    "DeadlineExpired",
+    "ReleaseQuarantined",
 ]
 
 
@@ -49,6 +52,46 @@ class ReleaseNotFound(ServiceError):
     """
 
     status = 404
+
+
+class ServerOverloaded(ServiceError):
+    """The request was shed by admission control (too many in flight).
+
+    The bounded in-flight gate protects latency for admitted requests:
+    beyond ``max_inflight`` running plus ``queue_depth`` waiting, new
+    work is rejected in microseconds instead of growing the thread pile.
+    ``retry_after`` is surfaced as the ``Retry-After`` response header.
+    """
+
+    status = 429
+
+    def __init__(self, message: str, retry_after: int = 1):
+        super().__init__(message)
+        self.retry_after = int(retry_after)
+
+
+class DeadlineExpired(ServiceError):
+    """The per-request deadline ran out before the work completed.
+
+    Raised at checkpoints through the build and answer paths (store
+    waits, fits, engine preparation, batch evaluation), so slow work is
+    abandoned at the next boundary instead of holding its thread and
+    memory until an unbounded finish.
+    """
+
+    status = 504
+
+
+class ReleaseQuarantined(ServiceError):
+    """The persisted archive for this key failed to load and was quarantined.
+
+    The corrupt file was renamed to ``*.corrupt`` (bytes preserved for
+    forensics) and will never be parsed again; queries for the key answer
+    503 until a rebuild (``POST /releases``) restores it — which charges
+    budget like any build, so corruption can never launder epsilon.
+    """
+
+    status = 503
 
 
 class BudgetRefused(ServiceError):

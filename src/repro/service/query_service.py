@@ -42,8 +42,10 @@ from repro.queries.engine import (
     make_engine,
     rects_to_boxes,
 )
+from repro.service import faultinject
 from repro.service.keys import ReleaseKey
 from repro.service.store import SynopsisStore
+from repro.service.telemetry import Deadline
 
 __all__ = ["QueryResult", "QueryService"]
 
@@ -147,7 +149,7 @@ class QueryService:
         """
         return self._engine_for(key)[0]
 
-    def _engine_for(self, key: ReleaseKey):
+    def _engine_for(self, key: ReleaseKey, deadline: Deadline | None = None):
         """``(engine, answer_generation)`` for ``key``.
 
         The generation is read in the same critical section that
@@ -155,7 +157,7 @@ class QueryService:
         the returned engine may be cached under that generation: any
         later rebuild bumps it first, which vetoes the insert.
         """
-        synopsis = self._store.get(key)
+        synopsis = self._store.get(key, deadline)
         # Engines pin their synopsis; on every lookup keep only keys the
         # store still holds, so the store's LRU bounds govern total
         # memory (``key`` itself is always retained: get() just cached it).
@@ -172,7 +174,11 @@ class QueryService:
                     break
                 # Another thread is preparing this key's engine: one
                 # cold-start stampede must not build N duplicates.
-                self._engine_done.wait()
+                if deadline is None:
+                    self._engine_done.wait()
+                else:
+                    deadline.check("waiting for an in-flight engine build")
+                    self._engine_done.wait(deadline.remaining())
             if cached is not None:
                 # The store handed back a different synopsis object
                 # (forced rebuild, or evict + reload): every answer
@@ -185,6 +191,8 @@ class QueryService:
         # Build outside the lock: prefix-sum preparation can take a few
         # milliseconds for large releases and must not stall other keys.
         try:
+            if deadline is not None:
+                deadline.check("preparing the query engine")
             engine = make_engine(synopsis)
         except BaseException:
             with self._lock:
@@ -222,11 +230,15 @@ class QueryService:
         key: ReleaseKey,
         rects: list[Rect] | np.ndarray,
         clamp: bool = False,
+        deadline: Deadline | None = None,
     ) -> QueryResult:
         """Estimates for a batch of rectangles against one release.
 
         ``clamp`` zeroes negative estimates (post-processing; callers that
         feed the counts onward usually want it, evaluation code does not).
+        ``deadline`` bounds the slow steps (store waits, engine
+        preparation, the batch itself); expiry raises
+        :class:`~repro.service.errors.DeadlineExpired`.
         """
         boxes = np.ascontiguousarray(rects_to_boxes(rects))
         cache_key = None
@@ -241,7 +253,7 @@ class QueryService:
             # matches it.  A forced rebuild or evict-and-reload hands
             # back a different object and falls through to the miss
             # path, where engine_for bumps the generation.
-            synopsis = self._store.get(key)
+            synopsis = self._store.get(key, deadline)
             with self._lock:
                 generation = self._answer_gen.get(key, 0)
                 engine_entry = self._engines.get(key)
@@ -266,7 +278,12 @@ class QueryService:
                     )
 
         build_start = time.perf_counter()
-        engine, generation = self._engine_for(key)
+        engine, generation = self._engine_for(key, deadline)
+        # Fault point for deadline/overload tests: an injected stall here
+        # models a slow batch without touching any real kernel.
+        faultinject.fire("service.answer", key=key)
+        if deadline is not None:
+            deadline.check("answering the batch")
         answer_start = time.perf_counter()
         estimates = engine.answer_batch(boxes)
         if clamp:

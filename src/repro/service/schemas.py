@@ -34,10 +34,16 @@ MAX_BATCH_SIZE = 100_000
 
 @dataclass(frozen=True)
 class BuildRequest:
-    """``POST /releases`` — build (or fetch) one release."""
+    """``POST /releases`` — build (or fetch) one release.
+
+    ``deadline_ms`` optionally *tightens* the server's per-request
+    deadline for this request (it can never extend it): a client that
+    would rather fail fast than wait out a slow build says so here.
+    """
 
     key: ReleaseKey
     force: bool = False
+    deadline_ms: float | None = None
 
 
 @dataclass(frozen=True)
@@ -47,6 +53,7 @@ class QueryRequest:
     key: ReleaseKey
     boxes: np.ndarray  # (n, 4) float rows: x_lo, y_lo, x_hi, y_hi
     clamp: bool = False
+    deadline_ms: float | None = None
 
 
 def _require_mapping(payload) -> dict:
@@ -85,6 +92,17 @@ def _parse_flag(payload: dict, field: str) -> bool:
     return value
 
 
+def _parse_deadline_ms(payload: dict) -> float | None:
+    value = payload.get("deadline_ms")
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValidationError(f"'deadline_ms' must be a number, got {value!r}")
+    if value <= 0:
+        raise ValidationError(f"'deadline_ms' must be positive, got {value!r}")
+    return float(value)
+
+
 def validate_batch_size(n_rects: int) -> None:
     """Enforce the per-request batch bound (shared with the binary path)."""
     if n_rects > MAX_BATCH_SIZE:
@@ -117,7 +135,11 @@ def validate_boxes(boxes: np.ndarray) -> np.ndarray:
 
 def parse_build_request(payload) -> BuildRequest:
     payload = _require_mapping(payload)
-    return BuildRequest(key=_parse_key(payload), force=_parse_flag(payload, "force"))
+    return BuildRequest(
+        key=_parse_key(payload),
+        force=_parse_flag(payload, "force"),
+        deadline_ms=_parse_deadline_ms(payload),
+    )
 
 
 def parse_query_request(payload) -> QueryRequest:
@@ -134,4 +156,9 @@ def parse_query_request(payload) -> QueryRequest:
     except (TypeError, ValueError):
         raise ValidationError("'rects' rows must contain only numbers") from None
     boxes = validate_boxes(boxes)
-    return QueryRequest(key=key, boxes=boxes, clamp=_parse_flag(payload, "clamp"))
+    return QueryRequest(
+        key=key,
+        boxes=boxes,
+        clamp=_parse_flag(payload, "clamp"),
+        deadline_ms=_parse_deadline_ms(payload),
+    )

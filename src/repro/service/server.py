@@ -6,7 +6,7 @@ A thin HTTP front end (``http.server``; no web framework) over
 ====== ============ ====================================================
 Method Path         Meaning
 ====== ============ ====================================================
-GET    /health      liveness + cache/stat counters
+GET    /health      liveness + cache/fault counters + latency percentiles
 GET    /releases    cached + persisted keys, budgets, store stats
 POST   /releases    build (or fetch) a release; 201 when a fit happened
 POST   /query       answer a batch of rectangles from one release
@@ -23,27 +23,55 @@ into ``X-Build-Ms`` / ``X-Answer-Ms`` / ``X-Answer-Cached`` response
 headers.  Errors come back as JSON ``{"error": <class>, "detail":
 <message>}`` on every path, with the status each
 :class:`~repro.service.errors.ServiceError` subclass carries (400
-validation, 404 unknown release, 409 budget refused).
+validation, 404 unknown release, 409 budget refused, 429 shed, 503
+quarantined, 504 deadline).
 
-The server is a ``ThreadingHTTPServer``: each request runs on its own
-thread, which the store/service are built for — query batches against one
-cached release run concurrently without locking.  For multi-core serving,
-``reuse_port=True`` lets several processes bind the same address via
-``SO_REUSEPORT`` and share the accept load (see
-:mod:`repro.service.cli`'s ``--workers``).
+**Failure model.**  The server is a ``ThreadingHTTPServer`` (one thread
+per connection), wrapped in three defenses so overload and abuse degrade
+predictably instead of piling up threads:
+
+* **Admission control** — POST work passes a bounded in-flight gate
+  (:class:`~repro.service.telemetry.AdmissionController`): at most
+  ``max_inflight`` requests execute, ``queue_depth`` more may wait, and
+  the rest are shed with ``429`` + ``Retry-After`` in microseconds.
+  GETs (health checks, listings) bypass the gate — monitoring must keep
+  working precisely when the service is saturated.
+* **Per-request deadlines** — every request gets a
+  :class:`~repro.service.telemetry.Deadline` of ``request_deadline_ms``
+  threaded through the build and answer paths; expiry answers ``504``.
+  Requests may tighten (never extend) it via a ``deadline_ms`` body
+  field.
+* **Slow-client bounds** — all socket reads go through a guarded reader
+  that enforces one wall-clock budget per request (headers *and* body)
+  and a total header-byte cap, so a slowloris drip-feeding bytes is cut
+  off at the deadline instead of pinning a thread per connection.
+
+For multi-core serving, ``reuse_port=True`` lets several processes bind
+the same address via ``SO_REUSEPORT`` and share the accept load (see
+:mod:`repro.service.cli`'s ``--workers``, which also supervises and
+respawns crashed workers).
 """
 
 from __future__ import annotations
 
 import json
 import logging
+import os
 import socket
+import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.service import protocol
-from repro.service.errors import ServiceError, ValidationError
+from repro.service import faultinject, protocol
+from repro.service.errors import (
+    DeadlineExpired,
+    ServerOverloaded,
+    ServiceError,
+    ValidationError,
+)
 from repro.service.query_service import QueryService
 from repro.service.schemas import parse_build_request, parse_query_request
+from repro.service.telemetry import AdmissionController, Deadline, LatencyHistogram
 
 __all__ = ["SynopsisHTTPServer", "serve"]
 
@@ -51,6 +79,13 @@ logger = logging.getLogger(__name__)
 
 #: Largest accepted request body (16 MiB ~= a full MAX_BATCH_SIZE batch).
 _MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: Longest request line accepted (mirrors http.server's own bound).
+_MAX_REQUEST_LINE = 65536
+
+#: Seconds a request may wait for an admission slot when deadlines are
+#: disabled; with deadlines on, the queue wait is bounded by the deadline.
+_DEFAULT_QUEUE_WAIT_S = 2.0
 
 
 class SynopsisHTTPServer(ThreadingHTTPServer):
@@ -61,6 +96,23 @@ class SynopsisHTTPServer(ThreadingHTTPServer):
     kernel balance connections between them.  Raises ``OSError`` on
     platforms without ``SO_REUSEPORT`` — callers should fall back to a
     single worker (the CLI does).
+
+    Parameters
+    ----------
+    max_inflight:
+        Bound on concurrently executing POST requests (0 disables the
+        admission gate).
+    queue_depth:
+        How many admitted-but-waiting requests may queue for a slot
+        before new arrivals are shed with 429.
+    request_deadline_ms:
+        Per-request wall-clock budget threaded through build and answer
+        paths; expiry answers 504 (0 disables deadlines).
+    read_timeout:
+        Per-request budget, in seconds, for reading the request off the
+        socket (headers plus body together) — the slowloris bound.
+    max_header_bytes:
+        Cap on total request-line + header bytes per request.
     """
 
     daemon_threads = True
@@ -71,6 +123,11 @@ class SynopsisHTTPServer(ThreadingHTTPServer):
         address: tuple[str, int],
         service: QueryService,
         reuse_port: bool = False,
+        max_inflight: int = 64,
+        queue_depth: int = 64,
+        request_deadline_ms: float = 30_000.0,
+        read_timeout: float = 30.0,
+        max_header_bytes: int = 32 * 1024,
     ):
         if reuse_port and not hasattr(socket, "SO_REUSEPORT"):
             raise OSError("SO_REUSEPORT is not supported on this platform")
@@ -78,6 +135,14 @@ class SynopsisHTTPServer(ThreadingHTTPServer):
         # set first.
         self.reuse_port = reuse_port
         self.service = service
+        self.request_deadline_ms = float(request_deadline_ms)
+        self.read_timeout = float(read_timeout)
+        self.max_header_bytes = int(max_header_bytes)
+        self.admission = AdmissionController(max_inflight, queue_depth)
+        self.latency = LatencyHistogram()
+        self._counter_lock = threading.Lock()
+        self._deadline_expired = 0
+        self._slow_clients_closed = 0
         super().__init__(address, _Handler)
 
     def server_bind(self) -> None:
@@ -90,20 +155,179 @@ class SynopsisHTTPServer(ThreadingHTTPServer):
         host, port = self.server_address[:2]
         return f"http://{host}:{port}"
 
+    # ------------------------------------------------------------------
+    # Fault accounting (handler threads call these)
+    # ------------------------------------------------------------------
+
+    def new_deadline(self) -> Deadline | None:
+        if self.request_deadline_ms <= 0:
+            return None
+        return Deadline(self.request_deadline_ms)
+
+    def note_deadline_expired(self) -> None:
+        with self._counter_lock:
+            self._deadline_expired += 1
+
+    def note_slow_client(self) -> None:
+        with self._counter_lock:
+            self._slow_clients_closed += 1
+
+    def fault_payload(self) -> dict:
+        """The `/health` fault block: shedding, deadlines, quarantines."""
+        with self._counter_lock:
+            deadline_expired = self._deadline_expired
+            slow_clients = self._slow_clients_closed
+        store = self.service.store
+        return {
+            **self.admission.to_payload(),
+            "deadline_expired": deadline_expired,
+            "slow_clients_closed": slow_clients,
+            "request_deadline_ms": self.request_deadline_ms,
+            "quarantined": store.stats.quarantined,
+            "ledger_corrupt": store.ledger_corrupt is not None,
+        }
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Wait (bounded) for in-flight requests to finish; True if idle.
+
+        Called after ``shutdown()`` during graceful termination: the
+        listener has stopped accepting, and this waits for the admitted
+        requests to complete before the process exits.
+        """
+        give_up = time.monotonic() + timeout
+        while self.admission.inflight() > 0:
+            if time.monotonic() >= give_up:
+                return False
+            time.sleep(0.05)
+        return True
+
+
+class _GuardedReader:
+    """Deadline- and byte-bounded wrapper over a request's ``rfile``.
+
+    One wall-clock budget covers *all* reads of a request — request
+    line, headers, and body — so a client dripping one byte per
+    29 seconds cannot extend its welcome indefinitely (each individual
+    ``recv`` resets a plain socket timeout; the budget here does not
+    reset).  Reads go byte-by-byte (headers) or buffer-by-buffer (body)
+    through the underlying buffered reader, re-arming the socket timeout
+    to the remaining budget so no single blocking call can overshoot.
+    Header bytes are additionally capped: past ``max_header_bytes`` the
+    connection is closed without a response (the peer is by definition
+    not a well-behaved client).
+    """
+
+    def __init__(self, rfile, connection, read_timeout, max_header_bytes, on_abuse):
+        self._rfile = rfile
+        self._connection = connection
+        self._read_timeout = read_timeout
+        self._max_header_bytes = max_header_bytes
+        self._on_abuse = on_abuse
+        self._expires_at = time.monotonic() + read_timeout
+        self._header_bytes = 0
+
+    def begin_request(self) -> None:
+        """Reset the read budget; called once per keep-alive request."""
+        self._expires_at = time.monotonic() + self._read_timeout
+        self._header_bytes = 0
+
+    def _arm(self) -> None:
+        remaining = self._expires_at - time.monotonic()
+        if remaining <= 0:
+            self._on_abuse()
+            raise TimeoutError("per-request read budget exhausted")
+        # CPython implements socket timeouts per call (no syscall here),
+        # so re-arming each read is cheap.
+        self._connection.settimeout(min(self._read_timeout, remaining))
+
+    def readline(self, limit: int = -1) -> bytes:
+        """A header/request line, byte-wise so the budget binds."""
+        if limit < 0:
+            limit = _MAX_REQUEST_LINE + 1
+        faultinject.fire("server.read", phase="headers")
+        line = bytearray()
+        try:
+            while len(line) < limit:
+                self._arm()
+                byte = self._rfile.read(1)
+                if not byte:
+                    break
+                line += byte
+                if byte == b"\n":
+                    break
+        except TimeoutError:
+            self._on_abuse()
+            raise
+        self._header_bytes += len(line)
+        if self._header_bytes > self._max_header_bytes:
+            self._on_abuse()
+            raise TimeoutError(
+                f"request line + headers exceed {self._max_header_bytes} bytes"
+            )
+        return bytes(line)
+
+    def read(self, size: int) -> bytes:
+        """Up to ``size`` body bytes, one buffered read per arm."""
+        faultinject.fire("server.read", phase="body")
+        chunks = []
+        remaining = size
+        try:
+            while remaining > 0:
+                self._arm()
+                chunk = self._rfile.read1(remaining)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+                remaining -= len(chunk)
+        except TimeoutError:
+            self._on_abuse()
+            raise
+        return b"".join(chunks)
+
+    @property
+    def closed(self) -> bool:
+        return self._rfile.closed
+
+    def close(self) -> None:
+        self._rfile.close()
+
+    def flush(self) -> None:  # pragma: no cover - StreamRequestHandler API
+        pass
+
 
 class _Handler(BaseHTTPRequestHandler):
-    server_version = "repro-serve/1.1"
+    server_version = "repro-serve/1.2"
     protocol_version = "HTTP/1.1"
-    # Socket timeout (applied per connection by http.server): a client
-    # that stalls mid-request times out instead of pinning its handler
-    # thread forever (slowloris).
-    timeout = 30
     # TCP_NODELAY: responses are written as two packets (headers, then
     # body); with Nagle enabled the second write waits for the client's
     # delayed ACK of the first, turning every keep-alive request into a
     # ~40 ms round trip.  Measured on loopback: 41.8 ms -> 0.6 ms per
     # 200-rect query batch.
     disable_nagle_algorithm = True
+
+    def setup(self) -> None:
+        # The per-connection socket timeout (socketserver applies
+        # self.timeout in super().setup()); the guarded reader then
+        # tightens it per read so one request's total read time is
+        # bounded, not just each recv.
+        self.timeout = self.server.read_timeout
+        super().setup()
+        self.rfile = _GuardedReader(
+            self.rfile,
+            self.connection,
+            self.server.read_timeout,
+            self.server.max_header_bytes,
+            self.server.note_slow_client,
+        )
+
+    def handle_one_request(self) -> None:
+        # Fresh read budget per keep-alive request.  A TimeoutError
+        # raised by the guard during the header phase is caught by
+        # BaseHTTPRequestHandler.handle_one_request, which closes the
+        # connection — the right answer to an abusive peer.
+        if isinstance(self.rfile, _GuardedReader):
+            self.rfile.begin_request()
+        super().handle_one_request()
 
     # ------------------------------------------------------------------
     # Routing
@@ -112,12 +336,15 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         # GET handlers never read a body; drain any the client attached
         # so leftover bytes cannot desynchronise a keep-alive connection.
+        # GETs bypass admission control: health checks and listings must
+        # answer while the service is shedding load.
         self._dispatch(
             {
                 "/health": self._get_health,
                 "/releases": self._get_releases,
             },
             drain_body=True,
+            gated=False,
         )
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
@@ -128,53 +355,101 @@ class _Handler(BaseHTTPRequestHandler):
             }
         )
 
-    def _dispatch(self, routes, drain_body: bool = False) -> None:
+    def _dispatch(self, routes, drain_body: bool = False, gated: bool = True) -> None:
+        server = self.server
+        start = time.perf_counter()
         path = self.path.split("?", 1)[0]  # tolerate query strings
         handler = routes.get(path.rstrip("/") or "/")
+        self._deadline = server.new_deadline()
         try:
-            if drain_body:
-                self._drain_body()
-            if handler is None:
-                raise ServiceError(
-                    f"no route {self.command} {self.path}; "
-                    f"available: {', '.join(sorted(routes))}",
-                    status=404,
+            admitted = False
+            if gated and handler is not None and server.admission.enabled:
+                wait = (
+                    self._deadline.remaining()
+                    if self._deadline is not None
+                    else _DEFAULT_QUEUE_WAIT_S
                 )
-            handler()
+                admitted = server.admission.try_enter(timeout=wait)
+                if not admitted:
+                    raise ServerOverloaded(
+                        f"server at capacity "
+                        f"({server.admission.max_inflight} in flight, "
+                        f"{server.admission.queue_depth} queued); request shed"
+                    )
+            try:
+                if drain_body:
+                    self._drain_body()
+                if handler is None:
+                    raise ServiceError(
+                        f"no route {self.command} {self.path}; "
+                        f"available: {', '.join(sorted(routes))}",
+                        status=404,
+                    )
+                handler()
+            finally:
+                if admitted:
+                    server.admission.leave()
+        except ServerOverloaded as error:
+            self._send_json(
+                error.status,
+                error.to_payload(),
+                extra_headers={"Retry-After": str(error.retry_after)},
+            )
+        except DeadlineExpired as error:
+            server.note_deadline_expired()
+            self._send_json(error.status, error.to_payload())
         except ServiceError as error:
             self._send_json(error.status, error.to_payload())
         except (TimeoutError, ConnectionError):
             # Client stalled or vanished mid-request; there is no one
-            # left to answer — just release the connection.
+            # left to answer — just release the connection.  (The
+            # guarded reader already counted a stall.)
             self.close_connection = True
         except Exception:  # pragma: no cover - defensive last resort
             logger.exception("unhandled error serving %s %s", self.command, self.path)
             self._send_json(
                 500, {"error": "InternalError", "detail": "internal server error"}
             )
+        finally:
+            server.latency.observe((time.perf_counter() - start) * 1e3)
 
     # ------------------------------------------------------------------
     # Endpoints
     # ------------------------------------------------------------------
 
     def _get_health(self) -> None:
-        service = self.server.service
+        server = self.server
+        service = server.service
         self._send_json(
             200,
             {
                 "status": "ok",
+                "pid": os.getpid(),
                 "releases_cached": len(service.store.cached_keys()),
                 **service.stats(),
+                **server.fault_payload(),
+                "latency_ms": server.latency.to_payload(),
             },
         )
 
     def _get_releases(self) -> None:
         self._send_json(200, self.server.service.store.to_payload())
 
+    def _effective_deadline(self, requested_ms) -> Deadline | None:
+        """The dispatch deadline, tightened by the request's own budget."""
+        deadline = self._deadline
+        if requested_ms is None:
+            return deadline
+        if deadline is None:
+            return Deadline(requested_ms)
+        return deadline.tighten(requested_ms)
+
     def _post_releases(self) -> None:
         request = parse_build_request(self._read_json())
         synopsis, built = self.server.service.store.build(
-            request.key, force=request.force
+            request.key,
+            force=request.force,
+            deadline=self._effective_deadline(request.deadline_ms),
         )
         self._send_json(
             201 if built else 200,
@@ -193,7 +468,12 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             request = parse_query_request(self._parse_json(self._read_body()))
         result = self.server.service.answer(
-            request.key, request.boxes, clamp=request.clamp
+            request.key,
+            request.boxes,
+            clamp=request.clamp,
+            deadline=self._effective_deadline(
+                getattr(request, "deadline_ms", None)
+            ),
         )
         accept = self.headers.get("Accept") or ""
         if protocol.CONTENT_TYPE in accept.lower():
@@ -245,7 +525,14 @@ class _Handler(BaseHTTPRequestHandler):
             length -= len(chunk)
 
     def _read_body(self) -> bytes:
-        """Read the request body, enforcing presence and the size cap."""
+        """Read the request body, enforcing presence, size, and pace.
+
+        The guarded reader bounds the wall-clock spent here (a client
+        trickling its body hits the per-request read budget, not a
+        per-``recv`` timeout that resets forever), and a short body —
+        client closed before sending ``Content-Length`` bytes — is a
+        clean connection drop, never a half-parsed request.
+        """
         try:
             length = int(self.headers.get("Content-Length", 0))
         except ValueError:
@@ -257,7 +544,12 @@ class _Handler(BaseHTTPRequestHandler):
                 f"request body of {length} bytes exceeds the "
                 f"{_MAX_BODY_BYTES}-byte limit"
             )
-        return self.rfile.read(length)
+        body = self.rfile.read(length)
+        if len(body) < length:
+            raise ConnectionError(
+                f"client closed after {len(body)} of {length} body bytes"
+            )
+        return body
 
     @staticmethod
     def _parse_json(body: bytes):
@@ -269,9 +561,17 @@ class _Handler(BaseHTTPRequestHandler):
     def _read_json(self):
         return self._parse_json(self._read_body())
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: dict,
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
         self._send_bytes(
-            status, json.dumps(payload).encode("utf-8"), "application/json"
+            status,
+            json.dumps(payload).encode("utf-8"),
+            "application/json",
+            extra_headers=extra_headers,
         )
 
     def _send_bytes(
@@ -304,12 +604,18 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 8731,
     reuse_port: bool = False,
+    **fault_options,
 ) -> SynopsisHTTPServer:
     """Bind a server for ``service`` (``port=0`` picks a free port).
 
     The caller owns the loop: call ``serve_forever()`` (blocking) or run
     it on a thread and ``shutdown()`` when done, as the tests do.
     ``reuse_port=True`` binds with ``SO_REUSEPORT`` so several worker
-    processes can share one listening address.
+    processes can share one listening address.  ``fault_options`` are
+    forwarded to :class:`SynopsisHTTPServer` (``max_inflight``,
+    ``queue_depth``, ``request_deadline_ms``, ``read_timeout``,
+    ``max_header_bytes``).
     """
-    return SynopsisHTTPServer((host, port), service, reuse_port=reuse_port)
+    return SynopsisHTTPServer(
+        (host, port), service, reuse_port=reuse_port, **fault_options
+    )

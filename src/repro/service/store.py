@@ -38,17 +38,72 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.core.serialization import load_synopsis, save_synopsis, synopsis_nbytes
+from repro.core.serialization import (
+    load_synopsis,
+    synopsis_nbytes,
+    synopsis_to_bytes,
+)
 from repro.core.synopsis import Synopsis
 from repro.datasets.registry import get_spec
-from repro.privacy.budget import PrivacyBudget
-from repro.service.errors import BudgetRefused, ReleaseNotFound
+from repro.privacy.budget import BudgetExceededError, PrivacyBudget
+from repro.service import faultinject
+from repro.service.errors import (
+    BudgetRefused,
+    ReleaseNotFound,
+    ReleaseQuarantined,
+)
 from repro.service.keys import ReleaseKey, make_builder
+from repro.service.telemetry import Deadline
 
 __all__ = ["StoreStats", "SynopsisStore"]
 
 _BUDGET_FILE = "budgets.json"
 _BUDGET_FORMAT_VERSION = 1
+
+#: Suffix appended to unreadable files when they are quarantined.  The
+#: bytes are preserved for forensics; the name no longer matches any
+#: pattern the store parses, so a corrupt file is handled exactly once.
+_QUARANTINE_SUFFIX = ".corrupt"
+
+
+def _fsync_directory(directory: Path) -> None:
+    """fsync a directory so a rename into it survives power loss."""
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _atomic_write(path: Path, data: bytes, fault_prefix: str) -> None:
+    """Crash-safe file write: temp file + fsync + rename + dir fsync.
+
+    After a crash (``kill -9``, power loss) at *any* byte boundary the
+    path holds either the complete previous contents or the complete new
+    ones — never a torn mix.  ``fault_prefix`` names the injection
+    points (``{prefix}.write`` / ``.fsync`` / ``.replace``) the fault
+    harness uses to simulate disk-full, short writes, and crashes at
+    each stage.  On ordinary I/O errors the temp file is removed;
+    :class:`~repro.service.faultinject.SimulatedCrash` deliberately
+    leaves the debris a real crash would.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        faultinject.fire(f"{fault_prefix}.write", path=str(tmp), data=data)
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            faultinject.fire(f"{fault_prefix}.fsync", path=str(tmp))
+            os.fsync(handle.fileno())
+        faultinject.fire(f"{fault_prefix}.replace", path=str(path))
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(path.parent)
 
 
 @dataclass
@@ -61,6 +116,7 @@ class StoreStats:
     loads: int = 0
     evictions: int = 0
     refusals: int = 0
+    quarantined: int = 0
 
     def to_payload(self) -> dict:
         return {
@@ -70,6 +126,7 @@ class StoreStats:
             "loads": self.loads,
             "evictions": self.evictions,
             "refusals": self.refusals,
+            "quarantined": self.quarantined,
         }
 
 
@@ -135,36 +192,77 @@ class SynopsisStore:
         self._loading: set[ReleaseKey] = set()
         self._inflight_done = threading.Condition(self._lock)
         self.stats = StoreStats()
+        self._quarantined: dict[ReleaseKey, str] = {}
+        self._ledger_corrupt: str | None = None
         if self._store_dir is not None:
             self._store_dir.mkdir(parents=True, exist_ok=True)
+            self._sweep_crash_debris()
             self._load_budgets()
+
+    def _sweep_crash_debris(self) -> None:
+        """Remove temp files a crash mid-write left behind.
+
+        Every durable write goes through temp + rename, so a ``*.tmp``
+        file is by construction an incomplete artifact from a dead
+        process — never live state.  Sweeping at init keeps the debris
+        from accumulating and from ever being mistaken for a release.
+        """
+        for stale in self._store_dir.glob("*.tmp"):
+            try:
+                stale.unlink()
+            except OSError:
+                continue
 
     # ------------------------------------------------------------------
     # Lookup and build
     # ------------------------------------------------------------------
 
-    def get(self, key: ReleaseKey) -> Synopsis:
+    def get(self, key: ReleaseKey, deadline: Deadline | None = None) -> Synopsis:
         """Return the release for ``key`` from memory or disk.
 
         Raises :class:`ReleaseNotFound` when the release has never been
-        built (serving never implicitly spends privacy budget).  Disk
-        reloads run outside the lock (guarded per key) so one slow
-        decompress never stalls cache hits for other keys; a request for
-        a key whose fit is in flight waits for that result.
+        built (serving never implicitly spends privacy budget) and
+        :class:`ReleaseQuarantined` when its archive failed to load and
+        was quarantined (rebuild to restore).  Disk reloads run outside
+        the lock (guarded per key) so one slow decompress never stalls
+        cache hits for other keys; a request for a key whose fit is in
+        flight waits for that result, bounded by ``deadline``.
         """
-        synopsis = self._lookup_or_load(key)
+        synopsis = self._lookup_or_load(key, deadline)
         if synopsis is None:
+            with self._lock:
+                reason = self._quarantined.get(key)
+            if reason is not None:
+                raise ReleaseQuarantined(
+                    f"the persisted archive for {key.slug()!r} was corrupt "
+                    f"and has been quarantined ({reason}); rebuild it "
+                    "(POST /releases) to restore service for this key"
+                )
             raise ReleaseNotFound(
                 f"no release for {key.slug()!r}; build it first (POST /releases)"
             )
         return synopsis
 
-    def _lookup_or_load(self, key: ReleaseKey) -> Synopsis | None:
+    def _wait_inflight(self, deadline: Deadline | None) -> None:
+        """One bounded wait on the in-flight condition (lock held)."""
+        if deadline is None:
+            self._inflight_done.wait()
+        else:
+            deadline.check("waiting for an in-flight build or reload")
+            self._inflight_done.wait(deadline.remaining())
+
+    def _lookup_or_load(
+        self, key: ReleaseKey, deadline: Deadline | None = None
+    ) -> Synopsis | None:
         """Cache lookup with per-key guarded disk reload; ``None`` if absent.
 
         Loads and builds of the same key are mutually exclusive: a reload
         never races a forced rebuild into inserting a stale synopsis over
-        the fresh one.
+        the fresh one.  An archive that fails to parse — truncated, bit
+        flipped, checksum mismatch — is quarantined (renamed to
+        ``*.corrupt``) instead of crashing the request, and the key is
+        remembered so later reads answer 503 rather than rediscovering
+        the corpse.
         """
         with self._lock:
             while True:
@@ -176,7 +274,7 @@ class SynopsisStore:
                 if key in self._loading or key in self._building:
                     # Another thread is reloading or fitting this key;
                     # its result will land in the cache.
-                    self._inflight_done.wait()
+                    self._wait_inflight(deadline)
                     continue
                 break
             self.stats.misses += 1
@@ -186,6 +284,15 @@ class SynopsisStore:
             self._loading.add(key)
         try:
             synopsis = load_synopsis(path)
+        except Exception as error:
+            # The archive is unreadable.  Quarantine it: rename preserves
+            # the bytes for forensics while guaranteeing the file is never
+            # parsed (and never crashes a request) again.
+            self._quarantine_archive(path, key, error)
+            with self._lock:
+                self._loading.discard(key)
+                self._inflight_done.notify_all()
+            return None
         except BaseException:
             with self._lock:
                 self._loading.discard(key)
@@ -202,17 +309,26 @@ class SynopsisStore:
                 self._inflight_done.notify_all()
         return synopsis
 
-    def build(self, key: ReleaseKey, force: bool = False) -> tuple[Synopsis, bool]:
+    def build(
+        self,
+        key: ReleaseKey,
+        force: bool = False,
+        deadline: Deadline | None = None,
+    ) -> tuple[Synopsis, bool]:
         """Return the release for ``key``, fitting it if necessary.
 
         Returns ``(synopsis, built)`` where ``built`` says whether a fit
         (and hence a budget spend) happened.  ``force=True`` refits even
         when a cached/persisted release exists — e.g. after raising
-        ``n_points`` — and is charged like any other build.
+        ``n_points`` — and is charged like any other build.  A key whose
+        archive was quarantined is rebuilt here (charged like any build),
+        which clears the quarantine.
 
         Raises :class:`BudgetRefused`, before touching the sensitive
         data, when the dataset instance's remaining budget cannot cover
-        ``key.epsilon``.
+        ``key.epsilon`` — or, unconditionally, when the budget ledger
+        itself was found corrupt: with the spending history unprovable,
+        the only safe assumption is that nothing remains.
 
         The fit itself runs *outside* the store lock so concurrent reads
         are never stalled by a build.  The epsilon is reserved (spent and
@@ -220,13 +336,14 @@ class SynopsisStore:
         that epsilon, so a crashed fit stays charged — conservative, and
         it prevents concurrent builds from overdrawing between check and
         fit.  A concurrent non-forced build of the same key waits for the
-        in-flight fit instead of double-spending.
+        in-flight fit instead of double-spending.  ``deadline`` bounds
+        the waits and is checked before the fit starts.
         """
         if not force:
             # Pre-check outside the store lock: serves the common
             # repeat-build case, including a disk reload, without
             # stalling other requests.
-            synopsis = self._lookup_or_load(key)
+            synopsis = self._lookup_or_load(key, deadline)
             if synopsis is not None:
                 return synopsis, False
         with self._lock:
@@ -245,7 +362,16 @@ class SynopsisStore:
                     break
                 # Another thread is fitting or reloading this key; wait
                 # so same-key loads and builds never interleave.
-                self._inflight_done.wait()
+                self._wait_inflight(deadline)
+            if self._ledger_corrupt is not None:
+                self.stats.refusals += 1
+                raise BudgetRefused(
+                    f"the budget ledger was corrupt and has been "
+                    f"quarantined ({self._ledger_corrupt}); the spending "
+                    "history cannot be proven, so all builds are refused — "
+                    "restore the ledger or point the store at a fresh "
+                    "directory"
+                )
             budget = self._budget_for(key.data_id)
             if not budget.can_spend(key.epsilon):
                 self.stats.refusals += 1
@@ -256,10 +382,15 @@ class SynopsisStore:
                     f"(spent {budget.spent:g} across {len(budget.ledger)} "
                     f"release(s)); serve an existing release instead"
                 )
+            if deadline is not None:
+                deadline.check("reserving budget for the build")
             budget.spend(key.epsilon, label=key.slug())
             self._save_budgets()
             self._building.add(key)
         try:
+            faultinject.fire("store.fit", key=key)
+            if deadline is not None:
+                deadline.check("fitting the release")
             spec = get_spec(key.dataset)
             dataset = spec.make(n=self._n_points, rng=key.seed)
             builder = make_builder(key.method)
@@ -274,6 +405,9 @@ class SynopsisStore:
             try:
                 self.stats.builds += 1
                 self._insert(key, synopsis)
+                # A fresh, persisted release supersedes any quarantined
+                # predecessor: the key serves again.
+                self._quarantined.pop(key, None)
             finally:
                 # Always clear the in-flight marker: leaving it would
                 # deadlock every later request for this key.
@@ -316,6 +450,16 @@ class SynopsisStore:
         with self._lock:
             return self._cached_bytes
 
+    def quarantined_keys(self) -> dict[ReleaseKey, str]:
+        """Keys whose archives were quarantined, with the load error."""
+        with self._lock:
+            return dict(self._quarantined)
+
+    @property
+    def ledger_corrupt(self) -> str | None:
+        """Why the budget ledger was quarantined (``None`` when healthy)."""
+        return self._ledger_corrupt
+
     def budget_state(self) -> dict[str, dict]:
         """Per-dataset-instance budget summary (for ``GET /releases``)."""
         with self._lock:
@@ -340,6 +484,13 @@ class SynopsisStore:
                 "dataset_budget": self._dataset_budget,
                 "budgets": self.budget_state(),
                 "stats": self.stats.to_payload(),
+                "quarantined": {
+                    key.slug(): reason
+                    for key, reason in sorted(
+                        self._quarantined.items(), key=lambda item: item[0].slug()
+                    )
+                },
+                "ledger_corrupt": self._ledger_corrupt,
             }
         # The directory scan does disk I/O; run it outside the lock so a
         # slow listing never stalls cache hits.
@@ -371,18 +522,32 @@ class SynopsisStore:
         return self._store_dir / f"{key.slug()}.npz"
 
     def _persist(self, key: ReleaseKey, synopsis: Synopsis) -> None:
-        """Atomically write the release artifact (tmp + rename).
+        """Crash-safely write the release artifact (checksummed bytes).
 
         A reader racing a forced rebuild, or a crash mid-write, must
-        never observe a half-written archive.  The tmp name keeps the
-        ``.npz`` suffix so ``np.savez`` does not append another.
+        never observe a half-written archive: the checksummed payload is
+        written to a temp file, fsync'd, renamed over the target, and
+        the directory entry fsync'd (see :func:`_atomic_write`).
         """
         path = self._release_path(key)
         if path is None:
             return
-        tmp = path.with_name(f".{path.stem}.tmp.npz")
-        save_synopsis(synopsis, tmp)
-        os.replace(tmp, path)
+        _atomic_write(path, synopsis_to_bytes(synopsis), fault_prefix="archive")
+
+    def _quarantine_archive(
+        self, path: Path, key: ReleaseKey, error: Exception
+    ) -> None:
+        """Move an unreadable archive aside and record why."""
+        reason = f"{type(error).__name__}: {error}"
+        try:
+            os.replace(path, path.with_name(path.name + _QUARANTINE_SUFFIX))
+        except OSError:
+            # Racing quarantines / an already-vanished file: the key is
+            # marked either way, which is what stops the crash loop.
+            pass
+        with self._lock:
+            self.stats.quarantined += 1
+            self._quarantined[key] = reason
 
     def _budget_for(self, data_id: str) -> PrivacyBudget:
         budget = self._budgets.get(data_id)
@@ -392,23 +557,59 @@ class SynopsisStore:
         return budget
 
     def _load_budgets(self) -> None:
+        """Load the ledger; quarantine it and refuse builds when corrupt.
+
+        The ledger is written atomically, so after any crash it is a
+        complete old or new file — but on-disk bit-rot or manual edits
+        can still corrupt it.  A corrupt ledger must never be silently
+        reset: an empty ledger would let every past spend be repeated,
+        doubling the real privacy loss.  Instead the file is renamed to
+        ``budgets.json.corrupt`` and the store enters a conservative
+        mode where *all* builds are refused (serving persisted releases
+        is post-processing and remains safe).
+        """
         path = self._store_dir / _BUDGET_FILE
         if not path.exists():
             return
-        payload = json.loads(path.read_text(encoding="utf-8"))
-        if payload.get("version") != _BUDGET_FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported budget ledger version {payload.get('version')!r}"
-            )
-        for data_id, state in payload["budgets"].items():
-            # Keep the persisted total: weakening it would break the
-            # guarantee already promised to the data's owners.
-            budget = PrivacyBudget(float(state["total"]))
-            for epsilon, label in state["ledger"]:
-                budget.spend(float(epsilon), label)
-            self._budgets[data_id] = budget
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if payload.get("version") != _BUDGET_FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported budget ledger version {payload.get('version')!r}"
+                )
+            budgets: dict[str, PrivacyBudget] = {}
+            for data_id, state in payload["budgets"].items():
+                # Keep the persisted total: weakening it would break the
+                # guarantee already promised to the data's owners.
+                budget = PrivacyBudget(float(state["total"]))
+                for epsilon, label in state["ledger"]:
+                    budget.spend(float(epsilon), str(label))
+                budgets[data_id] = budget
+        except (
+            ValueError,  # bad JSON, bad version, bad floats
+            KeyError,
+            TypeError,
+            AttributeError,
+            BudgetExceededError,  # ledger entries overdraw their own total
+        ) as error:
+            reason = f"{type(error).__name__}: {error}"
+            try:
+                os.replace(path, path.with_name(path.name + _QUARANTINE_SUFFIX))
+            except OSError:
+                pass
+            self._ledger_corrupt = reason
+            return
+        self._budgets.update(budgets)
 
     def _save_budgets(self) -> None:
+        """Durably persist the ledger (atomic temp + fsync + rename).
+
+        Called with the spend already applied in memory, *before* the
+        fit touches sensitive data — so after a crash at any byte
+        boundary the on-disk ledger is either the complete pre-spend or
+        the complete post-spend state, and restart can only ever
+        over-count (conservative), never under-count, the epsilon spent.
+        """
         if self._store_dir is None:
             return
         payload = {
@@ -423,7 +624,8 @@ class SynopsisStore:
                 for data_id, budget in self._budgets.items()
             },
         }
-        path = self._store_dir / _BUDGET_FILE
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(payload, indent=2), encoding="utf-8")
-        os.replace(tmp, path)
+        _atomic_write(
+            self._store_dir / _BUDGET_FILE,
+            json.dumps(payload, indent=2).encode("utf-8"),
+            fault_prefix="ledger",
+        )

@@ -1,0 +1,216 @@
+"""Fault-armor runtime primitives: deadlines, admission, latency.
+
+Three small thread-safe building blocks the HTTP adapter composes into a
+defined overload/failure model:
+
+* :class:`Deadline` — a monotonic per-request time budget, threaded
+  through the build and answer paths; expiry raises
+  :class:`~repro.service.errors.DeadlineExpired` (HTTP 504) instead of
+  letting a slow request pin its thread indefinitely;
+* :class:`AdmissionController` — a bounded in-flight gate: at most
+  ``max_inflight`` requests run at once and at most ``queue_depth`` wait
+  for a slot; everything beyond that is *shed* immediately (HTTP 429
+  with ``Retry-After``) so overload degrades into fast rejections rather
+  than an unbounded thread pile-up;
+* :class:`LatencyHistogram` — fixed log-spaced latency buckets with
+  p50/p95/p99 readout for ``/health``, so the shedding and deadline
+  behaviour is observable without external tooling.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import time
+
+from repro.service.errors import DeadlineExpired
+
+__all__ = ["AdmissionController", "Deadline", "LatencyHistogram"]
+
+
+class Deadline:
+    """A wall-clock budget for one request, measured on the monotonic clock.
+
+    Created once when the request is admitted and handed down through
+    every potentially slow step (store waits, fits, engine preparation,
+    batch evaluation).  Steps call :meth:`check` before starting work and
+    use :meth:`remaining` to bound their condition waits, so an expired
+    request fails with a clean 504 at the next checkpoint instead of
+    holding resources to completion.
+    """
+
+    __slots__ = ("_expires_at",)
+
+    def __init__(self, budget_ms: float):
+        if budget_ms <= 0:
+            raise ValueError(f"deadline budget must be positive, got {budget_ms}")
+        self._expires_at = time.monotonic() + budget_ms / 1e3
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (never below zero)."""
+        return max(0.0, self._expires_at - time.monotonic())
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self._expires_at
+
+    def check(self, doing: str) -> None:
+        """Raise :class:`DeadlineExpired` when the budget is gone."""
+        if self.expired():
+            raise DeadlineExpired(
+                f"request deadline expired while {doing}; the work was "
+                "abandoned — retry with a longer deadline or a smaller request"
+            )
+
+    def tighten(self, budget_ms: float) -> "Deadline":
+        """The stricter of this deadline and a fresh ``budget_ms`` one.
+
+        Requests may *shorten* the server's deadline (a dashboard that
+        would rather fail fast), never extend it.
+        """
+        candidate = Deadline(budget_ms)
+        if candidate._expires_at < self._expires_at:
+            return candidate
+        return self
+
+
+class AdmissionController:
+    """Bounded in-flight request gate with load shedding.
+
+    ``max_inflight`` requests may run concurrently; up to ``queue_depth``
+    more may wait for a slot (bounded by their own deadline).  Anything
+    beyond that — or a waiter whose patience runs out — is shed: the
+    caller answers 429 immediately, which costs microseconds instead of a
+    pinned thread.  ``max_inflight <= 0`` disables the gate entirely.
+    """
+
+    def __init__(self, max_inflight: int, queue_depth: int):
+        self.max_inflight = int(max_inflight)
+        self.queue_depth = max(0, int(queue_depth))
+        self._lock = threading.Lock()
+        self._slot_freed = threading.Condition(self._lock)
+        self._running = 0
+        self._waiting = 0
+        self.shed_count = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_inflight > 0
+
+    def try_enter(self, timeout: float = 0.0) -> bool:
+        """Claim an execution slot, waiting up to ``timeout`` seconds.
+
+        Returns False (and counts a shed) when the queue is full or no
+        slot frees up in time.  Every True return must be paired with
+        exactly one :meth:`leave`.
+        """
+        if not self.enabled:
+            return True
+        deadline = time.monotonic() + max(0.0, timeout)
+        with self._slot_freed:
+            if self._running < self.max_inflight:
+                self._running += 1
+                return True
+            if self._waiting >= self.queue_depth:
+                self.shed_count += 1
+                return False
+            self._waiting += 1
+            try:
+                while self._running >= self.max_inflight:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self.shed_count += 1
+                        return False
+                    self._slot_freed.wait(remaining)
+                self._running += 1
+                return True
+            finally:
+                self._waiting -= 1
+
+    def leave(self) -> None:
+        with self._slot_freed:
+            self._running -= 1
+            self._slot_freed.notify()
+
+    def inflight(self) -> int:
+        with self._lock:
+            return self._running
+
+    def to_payload(self) -> dict:
+        with self._lock:
+            return {
+                "max_inflight": self.max_inflight,
+                "queue_depth": self.queue_depth,
+                "inflight": self._running,
+                "queued": self._waiting,
+                "shed_count": self.shed_count,
+            }
+
+
+#: Histogram bucket upper bounds in milliseconds (log-spaced 0.1 ms –
+#: 60 s; the final +inf bucket catches everything slower).
+_BUCKET_BOUNDS_MS = (
+    0.1, 0.2, 0.5,
+    1.0, 2.0, 5.0,
+    10.0, 20.0, 50.0,
+    100.0, 200.0, 500.0,
+    1_000.0, 2_000.0, 5_000.0,
+    10_000.0, 30_000.0, 60_000.0,
+)
+
+
+class LatencyHistogram:
+    """Thread-safe fixed-bucket latency histogram with percentile readout.
+
+    Log-spaced buckets trade a bounded relative error (one bucket width)
+    for O(1) memory and O(buckets) percentile queries — the right trade
+    for a ``/health`` endpoint that must stay cheap under overload.
+    Percentiles are reported as the upper bound of the bucket containing
+    the requested rank (the conservative answer), with the true observed
+    maximum tracked exactly.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(_BUCKET_BOUNDS_MS) + 1)
+        self._total = 0
+        self._sum_ms = 0.0
+        self._max_ms = 0.0
+
+    def observe(self, latency_ms: float) -> None:
+        index = bisect.bisect_left(_BUCKET_BOUNDS_MS, latency_ms)
+        with self._lock:
+            self._counts[index] += 1
+            self._total += 1
+            self._sum_ms += latency_ms
+            if latency_ms > self._max_ms:
+                self._max_ms = latency_ms
+
+    def percentile(self, q: float) -> float:
+        """Upper bound (ms) of the bucket holding the ``q``-quantile."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"q must be in (0, 1], got {q}")
+        with self._lock:
+            if self._total == 0:
+                return 0.0
+            rank = q * self._total
+            cumulative = 0
+            for index, count in enumerate(self._counts):
+                cumulative += count
+                if cumulative >= rank:
+                    if index >= len(_BUCKET_BOUNDS_MS):
+                        return self._max_ms
+                    return min(_BUCKET_BOUNDS_MS[index], self._max_ms)
+            return self._max_ms
+
+    def to_payload(self) -> dict:
+        p50, p95, p99 = (self.percentile(q) for q in (0.5, 0.95, 0.99))
+        with self._lock:
+            mean = self._sum_ms / self._total if self._total else 0.0
+            return {
+                "count": self._total,
+                "mean_ms": round(mean, 3),
+                "p50_ms": p50,
+                "p95_ms": p95,
+                "p99_ms": p99,
+                "max_ms": round(self._max_ms, 3),
+            }

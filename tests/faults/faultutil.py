@@ -1,0 +1,15 @@
+"""Shared constants for the fault-injection suite.
+
+Kept outside ``conftest.py`` so test modules can import them plainly
+(the suite directory is not a package, matching the rest of ``tests/``).
+"""
+
+from repro.service.keys import ReleaseKey
+
+N_POINTS = 1_000
+RELEASE = {"dataset": "storage", "method": "UG", "epsilon": 0.5, "seed": 0}
+RECTS = [[-110.0, 30.0, -80.0, 45.0]]
+
+
+def release_key() -> ReleaseKey:
+    return ReleaseKey(**RELEASE)

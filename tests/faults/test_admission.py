@@ -1,0 +1,151 @@
+"""Admission control: overload sheds with 429 instead of piling up threads."""
+
+import threading
+import time
+
+from faultutil import RECTS, RELEASE, release_key
+
+from repro.service import faultinject
+from repro.service.telemetry import AdmissionController
+
+
+class TestAdmissionController:
+    def test_disabled_gate_always_admits(self):
+        gate = AdmissionController(max_inflight=0, queue_depth=0)
+        assert not gate.enabled
+        assert all(gate.try_enter() for _ in range(100))
+        assert gate.shed_count == 0
+
+    def test_inflight_bound_and_shed(self):
+        gate = AdmissionController(max_inflight=2, queue_depth=0)
+        assert gate.try_enter()
+        assert gate.try_enter()
+        assert not gate.try_enter()  # full, no queue -> immediate shed
+        assert gate.shed_count == 1
+        gate.leave()
+        assert gate.try_enter()  # freed slot admits again
+        assert gate.inflight() == 2
+
+    def test_queued_waiter_gets_freed_slot(self):
+        gate = AdmissionController(max_inflight=1, queue_depth=1)
+        assert gate.try_enter()
+        admitted = []
+        waiter = threading.Thread(
+            target=lambda: admitted.append(gate.try_enter(timeout=5.0))
+        )
+        waiter.start()
+        time.sleep(0.05)  # let the waiter reach the queue
+        gate.leave()
+        waiter.join(timeout=5)
+        assert admitted == [True]
+        assert gate.shed_count == 0
+
+    def test_waiter_timeout_is_a_shed(self):
+        gate = AdmissionController(max_inflight=1, queue_depth=1)
+        assert gate.try_enter()
+        start = time.monotonic()
+        assert not gate.try_enter(timeout=0.05)
+        assert time.monotonic() - start < 2.0
+        assert gate.shed_count == 1
+
+    def test_payload_shape(self):
+        payload = AdmissionController(3, 5).to_payload()
+        assert payload == {
+            "max_inflight": 3,
+            "queue_depth": 5,
+            "inflight": 0,
+            "queued": 0,
+            "shed_count": 0,
+        }
+
+
+class TestHTTPShedding:
+    def test_saturated_server_sheds_with_retry_after(
+        self, make_service, start_server, call
+    ):
+        service = make_service()
+        service.store.build(release_key())
+        server = start_server(service, max_inflight=1, queue_depth=0)
+
+        entered = threading.Event()
+        unblock = threading.Event()
+
+        def stall(**_context):
+            entered.set()
+            unblock.wait(10)
+
+        faultinject.install("service.answer", stall)
+        query = {**RELEASE, "rects": RECTS}
+        first_result = []
+        first = threading.Thread(
+            target=lambda: first_result.append(call(server, "/query", query))
+        )
+        first.start()
+        try:
+            assert entered.wait(10), "first request never reached the engine"
+
+            # The slot is held: the next POST is shed, fast, with advice.
+            status, body, headers = call(server, "/query", query)
+            assert status == 429
+            assert body["error"] == "ServerOverloaded"
+            assert int(headers["Retry-After"]) >= 1
+
+            # GETs bypass the gate: health answers while saturated.
+            status, body, _ = call(server, "/health")
+            assert status == 200
+            assert body["shed_count"] >= 1
+            assert body["inflight"] == 1
+        finally:
+            unblock.set()
+            first.join(timeout=10)
+        status, body, _ = first_result[0]
+        assert status == 200
+        assert len(body["estimates"]) == len(RECTS)
+
+    def test_health_reports_latency_percentiles(
+        self, make_service, start_server, call
+    ):
+        server = start_server(make_service())
+        for _ in range(5):
+            call(server, "/health")
+        status, body, _ = call(server, "/health")
+        assert status == 200
+        latency = body["latency_ms"]
+        # Observation happens after the response is written, so the
+        # reading request may not see the immediately preceding one.
+        assert latency["count"] >= 4
+        assert 0 < latency["p50_ms"] <= latency["p95_ms"] <= latency["p99_ms"]
+        assert latency["max_ms"] > 0
+
+    def test_queued_request_proceeds_when_slot_frees(
+        self, make_service, start_server, call
+    ):
+        service = make_service()
+        service.store.build(release_key())
+        server = start_server(service, max_inflight=1, queue_depth=4)
+
+        entered = threading.Event()
+        unblock = threading.Event()
+
+        def stall_once(**_context):
+            if not entered.is_set():
+                entered.set()
+                unblock.wait(10)
+
+        faultinject.install("service.answer", stall_once)
+        query = {**RELEASE, "rects": RECTS}
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda: results.append(call(server, "/query", query))
+            )
+            for _ in range(2)
+        ]
+        threads[0].start()
+        assert entered.wait(10)
+        threads[1].start()  # queues behind the stalled request
+        time.sleep(0.2)
+        unblock.set()
+        for thread in threads:
+            thread.join(timeout=15)
+        assert sorted(status for status, _, _ in results) == [200, 200]

@@ -1,0 +1,105 @@
+"""Per-request deadlines: slow work answers 504 instead of pinning threads."""
+
+import time
+
+import pytest
+from faultutil import RECTS, RELEASE, release_key
+
+from repro.service import faultinject
+from repro.service.errors import DeadlineExpired
+from repro.service.telemetry import Deadline
+
+
+class TestDeadline:
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Deadline(0)
+        with pytest.raises(ValueError):
+            Deadline(-5)
+
+    def test_remaining_counts_down(self):
+        deadline = Deadline(10_000)
+        first = deadline.remaining()
+        assert 0 < first <= 10.0
+        time.sleep(0.01)
+        assert deadline.remaining() < first
+
+    def test_check_raises_after_expiry(self):
+        deadline = Deadline(1)
+        time.sleep(0.01)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+        with pytest.raises(DeadlineExpired, match="reticulating"):
+            deadline.check("reticulating splines")
+
+    def test_tighten_only_shortens(self):
+        generous = Deadline(60_000)
+        tightened = generous.tighten(10)
+        assert tightened.remaining() <= 0.011
+        # Asking for *more* time keeps the original deadline.
+        assert generous.tighten(120_000) is generous
+
+
+class TestHTTPDeadlines:
+    def test_server_deadline_expires_slow_answer(
+        self, make_service, start_server, call
+    ):
+        service = make_service()
+        service.store.build(release_key())
+        server = start_server(service, request_deadline_ms=150)
+        faultinject.install("service.answer", lambda **_: time.sleep(0.4))
+        status, body, _ = call(server, "/query", {**RELEASE, "rects": RECTS})
+        assert status == 504
+        assert body["error"] == "DeadlineExpired"
+        status, body, _ = call(server, "/health")
+        assert status == 200
+        assert body["deadline_expired"] >= 1
+        assert body["request_deadline_ms"] == 150
+
+    def test_request_may_tighten_but_not_extend(
+        self, make_service, start_server, call
+    ):
+        service = make_service()
+        service.store.build(release_key())
+        server = start_server(service, request_deadline_ms=30_000)
+        faultinject.install("service.answer", lambda **_: time.sleep(0.4))
+        # Tightened to 100 ms: expires despite the generous server default.
+        status, body, _ = call(
+            server, "/query", {**RELEASE, "rects": RECTS, "deadline_ms": 100}
+        )
+        assert status == 504
+        assert body["error"] == "DeadlineExpired"
+
+    def test_deadline_applies_to_builds(self, make_service, start_server, call):
+        service = make_service()
+        server = start_server(service, request_deadline_ms=30_000)
+        faultinject.install("store.fit", lambda **_: time.sleep(0.4))
+        status, body, _ = call(server, "/releases", {**RELEASE, "deadline_ms": 100})
+        assert status == 504
+        assert body["error"] == "DeadlineExpired"
+        # Conservative accounting: the abandoned fit stays charged.
+        status, body, _ = call(server, "/releases")
+        spent = body["budgets"]["storage|0"]["spent"]
+        assert spent == pytest.approx(RELEASE["epsilon"])
+
+    def test_disabled_deadline_serves_slow_requests(
+        self, make_service, start_server, call
+    ):
+        service = make_service()
+        service.store.build(release_key())
+        server = start_server(service, request_deadline_ms=0)
+        faultinject.install("service.answer", lambda **_: time.sleep(0.3))
+        status, body, _ = call(server, "/query", {**RELEASE, "rects": RECTS})
+        assert status == 200
+        assert len(body["estimates"]) == len(RECTS)
+
+    def test_invalid_deadline_ms_is_rejected(
+        self, make_service, start_server, call
+    ):
+        server = start_server(make_service())
+        for bad in (-1, 0, "fast", True):
+            status, body, _ = call(
+                server, "/releases", {**RELEASE, "deadline_ms": bad}
+            )
+            assert status == 400, bad
+            assert body["error"] == "ValidationError"

@@ -1,0 +1,117 @@
+"""Slowloris armor: clients that trickle bytes are disconnected on budget.
+
+A plain per-``recv`` socket timeout resets on every byte, so a client
+sending one byte per interval holds its thread forever.  The guarded
+reader enforces one wall-clock budget per request across *all* reads —
+these tests drive raw sockets at the server and assert the connection
+dies within that budget, while well-behaved requests keep working.
+"""
+
+import socket
+import time
+
+
+READ_TIMEOUT_S = 0.6
+#: Generous detection bound: budget + scheduling slack, well under the
+#: 30 s a per-recv timeout would allow a dripping client.
+CUTOFF_S = READ_TIMEOUT_S + 4.0
+
+
+def _connect(server):
+    host, port = server.server_address[:2]
+    sock = socket.create_connection((host, port), timeout=CUTOFF_S)
+    sock.settimeout(CUTOFF_S)
+    return sock
+
+
+def _assert_closed_within(sock, bound_s):
+    """The server must close (EOF/RST) the connection within ``bound_s``."""
+    start = time.monotonic()
+    try:
+        while True:
+            if not sock.recv(4096):
+                break  # EOF: server closed cleanly
+            assert time.monotonic() - start < bound_s, "server kept responding"
+    except (ConnectionResetError, socket.timeout) as error:
+        assert not isinstance(error, socket.timeout), (
+            "connection still open after the read budget expired"
+        )
+    finally:
+        elapsed = time.monotonic() - start
+        sock.close()
+    assert elapsed < bound_s, f"server took {elapsed:.1f}s to shed a slow client"
+
+
+def _slow_server(make_service, start_server, **extra):
+    return start_server(make_service(), read_timeout=READ_TIMEOUT_S, **extra)
+
+
+class TestSlowClients:
+    def test_stall_mid_headers_is_disconnected(
+        self, make_service, start_server, call
+    ):
+        server = _slow_server(make_service, start_server)
+        sock = _connect(server)
+        sock.sendall(b"GET /health HTTP/1.1\r\nHost: x\r\nX-Stall: ")
+        _assert_closed_within(sock, CUTOFF_S)
+        status, body, _ = call(server, "/health")
+        assert status == 200
+        assert body["slow_clients_closed"] >= 1
+
+    def test_drip_fed_headers_hit_the_budget(
+        self, make_service, start_server, call
+    ):
+        # One byte per 50 ms defeats any per-recv timeout; the request
+        # budget still cuts the connection off.
+        server = _slow_server(make_service, start_server)
+        sock = _connect(server)
+        sock.sendall(b"GET /health HTTP/1.1\r\nHost: x\r\n")
+        start = time.monotonic()
+        try:
+            while time.monotonic() - start < CUTOFF_S:
+                sock.sendall(b"a")
+                time.sleep(0.05)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # server hung up on us mid-drip: exactly the point
+        assert time.monotonic() - start < CUTOFF_S
+        _assert_closed_within(sock, 1.0)
+        status, body, _ = call(server, "/health")
+        assert body["slow_clients_closed"] >= 1
+
+    def test_stall_mid_body_is_disconnected(
+        self, make_service, start_server, call
+    ):
+        server = _slow_server(make_service, start_server)
+        sock = _connect(server)
+        sock.sendall(
+            b"POST /query HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: 4096\r\n\r\n"
+            b'{"dataset": "sto'  # 16 of 4096 promised bytes, then silence
+        )
+        _assert_closed_within(sock, CUTOFF_S)
+        status, body, _ = call(server, "/health")
+        assert body["slow_clients_closed"] >= 1
+
+    def test_oversized_headers_are_cut_off(self, make_service, start_server, call):
+        server = _slow_server(
+            make_service, start_server, max_header_bytes=1024
+        )
+        sock = _connect(server)
+        sock.sendall(b"GET /health HTTP/1.1\r\nHost: x\r\n")
+        filler = b"X-Filler: " + b"a" * 200 + b"\r\n"
+        try:
+            for _ in range(20):  # ~4 KiB of headers against a 1 KiB cap
+                sock.sendall(filler)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+        _assert_closed_within(sock, CUTOFF_S)
+        status, body, _ = call(server, "/health")
+        assert body["slow_clients_closed"] >= 1
+
+    def test_fast_clients_are_unaffected(self, make_service, start_server, call):
+        server = _slow_server(make_service, start_server)
+        for _ in range(3):
+            status, body, _ = call(server, "/health")
+            assert status == 200
+            assert body["status"] == "ok"
