@@ -4,11 +4,12 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: help test test-faults bench-quick bench-engine bench-experiments bench-tree bench-tree-quick bench-service bench-service-quick bench-longtail bench-longtail-quick serve serve-smoke quickstart
+.PHONY: help test test-faults test-ingest bench-quick bench-engine bench-experiments bench-tree bench-tree-quick bench-service bench-service-quick bench-longtail bench-longtail-quick bench-ingest bench-ingest-quick serve serve-smoke quickstart
 
 help:
 	@echo "make test                run the full unit/property test suite (tier-1)"
 	@echo "make test-faults         fault-injection suite: shedding, deadlines, crash-safe storage"
+	@echo "make test-ingest         streaming-ingest suite: WAL properties, crash replay, drift policy"
 	@echo "make bench-quick         every paper experiment at quick scale, one report"
 	@echo "make bench-engine        engine perf benches only; refreshes BENCH_*.json"
 	@echo "make bench-experiments   evaluation fast-path benches; refreshes BENCH_experiments.json"
@@ -18,6 +19,8 @@ help:
 	@echo "make bench-service-quick service bench smoke (bit-identity always, ratios only on >= 4 CPUs)"
 	@echo "make bench-longtail      long-tail kernels (Privelet/Hier/UGnd); refreshes BENCH_longtail.json"
 	@echo "make bench-longtail-quick long-tail kernel equivalence smoke (small scale, no JSON)"
+	@echo "make bench-ingest        ingest throughput + replay curve; refreshes BENCH_ingest.json"
+	@echo "make bench-ingest-quick  ingest smoke: replay bit-identity asserted, no JSON"
 	@echo "make serve               start the synopsis HTTP server on port 8731 (--workers N via SERVE_ARGS)"
 	@echo "make serve-smoke         build + query + budget-refusal round trip over HTTP"
 	@echo "make quickstart          run examples/quickstart.py"
@@ -27,6 +30,9 @@ test:
 
 test-faults:
 	$(PYTHON) -m pytest tests/faults -q
+
+test-ingest:
+	$(PYTHON) -m pytest tests/faults/test_wal.py tests/faults/test_ingest_crash.py tests/faults/test_ledger_lock.py tests/service/test_ingest.py tests/service/test_ingest_http.py -q
 
 bench-quick:
 	$(PYTHON) -m repro suite
@@ -54,6 +60,12 @@ bench-longtail:
 
 bench-longtail-quick:
 	BENCH_LONGTAIL_QUICK=1 $(PYTHON) -m pytest benchmarks/bench_longtail.py -q
+
+bench-ingest:
+	$(PYTHON) -m pytest benchmarks/bench_ingest.py -q
+
+bench-ingest-quick:
+	BENCH_INGEST_QUICK=1 $(PYTHON) -m pytest benchmarks/bench_ingest.py -q
 
 serve:
 	$(PYTHON) -m repro serve $(SERVE_ARGS)

@@ -464,6 +464,20 @@ class TreeSynopsis(Synopsis):
             self._engine = make_engine(self)
         return self._engine.answer_batch(rects)
 
+    def drift_cells(self, max_cells: int = 1024) -> np.ndarray:
+        """The leaf rectangles — the tree's finest released partition.
+
+        A kdq-style build-vs-fill comparison bins new points into the
+        cells the *build* produced; for a spatial count tree those are
+        exactly the leaves.  Falls back to the default equi-width cover
+        when the tree has more leaves than ``max_cells`` (the fill
+        histogram must stay cheap per ingest batch).
+        """
+        leaves = np.flatnonzero(self._arrays.leaf_mask)
+        if leaves.size == 0 or leaves.size > max_cells:
+            return super().drift_cells(max_cells)
+        return np.array(self._arrays.rects[leaves], dtype=float)
+
     def synthetic_points(self, rng: np.random.Generator) -> np.ndarray:
         """Sample points uniformly within each leaf region by its count."""
         arrays = self._arrays

@@ -285,6 +285,19 @@ class AdaptiveGridSynopsis(Synopsis):
         """Total number of leaf cells across all sub-grids (O(1))."""
         return int(self._leaf_offsets[-1])
 
+    def drift_cells(self, max_cells: int = 1024) -> np.ndarray:
+        """The first-level cells (AG's coarse data-adaptive partition).
+
+        Level 1 is where AG reads the data distribution (level-2 grids
+        only refine within a cell), so the level-1 cells are the natural
+        resolution for a build-vs-fill drift signal; they are also few
+        (``m1 x m1``), keeping the per-batch fill histogram cheap.
+        """
+        if self._level1.n_cells > max_cells:
+            return super().drift_cells(max_cells)
+        x_lo, y_lo, width, height = self._level1.flat_cell_geometry()
+        return np.column_stack([x_lo, y_lo, x_lo + width, y_lo + height])
+
     #: Batches at least this large are routed through the vectorised flat
     #: CSR engine; smaller ones use the scalar path, whose per-query cost
     #: only visits the overlapping first-level cells.

@@ -209,6 +209,29 @@ class GeoDataset:
             selected, sub_domain, name=name or f"{self._name}-subset"
         )
 
+    def extend(self, points: np.ndarray, clip: bool = True) -> "GeoDataset":
+        """A new dataset with ``points`` appended after the existing ones.
+
+        The streaming-ingest append path: the base points keep their
+        order and the new points follow them, so re-fitting a synopsis
+        on ``base.extend(staged)`` is a pure function of (base dataset,
+        staged points) — the property crash replay relies on.  ``clip``
+        clamps out-of-domain points to the domain boundary (ingest never
+        sees the domain up front, so rejecting at append time would
+        poison the whole write-ahead log for one stray coordinate);
+        ``clip=False`` keeps the constructor's strict validation.
+        """
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[1] != 2:
+            raise ValueError(f"points must have shape (n, 2), got {points.shape}")
+        if points.shape[0] == 0:
+            return self
+        if clip:
+            points = self._domain.clip_points(points)
+        return GeoDataset(
+            np.concatenate([self._points, points]), self._domain, name=self._name
+        )
+
     def sample(self, n: int, rng: np.random.Generator) -> "GeoDataset":
         """A uniform random sample of ``n`` points (without replacement)."""
         if n > self.size:

@@ -71,6 +71,22 @@ class Synopsis(abc.ABC):
         """Estimated total number of points (query over the whole domain)."""
         return self.answer(self._domain.bounds)
 
+    def drift_cells(self, max_cells: int = 1024) -> np.ndarray:
+        """Partition cells used to compare the release against new data.
+
+        Returns ``(k, 4)`` rows of ``(x_lo, y_lo, x_hi, y_hi)`` covering
+        the domain.  Streaming ingestion histograms newly arrived points
+        over these cells and compares the distribution against what the
+        release itself estimates for the same cells (the build-vs-fill
+        drift signal of Dasu et al.'s kdq-trees): when the two diverge,
+        the release no longer describes the data and a re-release is
+        due.  The default is an equi-width grid of at most ``max_cells``
+        cells; subclasses whose released state *is* a partition override
+        this so drift is measured on the cells the release actually
+        uses.
+        """
+        return _default_drift_cells(self._domain, max_cells)
+
     def synthetic_points(self, rng: np.random.Generator) -> np.ndarray:
         """Generate a synthetic point cloud from the released synopsis.
 
@@ -79,6 +95,16 @@ class Synopsis(abc.ABC):
         raise NotImplementedError(
             f"{type(self).__name__} does not support synthetic data generation"
         )
+
+
+def _default_drift_cells(domain: Domain2D, max_cells: int) -> np.ndarray:
+    """An ``m x m`` equi-width cell cover with ``m*m <= max_cells``."""
+    from repro.core.grid import GridLayout
+
+    m = max(1, int(np.sqrt(max_cells)))
+    layout = GridLayout(domain, m)
+    x_lo, y_lo, width, height = layout.flat_cell_geometry()
+    return np.column_stack([x_lo, y_lo, x_lo + width, y_lo + height])
 
 
 class SynopsisBuilder(abc.ABC):

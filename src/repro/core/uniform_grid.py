@@ -88,6 +88,18 @@ class UniformGridSynopsis(Synopsis):
     def synthetic_points(self, rng: np.random.Generator) -> np.ndarray:
         return self._layout.sample_points(self._counts, ensure_rng(rng))
 
+    def drift_cells(self, max_cells: int = 1024) -> np.ndarray:
+        """The grid's own cells (the default cover when there are too many).
+
+        Measuring drift on the release's own partition makes the signal
+        exactly Dasu et al.'s build-vs-fill comparison: the released
+        counts are the build histogram, new points fill the same cells.
+        """
+        if self._layout.n_cells > max_cells:
+            return super().drift_cells(max_cells)
+        x_lo, y_lo, width, height = self._layout.flat_cell_geometry()
+        return np.column_stack([x_lo, y_lo, x_lo + width, y_lo + height])
+
 
 class UniformGridBuilder(SynopsisBuilder):
     """Builds UG synopses.

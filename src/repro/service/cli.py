@@ -9,6 +9,11 @@ Examples::
     python -m repro serve --workers 4 --store-dir /var/lib/repro \
         --preload storage_AG_eps1.0_seed0
 
+    # accept streamed point batches: WAL-backed POST /ingest with
+    # drift-triggered, budget-capped re-releases (single worker only)
+    python -m repro serve --store-dir /var/lib/repro --ingest \
+        --drift-threshold 0.2 --staleness-ms 60000 --epoch-budget-fraction 0.5
+
     # one-request self-test on an ephemeral port (used by `make serve-smoke`)
     python -m repro serve --smoke
 
@@ -135,6 +140,29 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 30)",
     )
     parser.add_argument(
+        "--ingest", action="store_true",
+        help="enable streaming ingestion (POST /ingest): batches are "
+        "staged in a crash-safe write-ahead log and trigger budgeted "
+        "re-releases; requires --store-dir and a single worker",
+    )
+    parser.add_argument(
+        "--drift-threshold", type=float, default=0.25,
+        help="build-vs-fill total-variation distance at which pending "
+        "ingested points trigger a re-release (default: 0.25)",
+    )
+    parser.add_argument(
+        "--staleness-ms", type=float, default=0.0,
+        help="age of the oldest pending ingested point at which a "
+        "re-release triggers regardless of drift (default: 0 = disabled)",
+    )
+    parser.add_argument(
+        "--epoch-budget-fraction", type=float, default=0.5,
+        help="fraction of each dataset instance's budget that "
+        "ingest-triggered re-releases may spend in total; past it "
+        "refreshes are refused and the stale release keeps serving "
+        "(default: 0.5)",
+    )
+    parser.add_argument(
         "--smoke", action="store_true",
         help="start on an ephemeral port, run one build + query round trip "
         "through HTTP, print the responses, and exit",
@@ -142,7 +170,9 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def resolve_workers(requested: int, store_dir=None) -> tuple[int, str | None]:
+def resolve_workers(
+    requested: int, store_dir=None, ingest: bool = False
+) -> tuple[int, str | None]:
     """Clamp the requested worker count to what the deployment supports.
 
     Returns ``(workers, reason)`` where ``reason`` explains a fallback to
@@ -150,12 +180,19 @@ def resolve_workers(requested: int, store_dir=None) -> tuple[int, str | None]:
     serving without a shared ``store_dir`` is refused: each worker would
     hold an independent in-memory store *and budget ledger*, silently
     multiplying every dataset's privacy budget by N — the one guarantee
-    the serving layer must never weaken.
+    the serving layer must never weaken.  Ingestion likewise forces a
+    single worker: the write-ahead log has exactly one writer, and N
+    processes appending to it would interleave records.
     """
     if requested < 1:
         return 1, f"--workers {requested} clamped to 1"
     if requested == 1:
         return 1, None
+    if ingest:
+        return 1, (
+            "--ingest requires a single worker: the write-ahead log "
+            "has exactly one writer process; serving with 1 worker"
+        )
     if store_dir is None:
         return 1, (
             "--workers > 1 requires --store-dir: without a shared store "
@@ -220,8 +257,28 @@ def main(argv: list[str] | None = None) -> int:
         args.n_points = args.n_points or 4_000
     if args.dataset_budget is None:
         args.dataset_budget = 1.0 if args.smoke else 4.0
+    if args.ingest and args.store_dir is None:
+        print(
+            "--ingest requires --store-dir: the write-ahead log and the "
+            "budget ledger must both survive restarts",
+            file=sys.stderr,
+        )
+        return 2
     store = _make_store(args)
     service = QueryService(store, answer_cache_bytes=args.answer_cache_bytes)
+    manager = None
+    if args.ingest:
+        # Replays the WAL (truncating any torn tail) and finishes
+        # interrupted refreshes before the server accepts traffic.
+        from repro.service.ingest import IngestManager
+
+        manager = IngestManager(
+            store,
+            args.store_dir,
+            drift_threshold=args.drift_threshold,
+            staleness_ms=args.staleness_ms,
+            epoch_budget_fraction=args.epoch_budget_fraction,
+        )
 
     # Preload in the parent, before any fork: with a --store-dir the
     # artifacts land on disk where every worker reloads them on demand.
@@ -233,13 +290,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.smoke:
         return _smoke(service, args.host, args.dataset_budget)
 
-    workers, fallback_reason = resolve_workers(args.workers, args.store_dir)
+    workers, fallback_reason = resolve_workers(
+        args.workers, args.store_dir, ingest=args.ingest
+    )
     if fallback_reason is not None:
         print(fallback_reason, file=sys.stderr)
     if workers > 1:
         return _serve_workers(args, workers)
 
-    server = serve(service, args.host, args.port, **_fault_options(args))
+    server = serve(
+        service, args.host, args.port, ingest=manager, **_fault_options(args)
+    )
     _install_graceful_shutdown(server)
     print(f"serving synopses on {server.url} (Ctrl-C to stop)")
     try:

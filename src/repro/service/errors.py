@@ -16,6 +16,7 @@ __all__ = [
     "ServerOverloaded",
     "DeadlineExpired",
     "ReleaseQuarantined",
+    "IngestDisabled",
 ]
 
 
@@ -24,9 +25,14 @@ class ServiceError(Exception):
 
     ``status`` is the HTTP status code the error maps to; subclasses set
     their own default and callers may override per instance.
+    ``retry_after``, when not ``None``, is surfaced as the ``Retry-After``
+    response header — set it on errors a client can sensibly wait out
+    (overload, a quarantined release pending rebuild), leave it ``None``
+    where retrying cannot help (validation, exhausted budget).
     """
 
     status = 500
+    retry_after: int | None = None
 
     def __init__(self, message: str, status: int | None = None):
         super().__init__(message)
@@ -89,6 +95,22 @@ class ReleaseQuarantined(ServiceError):
     forensics) and will never be parsed again; queries for the key answer
     503 until a rebuild (``POST /releases``) restores it — which charges
     budget like any build, so corruption can never launder epsilon.
+    ``Retry-After`` tells well-behaved clients to back off while an
+    operator (or an automated rebuild) restores the key, rather than
+    hammering a release that cannot answer.
+    """
+
+    status = 503
+    retry_after = 30
+
+
+class IngestDisabled(ServiceError):
+    """``POST /ingest`` reached a server running without ``--ingest``.
+
+    Streaming ingestion needs a persistent store directory and a single
+    worker process (one WAL writer); servers started without it answer
+    503 so clients can distinguish "not configured here" from a route
+    typo (404).
     """
 
     status = 503

@@ -23,6 +23,11 @@ Point               Fired
 ``service.answer``  after the engine is ready, before the batch runs
 ``server.read``     before each guarded socket read (headers and body)
 ``worker.serve``    in a forked worker, before ``serve_forever``
+``wal.append``      before an ingest WAL record is written
+                    (``kind="data"`` or ``"marker"``)
+``wal.fsync``       after the WAL write, before its fsync
+``ingest.refresh``  at the start of a drift/staleness-triggered refresh,
+                    before the epoch-budget check and the rebuild
 =================== ====================================================
 
 Hooks receive the fault point's keyword context (``path=``, ``data=``,

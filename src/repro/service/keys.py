@@ -172,7 +172,7 @@ class ReleaseKey:
             "seed": self.seed,
         }
 
-    def build_rng(self) -> np.random.Generator:
+    def build_rng(self, salt: int = 0) -> np.random.Generator:
         """Deterministic RNG for building this release.
 
         Streams are separated per key (dataset seed, method, epsilon) so
@@ -183,10 +183,23 @@ class ReleaseKey:
         budget-approved releases at nearby epsilons share one noise draw,
         and correlated noise at different scales cancels — an attacker
         could recover the exact sensitive counts from the pair.
+
+        ``salt`` separates noise streams *across ingest epochs* of the
+        same key: a re-release that incorporates streamed points fits
+        different data, and reusing the epoch-0 noise stream on it would
+        let release pairs be differenced into the exact counts of the
+        newly ingested points.  Ingestion passes the number of
+        incorporated points as the salt — deterministic under crash
+        replay (same incorporated prefix, same stream) yet distinct for
+        every distinct data state.  ``salt=0`` (every non-streaming
+        build) leaves the entropy, and hence every existing release,
+        bit-identical to before.
         """
         entropy = (
             self.seed,
             zlib.crc32(self.method.encode()),
             struct.unpack("<Q", struct.pack("<d", float(self.epsilon)))[0],
         )
+        if salt:
+            entropy = entropy + (int(salt),)
         return np.random.default_rng(np.random.SeedSequence(entropy))

@@ -14,14 +14,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.datasets.registry import DATASETS
 from repro.service.errors import ValidationError
 from repro.service.keys import ReleaseKey
 
 __all__ = [
     "MAX_BATCH_SIZE",
+    "MAX_INGEST_BATCH",
+    "MAX_BATCH_ID_LENGTH",
     "BuildRequest",
+    "IngestRequest",
     "QueryRequest",
     "parse_build_request",
+    "parse_ingest_request",
     "parse_query_request",
     "validate_batch_size",
     "validate_boxes",
@@ -30,6 +35,13 @@ __all__ = [
 #: Upper bound on rectangles per query request; protects the server from
 #: accidental multi-gigabyte batches (split client-side instead).
 MAX_BATCH_SIZE = 100_000
+
+#: Upper bound on points per ingest batch (16 bytes each in the WAL, so
+#: one batch caps at ~1.6 MB of log).
+MAX_INGEST_BATCH = 100_000
+
+#: Bound on the client-chosen idempotency token's length.
+MAX_BATCH_ID_LENGTH = 200
 
 
 @dataclass(frozen=True)
@@ -44,6 +56,21 @@ class BuildRequest:
     key: ReleaseKey
     force: bool = False
     deadline_ms: float | None = None
+
+
+@dataclass(frozen=True)
+class IngestRequest:
+    """``POST /ingest`` — durably stage one batch of points.
+
+    ``batch_id`` is the client's idempotency token: retrying a batch the
+    server already logged is acknowledged as a duplicate, never staged
+    twice, so at-least-once delivery yields exactly-once ingestion.
+    """
+
+    dataset: str
+    seed: int
+    batch_id: str
+    points: np.ndarray  # (n, 2) float rows: x, y
 
 
 @dataclass(frozen=True)
@@ -139,6 +166,61 @@ def parse_build_request(payload) -> BuildRequest:
         key=_parse_key(payload),
         force=_parse_flag(payload, "force"),
         deadline_ms=_parse_deadline_ms(payload),
+    )
+
+
+def parse_ingest_request(payload) -> IngestRequest:
+    payload = _require_mapping(payload)
+    missing = [
+        f for f in ("dataset", "seed", "batch_id", "points") if f not in payload
+    ]
+    if missing:
+        raise ValidationError(f"missing required field(s): {', '.join(missing)}")
+    dataset = payload["dataset"]
+    if not isinstance(dataset, str):
+        raise ValidationError(f"'dataset' must be a string, got {dataset!r}")
+    if dataset not in DATASETS:
+        raise ValidationError(
+            f"unknown dataset {dataset!r}; available: {', '.join(DATASETS)}"
+        )
+    seed = payload["seed"]
+    if isinstance(seed, bool) or not isinstance(seed, int) or seed < 0:
+        raise ValidationError(
+            f"'seed' must be a non-negative integer, got {seed!r}"
+        )
+    batch_id = payload["batch_id"]
+    if not isinstance(batch_id, str) or not batch_id:
+        raise ValidationError(
+            f"'batch_id' must be a non-empty string, got {batch_id!r}"
+        )
+    if len(batch_id) > MAX_BATCH_ID_LENGTH:
+        raise ValidationError(
+            f"'batch_id' of {len(batch_id)} characters exceeds the "
+            f"{MAX_BATCH_ID_LENGTH}-character limit"
+        )
+    raw = payload["points"]
+    if not isinstance(raw, list) or not raw:
+        raise ValidationError(
+            "'points' must be a non-empty list of [x, y] rows"
+        )
+    if len(raw) > MAX_INGEST_BATCH:
+        raise ValidationError(
+            f"batch of {len(raw)} points exceeds the per-request limit "
+            f"of {MAX_INGEST_BATCH}; split it into smaller batches"
+        )
+    try:
+        points = np.array(raw, dtype=float)
+    except (TypeError, ValueError):
+        raise ValidationError("'points' rows must contain only numbers") from None
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValidationError(
+            f"each point needs exactly 2 numbers (x, y); "
+            f"got shape {points.shape}"
+        )
+    if not np.all(np.isfinite(points)):
+        raise ValidationError("'points' must contain only finite numbers")
+    return IngestRequest(
+        dataset=dataset, seed=seed, batch_id=batch_id, points=points
     )
 
 

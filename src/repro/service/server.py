@@ -10,7 +10,19 @@ GET    /health      liveness + cache/fault counters + latency percentiles
 GET    /releases    cached + persisted keys, budgets, store stats
 POST   /releases    build (or fetch) a release; 201 when a fit happened
 POST   /query       answer a batch of rectangles from one release
+POST   /ingest      durably stage a point batch; may trigger re-release
 ====== ============ ====================================================
+
+``POST /ingest`` (servers started with ``--ingest``) appends the batch
+to the write-ahead log before acknowledging, applies the drift/staleness
+refresh policy, and answers 200 — or **409** when a required refresh was
+refused by the budget: the batch is still durably staged (the report
+says ``"persisted": true``) and the last good release keeps serving,
+marked stale.  Queries against a release with pending ingested points
+carry ``X-Synopsis-Stale: 1`` and ``X-Pending-Points`` headers (and a
+``staleness`` block in JSON responses); ``/health`` reports the full
+ingest state.  503 responses that a client can wait out (quarantined
+release pending rebuild, shed load) carry ``Retry-After``.
 
 Request/response bodies are JSON by default; see
 :mod:`repro.service.schemas` for the request fields.  ``POST /query``
@@ -65,12 +77,17 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from repro.service import faultinject, protocol
 from repro.service.errors import (
     DeadlineExpired,
+    IngestDisabled,
     ServerOverloaded,
     ServiceError,
     ValidationError,
 )
 from repro.service.query_service import QueryService
-from repro.service.schemas import parse_build_request, parse_query_request
+from repro.service.schemas import (
+    parse_build_request,
+    parse_ingest_request,
+    parse_query_request,
+)
 from repro.service.telemetry import AdmissionController, Deadline, LatencyHistogram
 
 __all__ = ["SynopsisHTTPServer", "serve"]
@@ -128,6 +145,7 @@ class SynopsisHTTPServer(ThreadingHTTPServer):
         request_deadline_ms: float = 30_000.0,
         read_timeout: float = 30.0,
         max_header_bytes: int = 32 * 1024,
+        ingest=None,
     ):
         if reuse_port and not hasattr(socket, "SO_REUSEPORT"):
             raise OSError("SO_REUSEPORT is not supported on this platform")
@@ -135,6 +153,8 @@ class SynopsisHTTPServer(ThreadingHTTPServer):
         # set first.
         self.reuse_port = reuse_port
         self.service = service
+        #: Optional IngestManager; None = ingestion disabled (503s).
+        self.ingest = ingest
         self.request_deadline_ms = float(request_deadline_ms)
         self.read_timeout = float(read_timeout)
         self.max_header_bytes = int(max_header_bytes)
@@ -352,6 +372,7 @@ class _Handler(BaseHTTPRequestHandler):
             {
                 "/releases": self._post_releases,
                 "/query": self._post_query,
+                "/ingest": self._post_ingest,
             }
         )
 
@@ -399,7 +420,16 @@ class _Handler(BaseHTTPRequestHandler):
             server.note_deadline_expired()
             self._send_json(error.status, error.to_payload())
         except ServiceError as error:
-            self._send_json(error.status, error.to_payload())
+            retry_after = getattr(error, "retry_after", None)
+            self._send_json(
+                error.status,
+                error.to_payload(),
+                extra_headers=(
+                    {"Retry-After": str(retry_after)}
+                    if retry_after is not None
+                    else None
+                ),
+            )
         except (TimeoutError, ConnectionError):
             # Client stalled or vanished mid-request; there is no one
             # left to answer — just release the connection.  (The
@@ -429,6 +459,11 @@ class _Handler(BaseHTTPRequestHandler):
                 **service.stats(),
                 **server.fault_payload(),
                 "latency_ms": server.latency.to_payload(),
+                "ingest": (
+                    server.ingest.to_payload()
+                    if server.ingest is not None
+                    else {"enabled": False}
+                ),
             },
         )
 
@@ -475,6 +510,18 @@ class _Handler(BaseHTTPRequestHandler):
                 getattr(request, "deadline_ms", None)
             ),
         )
+        # A release with durably staged points it does not yet reflect
+        # still answers — streaming must not break serving — but says so:
+        # the client can decide whether stale-but-private is acceptable.
+        staleness = None
+        if self.server.ingest is not None:
+            staleness = self.server.ingest.staleness(request.key)
+        stale_headers = {}
+        if staleness is not None:
+            stale_headers = {
+                "X-Synopsis-Stale": "1",
+                "X-Pending-Points": str(staleness["pending_points"]),
+            }
         accept = self.headers.get("Accept") or ""
         if protocol.CONTENT_TYPE in accept.lower():
             self._send_bytes(
@@ -485,10 +532,35 @@ class _Handler(BaseHTTPRequestHandler):
                     "X-Build-Ms": f"{result.build_ms:.3f}",
                     "X-Answer-Ms": f"{result.answer_ms:.3f}",
                     "X-Answer-Cached": "1" if result.cached else "0",
+                    **stale_headers,
                 },
             )
         else:
-            self._send_json(200, result.to_payload())
+            payload = result.to_payload()
+            if staleness is not None:
+                payload["staleness"] = staleness
+            self._send_json(200, payload, extra_headers=stale_headers or None)
+
+    def _post_ingest(self) -> None:
+        manager = self.server.ingest
+        if manager is None:
+            raise IngestDisabled(
+                "streaming ingestion is not enabled on this server; "
+                "start it with --ingest (requires --store-dir and a "
+                "single worker)"
+            )
+        request = parse_ingest_request(self._read_json())
+        report = manager.ingest(
+            request.dataset, request.seed, request.batch_id, request.points
+        )
+        # The batch outlives this response whatever the refresh outcome:
+        # it was fsync'd to the WAL before the policy ran.
+        report["persisted"] = True
+        # A refused refresh is a 409: the caller's data is safe but the
+        # releases it should update are now provably stale and the
+        # budget cannot pay for a refresh.  The report names each
+        # refused release and why.
+        self._send_json(409 if report["refused"] else 200, report)
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -614,7 +686,7 @@ def serve(
     processes can share one listening address.  ``fault_options`` are
     forwarded to :class:`SynopsisHTTPServer` (``max_inflight``,
     ``queue_depth``, ``request_deadline_ms``, ``read_timeout``,
-    ``max_header_bytes``).
+    ``max_header_bytes``, ``ingest``).
     """
     return SynopsisHTTPServer(
         (host, port), service, reuse_port=reuse_port, **fault_options

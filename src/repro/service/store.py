@@ -19,10 +19,21 @@ its epsilon under sequential composition; serving, caching, persisting and
 reloading are post-processing of already-released state and cost nothing.
 The ledger is persisted alongside the artifacts so budget exhaustion
 survives process restarts — a store pointed at the same directory cannot
-launder budget by restarting.  The guarantee is per process: exactly one
-live store may own a ``store_dir`` at a time (the ledger is loaded once
-at init and rewritten on spend, with no cross-process file locking), so
-run one server per store directory.
+launder budget by restarting.  Spends additionally serialise across
+*processes*: each spend takes an ``fcntl.flock`` on a ledger lock file
+and re-reads the on-disk ledger before charging, so ``--workers N``
+stores sharing one directory cannot interleave read-modify-write cycles
+into a double-spend.
+
+When a :class:`~repro.service.ingest.IngestManager` is attached
+(:meth:`SynopsisStore.set_ingest`), builds incorporate the durably
+staged streamed points for the key's dataset instance, draw noise from
+an epoch-salted stream (see :meth:`~repro.service.keys.ReleaseKey.
+build_rng`), and charge the ledger under an epoch label
+(``slug@e{count}``).  Epoch labels make crash replay *free*: a restart
+that re-runs a refresh whose spend already reached the ledger skips the
+charge and deterministically refits the identical release — zero double
+spend, bit-identical archives.
 
 All public methods are thread-safe: one re-entrant lock guards the
 bookkeeping, while fits run outside it under a per-key in-flight guard,
@@ -31,12 +42,18 @@ so reads never wait longer than a cache lookup even during a slow build.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
+
+try:  # POSIX only; on other platforms spends fall back to in-process locking
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
 
 from repro.core.serialization import (
     load_synopsis,
@@ -59,6 +76,12 @@ __all__ = ["StoreStats", "SynopsisStore"]
 
 _BUDGET_FILE = "budgets.json"
 _BUDGET_FORMAT_VERSION = 1
+
+#: Cross-process mutual exclusion for ledger spends.  The lock file is
+#: separate from the ledger itself because the ledger is replaced by
+#: rename on every write — a flock on the replaced inode would guard
+#: nothing.
+_LEDGER_LOCK_FILE = "budgets.json.lock"
 
 #: Suffix appended to unreadable files when they are quarantined.  The
 #: bytes are preserved for forensics; the name no longer matches any
@@ -194,6 +217,7 @@ class SynopsisStore:
         self.stats = StoreStats()
         self._quarantined: dict[ReleaseKey, str] = {}
         self._ledger_corrupt: str | None = None
+        self._ingest = None  # attached via set_ingest()
         if self._store_dir is not None:
             self._store_dir.mkdir(parents=True, exist_ok=True)
             self._sweep_crash_debris()
@@ -212,6 +236,19 @@ class SynopsisStore:
                 stale.unlink()
             except OSError:
                 continue
+
+    def set_ingest(self, ingest) -> None:
+        """Attach a streaming-ingestion manager.
+
+        The manager supplies a build context per key — the durably
+        staged points to incorporate, the epoch salt for the noise
+        stream, and the epoch spend label — and is notified after each
+        successful release so it can commit a WAL marker.  Duck-typed
+        (``build_context(key)`` / ``note_released(key, context)``) to
+        keep the store importable without the ingest subsystem.
+        """
+        with self._lock:
+            self._ingest = ingest
 
     # ------------------------------------------------------------------
     # Lookup and build
@@ -338,7 +375,16 @@ class SynopsisStore:
         fit.  A concurrent non-forced build of the same key waits for the
         in-flight fit instead of double-spending.  ``deadline`` bounds
         the waits and is checked before the fit starts.
+
+        With an ingest manager attached, the build incorporates the
+        staged streamed points and charges under the manager's epoch
+        label; a spend whose epoch label is *already* in the ledger is
+        skipped entirely — that is the crash-replay path, where the
+        charge landed before the crash and the refit is a free,
+        deterministic reconstruction of the identical release.
         """
+        ingest = self._ingest
+        context = ingest.build_context(key) if ingest is not None else None
         if not force:
             # Pre-check outside the store lock: serves the common
             # repeat-build case, including a disk reload, without
@@ -363,29 +409,45 @@ class SynopsisStore:
                 # Another thread is fitting or reloading this key; wait
                 # so same-key loads and builds never interleave.
                 self._wait_inflight(deadline)
-            if self._ledger_corrupt is not None:
-                self.stats.refusals += 1
-                raise BudgetRefused(
-                    f"the budget ledger was corrupt and has been "
-                    f"quarantined ({self._ledger_corrupt}); the spending "
-                    "history cannot be proven, so all builds are refused — "
-                    "restore the ledger or point the store at a fresh "
-                    "directory"
+            spend_label = context.spend_label if context is not None else key.slug()
+            with self._ledger_lock():
+                # Another process sharing this store_dir may have spent
+                # since our last read; the flock plus a fresh read makes
+                # check-then-spend atomic across processes.
+                self._reload_budgets()
+                if self._ledger_corrupt is not None:
+                    self.stats.refusals += 1
+                    raise BudgetRefused(
+                        f"the budget ledger was corrupt and has been "
+                        f"quarantined ({self._ledger_corrupt}); the spending "
+                        "history cannot be proven, so all builds are refused — "
+                        "restore the ledger or point the store at a fresh "
+                        "directory"
+                    )
+                budget = self._budget_for(key.data_id)
+                already_charged = (
+                    context is not None
+                    and context.salt > 0
+                    and any(
+                        entry.label == spend_label for entry in budget.ledger
+                    )
                 )
-            budget = self._budget_for(key.data_id)
-            if not budget.can_spend(key.epsilon):
-                self.stats.refusals += 1
-                raise BudgetRefused(
-                    f"building {key.slug()!r} needs epsilon={key.epsilon:g} but "
-                    f"dataset instance {key.data_id!r} has only "
-                    f"{budget.remaining:g} of {budget.total:g} left "
-                    f"(spent {budget.spent:g} across {len(budget.ledger)} "
-                    f"release(s)); serve an existing release instead"
-                )
-            if deadline is not None:
-                deadline.check("reserving budget for the build")
-            budget.spend(key.epsilon, label=key.slug())
-            self._save_budgets()
+                if not already_charged:
+                    if not budget.can_spend(key.epsilon):
+                        self.stats.refusals += 1
+                        raise BudgetRefused(
+                            f"building {key.slug()!r} needs "
+                            f"epsilon={key.epsilon:g} but dataset instance "
+                            f"{key.data_id!r} has only "
+                            f"{budget.remaining:g} of {budget.total:g} left "
+                            f"(spent {budget.spent:g} across "
+                            f"{len(budget.ledger)} "
+                            f"release(s)); serve an existing release instead"
+                        )
+                    if deadline is not None:
+                        deadline.check("reserving budget for the build")
+                    budget.spend(key.epsilon, label=spend_label)
+                    self._save_budgets()
             self._building.add(key)
         try:
             faultinject.fire("store.fit", key=key)
@@ -393,8 +455,13 @@ class SynopsisStore:
                 deadline.check("fitting the release")
             spec = get_spec(key.dataset)
             dataset = spec.make(n=self._n_points, rng=key.seed)
+            salt = 0
+            if context is not None:
+                salt = context.salt
+                if context.points is not None and len(context.points):
+                    dataset = dataset.extend(context.points)
             builder = make_builder(key.method)
-            synopsis = builder.fit(dataset, key.epsilon, key.build_rng())
+            synopsis = builder.fit(dataset, key.epsilon, key.build_rng(salt))
             self._persist(key, synopsis)
         except BaseException:
             with self._lock:
@@ -413,6 +480,12 @@ class SynopsisStore:
                 # deadlock every later request for this key.
                 self._building.discard(key)
                 self._inflight_done.notify_all()
+        if ingest is not None and context is not None:
+            # Commit the release to the ingestion log *after* the archive
+            # and ledger are durable: a crash before this marker replays
+            # into a free, bit-identical re-release (the epoch label is
+            # already charged), after it into a clean no-op.
+            ingest.note_released(key, context)
         return synopsis, True
 
     def evict(self, key: ReleaseKey) -> bool:
@@ -555,6 +628,45 @@ class SynopsisStore:
             budget = PrivacyBudget(self._dataset_budget)
             self._budgets[data_id] = budget
         return budget
+
+    @contextlib.contextmanager
+    def _ledger_lock(self):
+        """Cross-process exclusion around ledger check-then-spend.
+
+        An ``fcntl.flock`` on a dedicated lock file (the ledger itself
+        is replaced by rename on every write, so its inode cannot carry
+        a lock).  In-memory stores, and platforms without ``fcntl``,
+        fall back to the in-process lock already held by the caller.
+        The lock orders strictly after the store's thread lock — every
+        caller already holds ``self._lock`` — so there is no
+        lock-ordering cycle.
+        """
+        if self._store_dir is None or fcntl is None:
+            yield
+            return
+        fd = os.open(
+            self._store_dir / _LEDGER_LOCK_FILE, os.O_CREAT | os.O_RDWR, 0o644
+        )
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            finally:
+                os.close(fd)
+
+    def _reload_budgets(self) -> None:
+        """Refresh in-memory budgets from disk (call under the flock).
+
+        Re-reading immediately before check-then-spend is what makes the
+        flock effective: without it, a spend by another process between
+        our init-time load and now would be invisible and the check
+        would approve an overdraw.
+        """
+        if self._store_dir is None or self._ledger_corrupt is not None:
+            return
+        self._load_budgets()
 
     def _load_budgets(self) -> None:
         """Load the ledger; quarantine it and refuse builds when corrupt.

@@ -1,0 +1,208 @@
+"""Crash-safety of streaming ingestion: every fault point converges.
+
+The acceptance bar for the ingest subsystem: ``kill -9`` at *any* of the
+WAL / refresh / archive / ledger fault points must leave a directory
+that, after restart (replay) plus the client's natural retry of the
+unacknowledged batch, is **bit-identical** to a run that never crashed —
+same release archive bytes, same ledger, zero double-spend.
+
+Each scenario runs the same script — build a release, ingest a skewed
+batch that trips the drift policy — with a :class:`SimulatedCrash` armed
+at one fault point.  "Restart" is a fresh :class:`SynopsisStore` +
+:class:`IngestManager` over the same directory, exactly what a new
+process would construct.  The client then retries the batch (it never
+received an acknowledgement), and the end state is compared field by
+field and byte by byte against the no-crash baseline.
+"""
+
+import hashlib
+import json
+
+import numpy as np
+import pytest
+from faultutil import N_POINTS, release_key
+
+from repro.datasets.registry import get_spec
+from repro.service import faultinject
+from repro.service.faultinject import SimulatedCrash
+from repro.service.ingest import IngestManager
+from repro.service.store import SynopsisStore
+
+DRIFT_THRESHOLD = 0.05
+EPOCH_FRACTION = 0.9
+
+
+def _skewed_batch(n=400):
+    """Points packed into one corner: guaranteed to trip the drift gate."""
+    bounds = get_spec("storage").make(n=10, rng=0).domain.bounds
+    rng = np.random.default_rng(7)
+    return np.column_stack(
+        [
+            rng.uniform(
+                bounds.x_lo, bounds.x_lo + 0.1 * (bounds.x_hi - bounds.x_lo), n
+            ),
+            rng.uniform(
+                bounds.y_lo, bounds.y_lo + 0.1 * (bounds.y_hi - bounds.y_lo), n
+            ),
+        ]
+    )
+
+
+def _boot(store_dir):
+    """What one server process constructs over a store directory."""
+    store = SynopsisStore(
+        store_dir=store_dir, dataset_budget=4.0, n_points=N_POINTS
+    )
+    manager = IngestManager(
+        store,
+        store_dir,
+        drift_threshold=DRIFT_THRESHOLD,
+        epoch_budget_fraction=EPOCH_FRACTION,
+    )
+    return store, manager
+
+
+def _end_state(store_dir, store):
+    """Everything that must match the no-crash run, bit for bit."""
+    key = release_key()
+    archive = (store_dir / f"{key.slug()}.npz").read_bytes()
+    ledger = json.loads((store_dir / "budgets.json").read_text())
+    synopsis = store.get(key)
+    return {
+        "archive_sha": hashlib.sha256(archive).hexdigest(),
+        "ledger": ledger,
+        "total": float(synopsis.total()),
+    }
+
+
+def _baseline(tmp_path_factory):
+    store_dir = tmp_path_factory.mktemp("baseline")
+    store, manager = _boot(store_dir)
+    store.build(release_key())
+    report = manager.ingest("storage", 0, "batch-1", _skewed_batch())
+    assert report["refreshed"], "the skewed batch must trigger a refresh"
+    state = _end_state(store_dir, store)
+    manager.close()
+    return state
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    return _baseline(tmp_path_factory)
+
+
+#: (fault point, kind filter) — kind narrows wal.* points to the data or
+#: marker append so each crash site is exercised in isolation.
+CRASH_POINTS = [
+    ("wal.append", "data"),
+    ("wal.fsync", "data"),
+    ("ingest.refresh", None),
+    ("store.fit", None),
+    ("ledger.write", None),
+    ("ledger.fsync", None),
+    ("ledger.replace", None),
+    ("archive.write", None),
+    ("archive.fsync", None),
+    ("archive.replace", None),
+    ("wal.append", "marker"),
+    ("wal.fsync", "marker"),
+]
+
+
+@pytest.mark.parametrize(
+    "point,kind", CRASH_POINTS, ids=[f"{p}-{k or 'any'}" for p, k in CRASH_POINTS]
+)
+def test_crash_then_restart_and_retry_is_bit_identical(
+    tmp_path, baseline, point, kind
+):
+    store_dir = tmp_path
+    store, manager = _boot(store_dir)
+    store.build(release_key())
+
+    def crash(**context):
+        if kind is None or context.get("kind") == kind:
+            raise SimulatedCrash(f"{point} ({kind or 'any'})")
+
+    faultinject.install(point, crash)
+    with pytest.raises(SimulatedCrash):
+        manager.ingest("storage", 0, "batch-1", _skewed_batch())
+    faultinject.clear()
+    manager.close()
+
+    # Restart: a fresh process replays the WAL, finishes any refresh the
+    # ledger proves was paid for, and the client retries its
+    # unacknowledged batch (idempotent by batch_id).
+    store, manager = _boot(store_dir)
+    report = manager.ingest("storage", 0, "batch-1", _skewed_batch())
+    assert report["refused"] == {}
+
+    state = _end_state(store_dir, store)
+    assert state["archive_sha"] == baseline["archive_sha"], (
+        "post-replay release must be bit-identical to the no-crash release"
+    )
+    assert state["ledger"] == baseline["ledger"], (
+        "ledger must match the no-crash run exactly (zero double-spend)"
+    )
+    assert state["total"] == baseline["total"]
+    labels = state["ledger"]["budgets"]["storage|0"]["ledger"]
+    assert len({label for _, label in labels}) == len(labels), (
+        "no spend label may ever be charged twice"
+    )
+    manager.close()
+
+
+def test_recovery_rebuild_happens_before_any_retry(tmp_path, baseline):
+    """A spend with no marker is finished by replay alone.
+
+    If the crash hit after the ledger charge but before the WAL marker,
+    the refresh is already paid for — restart must complete it without
+    waiting for any client traffic, and at zero additional cost.
+    """
+    store, manager = _boot(tmp_path)
+    store.build(release_key())
+    faultinject.install(
+        "wal.append",
+        lambda **context: (_ for _ in ()).throw(SimulatedCrash("marker"))
+        if context.get("kind") == "marker"
+        else None,
+    )
+    with pytest.raises(SimulatedCrash):
+        manager.ingest("storage", 0, "batch-1", _skewed_batch())
+    faultinject.clear()
+    manager.close()
+
+    store, manager = _boot(tmp_path)
+    assert manager.stats.recovered_releases == 1
+    state = _end_state(tmp_path, store)
+    assert state["archive_sha"] == baseline["archive_sha"]
+    assert state["ledger"] == baseline["ledger"]
+    # The retry is then a pure no-op duplicate.
+    report = manager.ingest("storage", 0, "batch-1", _skewed_batch())
+    assert report["duplicate"] is True
+    assert report["refreshed"] == [] and report["refused"] == {}
+    assert state == _end_state(tmp_path, store)
+    manager.close()
+
+
+def test_torn_data_append_is_invisible_after_restart(tmp_path):
+    """A crash mid-append leaves no trace: the torn record is truncated
+    and the store serves exactly the pre-ingest release."""
+    store, manager = _boot(tmp_path)
+    store.build(release_key())
+    before = _end_state(tmp_path, store)
+    faultinject.install(
+        "wal.fsync",
+        lambda **context: (_ for _ in ()).throw(SimulatedCrash("data"))
+        if context.get("kind") == "data"
+        else None,
+    )
+    with pytest.raises(SimulatedCrash):
+        manager.ingest("storage", 0, "batch-1", _skewed_batch())
+    faultinject.clear()
+    manager.close()
+
+    store, manager = _boot(tmp_path)
+    payload = manager.to_payload()
+    assert payload["datasets"]["storage|0"]["staged_points"] in (0, 400)
+    assert _end_state(tmp_path, store)["archive_sha"] == before["archive_sha"]
+    manager.close()

@@ -136,6 +136,20 @@ class TestResolveWorkers:
         assert workers == 1
         assert "privacy budget" in reason
 
+    def test_ingest_forces_a_single_worker(self):
+        # The write-ahead log has exactly one writer process.
+        workers, reason = resolve_workers(
+            4, store_dir="/tmp/anywhere", ingest=True
+        )
+        assert workers == 1
+        assert "single worker" in reason
+
+
+class TestIngestFlags:
+    def test_ingest_requires_store_dir(self, capsys):
+        assert serve_main(["--ingest", "--port", "0"]) == 2
+        assert "--store-dir" in capsys.readouterr().err
+
 
 @pytest.mark.skipif(
     not (hasattr(os, "fork") and hasattr(socket, "SO_REUSEPORT")),
