@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: help test test-faults test-ingest bench-quick bench-engine bench-experiments bench-tree bench-tree-quick bench-service bench-service-quick bench-longtail bench-longtail-quick bench-ingest bench-ingest-quick serve serve-smoke quickstart
+.PHONY: help test test-faults test-ingest bench-quick bench-engine bench-experiments bench-tree bench-tree-quick bench-service bench-service-quick bench-longtail bench-longtail-quick bench-ingest bench-ingest-quick bench-mmap bench-mmap-quick serve serve-smoke quickstart
 
 help:
 	@echo "make test                run the full unit/property test suite (tier-1)"
@@ -21,6 +21,8 @@ help:
 	@echo "make bench-longtail-quick long-tail kernel equivalence smoke (small scale, no JSON)"
 	@echo "make bench-ingest        ingest throughput + replay curve; refreshes BENCH_ingest.json"
 	@echo "make bench-ingest-quick  ingest smoke: replay bit-identity asserted, no JSON"
+	@echo "make bench-mmap          fork-scaling bench (mapped v2 vs copied v1 archives); refreshes BENCH_service.json"
+	@echo "make bench-mmap-quick    mmap smoke: v1==v2 bit-identity asserted, no JSON"
 	@echo "make serve               start the synopsis HTTP server on port 8731 (--workers N via SERVE_ARGS)"
 	@echo "make serve-smoke         build + query + budget-refusal round trip over HTTP"
 	@echo "make quickstart          run examples/quickstart.py"
@@ -66,6 +68,12 @@ bench-ingest:
 
 bench-ingest-quick:
 	BENCH_INGEST_QUICK=1 $(PYTHON) -m pytest benchmarks/bench_ingest.py -q
+
+bench-mmap:
+	$(PYTHON) -m pytest benchmarks/bench_mmap.py -q
+
+bench-mmap-quick:
+	BENCH_MMAP_QUICK=1 $(PYTHON) -m pytest benchmarks/bench_mmap.py -q
 
 serve:
 	$(PYTHON) -m repro serve $(SERVE_ARGS)

@@ -308,6 +308,10 @@ def test_service_throughput_json_vs_binary():
                 "entries": stats["answer_cache_entries"],
                 "bytes": stats["answer_cache_bytes"],
             },
+            "engine": {
+                "cold_starts": stats["engine_cold_starts"],
+                "sealed_loads": stats["engine_sealed_loads"],
+            },
         }
         update_json_report("service", payload)
 

@@ -465,11 +465,24 @@ def _register_engine() -> None:
     # The subclass would inherit UniformGridSynopsis's registration via
     # the MRO walk; registering explicitly documents that the hierarchy
     # serves queries from its inferred leaf grid.
-    from repro.queries.engine import BatchQueryEngine, register_engine
+    from repro.queries.engine import (
+        BatchQueryEngine,
+        register_engine,
+        register_engine_sealer,
+    )
 
     register_engine(
         HierarchicalGridSynopsis,
         lambda synopsis: BatchQueryEngine(synopsis.layout, synopsis.counts),
+    )
+    register_engine_sealer(
+        HierarchicalGridSynopsis,
+        lambda synopsis: BatchQueryEngine.precompute(
+            synopsis.layout, synopsis.counts
+        ),
+        lambda synopsis, slabs: BatchQueryEngine.from_slabs(
+            synopsis.layout, slabs
+        ),
     )
 
 

@@ -343,12 +343,25 @@ class PriveletBuilder(SynopsisBuilder):
 def _register_engine() -> None:
     # Registered here (not in queries.engine) so the engine registry
     # never has to import baseline modules.
-    from repro.queries.engine import WaveletRangeEngine, register_engine
+    from repro.queries.engine import (
+        WaveletRangeEngine,
+        register_engine,
+        register_engine_sealer,
+    )
 
     register_engine(
         PriveletSynopsis,
         lambda synopsis: WaveletRangeEngine(
             synopsis.layout, synopsis.coefficients
+        ),
+    )
+    register_engine_sealer(
+        PriveletSynopsis,
+        lambda synopsis: WaveletRangeEngine.precompute(
+            synopsis.layout, synopsis.coefficients
+        ),
+        lambda synopsis, slabs: WaveletRangeEngine.from_slabs(
+            synopsis.layout, synopsis.coefficients, slabs
         ),
     )
 

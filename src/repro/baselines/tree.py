@@ -497,9 +497,18 @@ class TreeSynopsis(Synopsis):
 def _register_engine() -> None:
     # Self-registration keeps queries.engine's make_engine registry in
     # sync without that module having to know about tree synopses.
-    from repro.queries.engine import FlatTreeEngine, register_engine
+    from repro.queries.engine import (
+        FlatTreeEngine,
+        register_engine,
+        register_engine_sealer,
+    )
 
     register_engine(TreeSynopsis, FlatTreeEngine)
+    register_engine_sealer(
+        TreeSynopsis,
+        FlatTreeEngine.precompute,
+        FlatTreeEngine.from_slabs,
+    )
 
 
 _register_engine()

@@ -30,6 +30,19 @@ class Synopsis(abc.ABC):
     ``domain`` and ``epsilon``.
     """
 
+    #: Engine slabs sealed into the archive this synopsis was loaded
+    #: from (archive format v2), attached by the loader so
+    #: :func:`~repro.queries.engine.make_engine` can skip the derived-
+    #: buffer rebuild.  ``None`` when the synopsis was built in-process
+    #: or loaded from a v1 archive.
+    _sealed_engine_slabs: "dict[str, np.ndarray] | None" = None
+
+    #: Size in bytes of the read-only file mapping backing this
+    #: synopsis's arrays (archive format v2); 0 when the synopsis owns
+    #: private copies.  The serving layer surfaces this per release in
+    #: ``/health`` so shared-page footprint is observable.
+    mapped_nbytes: int = 0
+
     def __init__(self, domain: Domain2D, epsilon: float):
         self._domain = domain
         self._epsilon = epsilon
@@ -37,6 +50,15 @@ class Synopsis(abc.ABC):
     @property
     def domain(self) -> Domain2D:
         return self._domain
+
+    @property
+    def sealed_engine_slabs(self) -> "dict[str, np.ndarray] | None":
+        """Engine buffers sealed into the archive this release came from."""
+        return self._sealed_engine_slabs
+
+    def seal_engine_slabs(self, slabs: "dict[str, np.ndarray]") -> None:
+        """Attach precomputed engine buffers (called by the v2 loader)."""
+        self._sealed_engine_slabs = dict(slabs)
 
     @property
     def epsilon(self) -> float:

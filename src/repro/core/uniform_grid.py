@@ -207,11 +207,24 @@ class UniformGridBuilder(SynopsisBuilder):
 def _register_engine() -> None:
     # Self-registration keeps queries.engine's make_engine registry in
     # sync without that module having to know about grid synopses.
-    from repro.queries.engine import BatchQueryEngine, register_engine
+    from repro.queries.engine import (
+        BatchQueryEngine,
+        register_engine,
+        register_engine_sealer,
+    )
 
     register_engine(
         UniformGridSynopsis,
         lambda synopsis: BatchQueryEngine(synopsis.layout, synopsis.counts),
+    )
+    register_engine_sealer(
+        UniformGridSynopsis,
+        lambda synopsis: BatchQueryEngine.precompute(
+            synopsis.layout, synopsis.counts
+        ),
+        lambda synopsis, slabs: BatchQueryEngine.from_slabs(
+            synopsis.layout, slabs
+        ),
     )
 
 

@@ -398,11 +398,24 @@ class MultiDimGridBuilder(SynopsisBuilder):
 def _register_engine() -> None:
     # Self-registration keeps queries.engine's make_engine registry in
     # sync without that module having to know about ND grids.
-    from repro.queries.engine import NDPrefixSumEngine, register_engine
+    from repro.queries.engine import (
+        NDPrefixSumEngine,
+        register_engine,
+        register_engine_sealer,
+    )
 
     register_engine(
         MultiDimGridSynopsis,
         lambda synopsis: NDPrefixSumEngine(synopsis.layout, synopsis.counts),
+    )
+    register_engine_sealer(
+        MultiDimGridSynopsis,
+        lambda synopsis: NDPrefixSumEngine.precompute(
+            synopsis.layout, synopsis.counts
+        ),
+        lambda synopsis, slabs: NDPrefixSumEngine.from_slabs(
+            synopsis.layout, slabs
+        ),
     )
 
 

@@ -65,9 +65,12 @@ __all__ = [
     "WaveletRangeEngine",
     "NDPrefixSumEngine",
     "FallbackEngine",
+    "compute_engine_slabs",
     "fallback_engine_count",
+    "has_sealed_engine",
     "make_engine",
     "register_engine",
+    "register_engine_sealer",
     "rects_to_boxes",  # canonical home: repro.core.geometry
     "scalar_answer_batch",
 ]
@@ -113,6 +116,36 @@ class BatchQueryEngine:
         prefix = np.zeros((layout.mx + 1, layout.my + 1))
         np.cumsum(np.cumsum(counts, axis=0), axis=1, out=prefix[1:, 1:])
         self._prefix = prefix
+
+    @staticmethod
+    def precompute(layout: GridLayout, counts: np.ndarray) -> dict[str, np.ndarray]:
+        """Derived buffers to seal into a v2 archive at release time.
+
+        Runs the exact constructor preprocessing, so an engine restored
+        via :meth:`from_slabs` is bit-identical to one built in-process.
+        """
+        return {"prefix": BatchQueryEngine(layout, counts)._prefix}
+
+    @classmethod
+    def from_slabs(
+        cls, layout: GridLayout, slabs: dict[str, np.ndarray]
+    ) -> "BatchQueryEngine":
+        """Restore an engine from sealed slabs without rebuilding.
+
+        The slabs may be read-only mmap views; the engine never writes
+        into its prefix buffer after construction, so restored engines
+        share the archive's physical pages across forked workers.
+        """
+        prefix = np.asarray(slabs["prefix"], dtype=float)
+        if prefix.shape != (layout.mx + 1, layout.my + 1):
+            raise ValueError(
+                f"sealed prefix shape {prefix.shape} does not match grid "
+                f"{layout.shape}"
+            )
+        engine = cls.__new__(cls)
+        engine._layout = layout
+        engine._prefix = prefix
+        return engine
 
     @property
     def layout(self) -> GridLayout:
@@ -219,10 +252,60 @@ class FlatAdaptiveGridEngine:
     contribute ``v'`` exactly as ``AdaptiveGridSynopsis.answer`` does.
     """
 
-    def __init__(self, synopsis):
+    def __init__(self, synopsis, *, _slabs: dict[str, np.ndarray] | None = None):
         m1x, m1y = synopsis.first_level_size
         self._domain = synopsis.domain
         self._shape = (m1x, m1y)
+        sizes = synopsis.cell_sizes.reshape(-1)
+        slabs = self.precompute(synopsis) if _slabs is None else _slabs
+        prefix = np.asarray(slabs["prefix"], dtype=float)
+        prefix_offsets = np.asarray(slabs["prefix_offsets"], dtype=np.int64)
+        totals_prefix = np.asarray(slabs["totals_prefix"], dtype=float)
+        if prefix_offsets.shape != (sizes.size,):
+            raise ValueError(
+                f"sealed prefix offsets cover {prefix_offsets.shape[0]} "
+                f"cells, synopsis has {sizes.size}"
+            )
+        expected = int(((sizes + 1) ** 2).sum())
+        if prefix.shape != (expected,):
+            raise ValueError(
+                f"sealed CSR prefix holds {prefix.size} values, cell sizes "
+                f"require {expected}"
+            )
+        if totals_prefix.shape != (m1x + 1, m1y + 1):
+            raise ValueError(
+                f"sealed totals prefix shape {totals_prefix.shape} does not "
+                f"match first level ({m1x}, {m1y})"
+            )
+
+        # Per-cell geometry from the shared level-1 layout, so the local
+        # conversions match the per-cell GridLayout expressions (the same
+        # tables the builder bins with).  Cheap O(m1^2) — recomputed even
+        # when restoring from sealed slabs.
+        layout = synopsis.level1_layout
+        x_edges, y_edges = layout.x_edges, layout.y_edges
+        cell_x_lo, cell_y_lo, cell_w, cell_h = layout.flat_cell_geometry()
+
+        self._sizes = sizes
+        self._prefix = prefix
+        self._prefix_offsets = prefix_offsets
+        self._totals_prefix = totals_prefix
+        self._x_edges = x_edges
+        self._y_edges = y_edges
+        self._cell_x_lo = cell_x_lo
+        self._cell_y_lo = cell_y_lo
+        self._sub_w = cell_w / sizes
+        self._sub_h = cell_h / sizes
+
+    @staticmethod
+    def precompute(synopsis) -> dict[str, np.ndarray]:
+        """Derived buffers to seal into a v2 archive at release time.
+
+        The CSR prefix buffer and the level-1 totals prefix are the
+        expensive O(total leaf cells) part of engine preparation; the
+        per-cell geometry vectors are cheap and recomputed on restore.
+        """
+        m1x, m1y = synopsis.first_level_size
         sizes = synopsis.cell_sizes.reshape(-1)
         leaf_offsets = synopsis.leaf_offsets
         leaves = synopsis.leaf_counts
@@ -247,13 +330,6 @@ class FlatAdaptiveGridEngine:
             dst = prefix_offsets[cells][:, None] + inner[None, :]
             prefix[dst] = cums.reshape(cells.size, -1)
 
-        # Per-cell geometry from the shared level-1 layout, so the local
-        # conversions match the per-cell GridLayout expressions (the same
-        # tables the builder bins with).
-        layout = synopsis.level1_layout
-        x_edges, y_edges = layout.x_edges, layout.y_edges
-        cell_x_lo, cell_y_lo, cell_w, cell_h = layout.flat_cell_geometry()
-
         # Level-1 prefix over released cell totals: fully covered interior
         # blocks are answered from this in O(1) per query.
         totals_prefix = np.zeros((m1x + 1, m1y + 1))
@@ -261,17 +337,23 @@ class FlatAdaptiveGridEngine:
             np.cumsum(synopsis.cell_totals, axis=0), axis=1,
             out=totals_prefix[1:, 1:],
         )
+        return {
+            "prefix": prefix,
+            "prefix_offsets": prefix_offsets[:-1],
+            "totals_prefix": totals_prefix,
+        }
 
-        self._sizes = sizes
-        self._prefix = prefix
-        self._prefix_offsets = prefix_offsets[:-1]
-        self._totals_prefix = totals_prefix
-        self._x_edges = x_edges
-        self._y_edges = y_edges
-        self._cell_x_lo = cell_x_lo
-        self._cell_y_lo = cell_y_lo
-        self._sub_w = cell_w / sizes
-        self._sub_h = cell_h / sizes
+    @classmethod
+    def from_slabs(
+        cls, synopsis, slabs: dict[str, np.ndarray]
+    ) -> "FlatAdaptiveGridEngine":
+        """Restore an engine from sealed slabs without rebuilding.
+
+        The slabs may be read-only mmap views; ``answer_batch`` never
+        writes into them, so restored engines share the archive's
+        physical pages across forked workers.
+        """
+        return cls(synopsis, _slabs=slabs)
 
     @property
     def n_cells(self) -> int:
@@ -566,19 +648,76 @@ class FlatTreeEngine:
     path's depth-first order, so the additions associate differently.
     """
 
-    def __init__(self, synopsis):
+    def __init__(self, synopsis, *, _slabs: dict[str, np.ndarray] | None = None):
+        arrays = synopsis.arrays
+        slabs = self.precompute(synopsis) if _slabs is None else _slabs
+        counts = np.asarray(arrays.counts, dtype=float)
+        n = counts.size
+        x_lo = np.asarray(slabs["x_lo"], dtype=float)
+        y_lo = np.asarray(slabs["y_lo"], dtype=float)
+        x_hi = np.asarray(slabs["x_hi"], dtype=float)
+        y_hi = np.asarray(slabs["y_hi"], dtype=float)
+        areas = np.asarray(slabs["areas"], dtype=float)
+        fan_out = np.asarray(slabs["fan_out"], dtype=np.int64)
+        is_leaf = np.asarray(slabs["is_leaf"], dtype=bool)
+        for name, slab in (
+            ("x_lo", x_lo), ("y_lo", y_lo), ("x_hi", x_hi), ("y_hi", y_hi),
+            ("areas", areas), ("fan_out", fan_out), ("is_leaf", is_leaf),
+        ):
+            if slab.shape != (n,):
+                raise ValueError(
+                    f"sealed tree slab {name!r} has shape {slab.shape}, "
+                    f"synopsis has {n} nodes"
+                )
+        self._x_lo = x_lo
+        self._y_lo = y_lo
+        self._x_hi = x_hi
+        self._y_hi = y_hi
+        self._areas = areas
+        self._counts = counts
+        self._child_offsets = np.asarray(arrays.child_offsets, dtype=np.int64)
+        self._fan_out = fan_out
+        self._is_leaf = is_leaf
+        self._n_levels = arrays.n_levels
+
+    @staticmethod
+    def precompute(synopsis) -> dict[str, np.ndarray]:
+        """Derived buffers to seal into a v2 archive at release time.
+
+        The per-coordinate node vectors are strided copies out of the
+        released ``rects`` matrix plus derived areas and CSR fan-outs;
+        sealing them keeps each forked worker's private footprint at
+        zero instead of one copy per process.  ``counts`` and
+        ``child_offsets`` are the synopsis's own (already mapped)
+        arrays and are referenced directly, not duplicated.
+        """
         arrays = synopsis.arrays
         rects = np.asarray(arrays.rects, dtype=float)
-        self._x_lo = np.ascontiguousarray(rects[:, 0])
-        self._y_lo = np.ascontiguousarray(rects[:, 1])
-        self._x_hi = np.ascontiguousarray(rects[:, 2])
-        self._y_hi = np.ascontiguousarray(rects[:, 3])
-        self._areas = (self._x_hi - self._x_lo) * (self._y_hi - self._y_lo)
-        self._counts = np.asarray(arrays.counts, dtype=float)
-        self._child_offsets = np.asarray(arrays.child_offsets, dtype=np.int64)
-        self._fan_out = self._child_offsets[1:] - self._child_offsets[:-1]
-        self._is_leaf = self._fan_out == 0
-        self._n_levels = arrays.n_levels
+        x_lo = np.ascontiguousarray(rects[:, 0])
+        y_lo = np.ascontiguousarray(rects[:, 1])
+        x_hi = np.ascontiguousarray(rects[:, 2])
+        y_hi = np.ascontiguousarray(rects[:, 3])
+        child_offsets = np.asarray(arrays.child_offsets, dtype=np.int64)
+        fan_out = child_offsets[1:] - child_offsets[:-1]
+        return {
+            "x_lo": x_lo,
+            "y_lo": y_lo,
+            "x_hi": x_hi,
+            "y_hi": y_hi,
+            "areas": (x_hi - x_lo) * (y_hi - y_lo),
+            "fan_out": fan_out,
+            "is_leaf": fan_out == 0,
+        }
+
+    @classmethod
+    def from_slabs(cls, synopsis, slabs: dict[str, np.ndarray]) -> "FlatTreeEngine":
+        """Restore an engine from sealed slabs without rebuilding.
+
+        The slabs may be read-only mmap views; the frontier descent only
+        gathers from them, so restored engines share the archive's
+        physical pages across forked workers.
+        """
+        return cls(synopsis, _slabs=slabs)
 
     @property
     def n_nodes(self) -> int:
@@ -724,6 +863,29 @@ class WaveletRangeEngine:
         self._p = p
         self._h = p.bit_length() - 1
 
+    @staticmethod
+    def precompute(layout: GridLayout, coefficients: np.ndarray) -> dict[str, np.ndarray]:
+        """Derived buffers to seal into a v2 archive at release time.
+
+        Empty by design: the released coefficient matrix *is* the
+        prepared state (no prefix sums or level stacks are derived), so
+        a restored engine is already zero-copy over the mapped archive.
+        The empty dict still marks the archive as sealed, which is what
+        lets the serving layer count the restore as a warm load.
+        """
+        return {}
+
+    @classmethod
+    def from_slabs(
+        cls,
+        layout: GridLayout,
+        coefficients: np.ndarray,
+        slabs: dict[str, np.ndarray],
+    ) -> "WaveletRangeEngine":
+        """Restore an engine over the (possibly mapped) coefficients."""
+        del slabs  # nothing derived to restore; see precompute
+        return cls(layout, coefficients)
+
     @property
     def layout(self) -> GridLayout:
         return self._layout
@@ -814,24 +976,53 @@ class NDPrefixSumEngine:
     exactly 0 through the same mask the 2-D engines apply.
     """
 
-    def __init__(self, layout, counts: np.ndarray):
-        counts = np.asarray(counts, dtype=float)
-        if counts.shape != layout.shape:
-            raise ValueError(
-                f"counts shape {counts.shape} does not match grid {layout.shape}"
-            )
+    def __init__(self, layout, counts: np.ndarray, *, _flat_prefix=None):
         d = int(layout.dimension)
         m = int(layout.m)
-        prefix = np.zeros((m + 1,) * d)
-        prefix[(slice(1, None),) * d] = counts
-        for axis in range(d):
-            np.cumsum(prefix, axis=axis, out=prefix)
+        if _flat_prefix is None:
+            counts = np.asarray(counts, dtype=float)
+            if counts.shape != layout.shape:
+                raise ValueError(
+                    f"counts shape {counts.shape} does not match grid "
+                    f"{layout.shape}"
+                )
+            prefix = np.zeros((m + 1,) * d)
+            prefix[(slice(1, None),) * d] = counts
+            for axis in range(d):
+                np.cumsum(prefix, axis=axis, out=prefix)
+            flat_prefix = prefix.ravel()
+        else:
+            flat_prefix = np.asarray(_flat_prefix, dtype=float)
+            if flat_prefix.shape != ((m + 1) ** d,):
+                raise ValueError(
+                    f"sealed prefix holds {flat_prefix.size} values, grid "
+                    f"requires {(m + 1) ** d}"
+                )
         self._layout = layout
         self._d = d
         self._m = m
-        self._flat_prefix = prefix.ravel()
+        self._flat_prefix = flat_prefix
         # C-order index strides of the (m + 1)^d tensor, per axis.
         self._strides = (m + 1) ** np.arange(d - 1, -1, -1, dtype=np.int64)
+
+    @staticmethod
+    def precompute(layout, counts: np.ndarray) -> dict[str, np.ndarray]:
+        """Derived buffers to seal into a v2 archive at release time.
+
+        Runs the exact constructor preprocessing, so an engine restored
+        via :meth:`from_slabs` is bit-identical to one built in-process.
+        """
+        return {"flat_prefix": NDPrefixSumEngine(layout, counts)._flat_prefix}
+
+    @classmethod
+    def from_slabs(cls, layout, slabs: dict[str, np.ndarray]) -> "NDPrefixSumEngine":
+        """Restore an engine from sealed slabs without rebuilding.
+
+        The slab may be a read-only mmap view; the interpolation only
+        gathers from it, so restored engines share the archive's
+        physical pages across forked workers.
+        """
+        return cls(layout, None, _flat_prefix=slabs["flat_prefix"])
 
     @property
     def layout(self):
@@ -942,19 +1133,86 @@ def register_engine(synopsis_type: type, factory: Callable) -> None:
     _ENGINE_FACTORIES[synopsis_type] = factory
 
 
+#: Synopsis type -> (precompute, from_slabs) pair for sealing derived
+#: engine buffers into archives at release time (archive format v2).
+#: ``precompute(synopsis)`` returns the named arrays to seal;
+#: ``from_slabs(synopsis, slabs)`` restores an engine from them without
+#: rebuilding.  Populated next to each module's :func:`register_engine`
+#: call, so sealing support always tracks engine support.
+_ENGINE_SEALERS: dict[type, tuple[Callable, Callable]] = {}
+
+
+def register_engine_sealer(
+    synopsis_type: type, precompute: Callable, from_slabs: Callable
+) -> None:
+    """Register the engine-sealing pair for a synopsis type.
+
+    ``precompute`` takes the synopsis and returns ``{name: array}`` of
+    derived engine buffers; ``from_slabs`` takes ``(synopsis, slabs)``
+    and returns a ready engine.  ``from_slabs(s, precompute(s))`` must
+    be bit-identical to the registered factory's engine.
+    """
+    _ENGINE_SEALERS[synopsis_type] = (precompute, from_slabs)
+
+
+def _sealer_for(synopsis) -> "tuple[Callable, Callable] | None":
+    for cls in type(synopsis).__mro__:
+        sealer = _ENGINE_SEALERS.get(cls)
+        if sealer is not None:
+            return sealer
+    return None
+
+
+def compute_engine_slabs(synopsis) -> "dict[str, np.ndarray] | None":
+    """Derived engine buffers to seal alongside a release, or ``None``.
+
+    ``None`` means the synopsis type has no registered sealer (the
+    archive is written without sealed buffers and loads trigger a
+    normal engine build); an empty dict is a valid sealing — the
+    engine's prepared state is the released arrays themselves.
+    """
+    sealer = _sealer_for(synopsis)
+    if sealer is None:
+        return None
+    return dict(sealer[0](synopsis))
+
+
+def has_sealed_engine(synopsis) -> bool:
+    """Whether :func:`make_engine` can restore this synopsis's engine
+    from sealed slabs instead of rebuilding (i.e. the synopsis carries
+    loader-attached slabs *and* its type has a registered sealer)."""
+    return (
+        getattr(synopsis, "sealed_engine_slabs", None) is not None
+        and _sealer_for(synopsis) is not None
+    )
+
+
 def make_engine(synopsis):
     """Build the fastest available batch engine for a released synopsis.
 
-    Looks the synopsis type (nearest registered ancestor first) up in
-    the engine registry — uniform grids register the prefix-sum
-    :class:`BatchQueryEngine`, adaptive grids the flat CSR
-    :class:`FlatAdaptiveGridEngine`, spatial trees the level-order
+    Synopses carrying sealed engine slabs (loaded from a v2 archive)
+    restore their engine directly from the slabs — no derived-buffer
+    rebuild, and the buffers stay read-only views over the archive
+    mapping.  Otherwise, looks the synopsis type (nearest registered
+    ancestor first) up in the engine registry — uniform grids register
+    the prefix-sum :class:`BatchQueryEngine`, adaptive grids the flat
+    CSR :class:`FlatAdaptiveGridEngine`, spatial trees the level-order
     :class:`FlatTreeEngine` — and falls back to the scalar
     :class:`FallbackEngine` for unregistered types.  The returned object
     exposes ``answer_batch(rects) -> np.ndarray`` and holds no reference
     to raw data, so it can be cached and shared across threads.
     """
     global _fallback_count
+    slabs = getattr(synopsis, "sealed_engine_slabs", None)
+    if slabs is not None:
+        sealer = _sealer_for(synopsis)
+        if sealer is not None:
+            try:
+                return sealer[1](synopsis, slabs)
+            except (KeyError, ValueError):
+                # Slabs sealed by an older precompute (missing or
+                # mismatched arrays): fall through to a full rebuild.
+                pass
     for cls in type(synopsis).__mro__:
         factory = _ENGINE_FACTORIES.get(cls)
         if factory is not None:

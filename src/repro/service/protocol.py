@@ -159,7 +159,11 @@ def encode_answer(estimates: np.ndarray, clamp: bool = False) -> bytes:
 
 
 def decode_answer(body: bytes) -> np.ndarray:
-    """Parse a binary answer frame back into a float64 estimate vector."""
+    """Parse a binary answer frame back into a float64 estimate vector.
+
+    Returns a read-only zero-copy view over ``body``; callers that need to
+    mutate the estimates must ``.copy()`` themselves.
+    """
     _, _, key_len, count = _decode_header(body, _KIND_ANSWER)
     if key_len != 0:
         raise ValidationError("binary answer frame must not carry a release slug")
@@ -169,7 +173,7 @@ def decode_answer(body: bytes) -> np.ndarray:
             f"binary answer frame truncated or padded: header promises "
             f"{count} estimate(s) ({expected} bytes total), got {len(body)}"
         )
-    return np.frombuffer(body, dtype=_ESTIMATE_DTYPE, offset=HEADER_SIZE).copy()
+    return np.frombuffer(body, dtype=_ESTIMATE_DTYPE, offset=HEADER_SIZE)
 
 
 def _decode_header(body: bytes, expected_kind: int) -> tuple[int, int, int, int]:

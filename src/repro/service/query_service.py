@@ -39,6 +39,7 @@ from repro.core.geometry import Rect
 from repro.core.synopsis import Synopsis
 from repro.queries.engine import (
     fallback_engine_count,
+    has_sealed_engine,
     make_engine,
     rects_to_boxes,
 )
@@ -127,6 +128,7 @@ class QueryService:
         self._queries_answered = 0
         self._batches_answered = 0
         self._engine_cold_starts = 0
+        self._engine_sealed_loads = 0
         # Answer cache: (key, digest, clamp) -> (generation, estimates).
         # Plain dict + move-to-end semantics via re-insertion is not
         # enough for LRU order; use insertion-ordered dict explicitly.
@@ -187,7 +189,14 @@ class QueryService:
                 # the old engine can no longer insert.
                 self._invalidate_answers(key)
             self._engine_building.add(key)
-            self._engine_cold_starts += 1
+            # A synopsis carrying sealed slabs (loaded from a v2 archive)
+            # restores its engine as a map of the archive's pages — no
+            # derived-buffer rebuild, so it is a warm load, not a cold
+            # start.  Only genuine rebuilds count as cold.
+            if has_sealed_engine(synopsis):
+                self._engine_sealed_loads += 1
+            else:
+                self._engine_cold_starts += 1
         # Build outside the lock: prefix-sum preparation can take a few
         # milliseconds for large releases and must not stall other keys.
         try:
@@ -313,6 +322,7 @@ class QueryService:
                 "batches_answered": self._batches_answered,
                 "engines_cached": len(self._engines),
                 "engine_cold_starts": self._engine_cold_starts,
+                "engine_sealed_loads": self._engine_sealed_loads,
                 "engine_fallbacks": fallback_engine_count(),
                 "answer_cache_hits": self._answer_hits,
                 "answer_cache_misses": self._answer_misses,

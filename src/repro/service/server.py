@@ -458,6 +458,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "releases_cached": len(service.store.cached_keys()),
                 **service.stats(),
                 **server.fault_payload(),
+                "memory": service.store.memory_payload(),
                 "latency_ms": server.latency.to_payload(),
                 "ingest": (
                     server.ingest.to_payload()

@@ -8,8 +8,16 @@
   by entry count and by total released-state bytes
   (:func:`~repro.core.serialization.synopsis_nbytes`);
 * **persist** — write every build through to ``store_dir`` as the same
-  ``.npz`` artifact :mod:`repro.core.serialization` defines, so an evicted
-  release is reloaded from disk instead of being re-fit;
+  checksummed artifact :mod:`repro.core.serialization` defines, so an
+  evicted release is reloaded from disk instead of being re-fit.  With
+  the default ``archive_format="v2"`` the artifact is page-aligned and
+  uncompressed: reloads memory-map it read-only, so ``--workers N``
+  processes serving the same release share one set of physical pages
+  (and the sealed engine slabs restore without a per-worker rebuild);
+  eviction simply drops the views and lets the page cache decide.
+  ``archive_format="v1"`` keeps the compact ``savez_compressed`` blobs,
+  and a mixed-format directory is served transparently — the loader
+  sniffs each file;
 * **account** — charge every fit against a per-dataset-instance
   :class:`~repro.privacy.budget.PrivacyBudget` and refuse builds that
   would overdraw it (:class:`~repro.service.errors.BudgetRefused`).
@@ -56,7 +64,8 @@ except ImportError:  # pragma: no cover - non-POSIX
     fcntl = None  # type: ignore[assignment]
 
 from repro.core.serialization import (
-    load_synopsis,
+    ARCHIVE_FORMATS,
+    synopsis_from_path,
     synopsis_nbytes,
     synopsis_to_bytes,
 )
@@ -157,6 +166,28 @@ class StoreStats:
 class _Entry:
     synopsis: Synopsis
     nbytes: int
+    #: Size of the read-only archive mapping backing the synopsis (v2
+    #: reloads); 0 for built-in-process and v1-loaded releases, whose
+    #: arrays are private heap copies.
+    mapped_nbytes: int = 0
+
+
+def _process_rss_bytes() -> int | None:
+    """This process's resident set size, or ``None`` off-Linux.
+
+    Read from ``/proc/self/status`` (``VmRSS``) so the serving layer can
+    report it without a dependency; note RSS counts pages *shared* with
+    other workers too — the per-release ``mapped_bytes`` alongside it is
+    what a mapped release can share.
+    """
+    try:
+        with open("/proc/self/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
 
 
 class SynopsisStore:
@@ -186,6 +217,12 @@ class SynopsisStore:
         Optional dataset-size override applied to every build (the
         registry default otherwise).  Part of the store configuration, not
         the key, so one store always serves consistently sized data.
+    archive_format:
+        On-disk container for newly persisted releases: ``"v2"``
+        (default) writes page-aligned uncompressed slabs that reloads
+        memory-map and forked workers share; ``"v1"`` writes compact
+        ``savez_compressed`` blobs.  Reading sniffs per file, so a
+        directory holding a mix of both formats serves transparently.
     """
 
     def __init__(
@@ -195,6 +232,7 @@ class SynopsisStore:
         max_entries: int = 16,
         max_bytes: int = 512 * 1024 * 1024,
         n_points: int | None = None,
+        archive_format: str = "v2",
     ):
         if dataset_budget <= 0:
             raise ValueError(f"dataset_budget must be positive, got {dataset_budget}")
@@ -202,6 +240,12 @@ class SynopsisStore:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         if max_bytes < 1:
             raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        if archive_format not in ARCHIVE_FORMATS:
+            raise ValueError(
+                f"unknown archive format {archive_format!r}; expected one "
+                f"of {ARCHIVE_FORMATS}"
+            )
+        self._archive_format = archive_format
         self._store_dir = Path(store_dir) if store_dir is not None else None
         self._dataset_budget = float(dataset_budget)
         self._max_entries = int(max_entries)
@@ -320,7 +364,10 @@ class SynopsisStore:
                 return None
             self._loading.add(key)
         try:
-            synopsis = load_synopsis(path)
+            # Path-based load: v2 archives are memory-mapped (workers
+            # share pages), v1 archives stream their checksum instead of
+            # double-buffering the file in memory.
+            synopsis = synopsis_from_path(path)
         except Exception as error:
             # The archive is unreadable.  Quarantine it: rename preserves
             # the bytes for forensics while guaranteeing the file is never
@@ -523,6 +570,34 @@ class SynopsisStore:
         with self._lock:
             return self._cached_bytes
 
+    @property
+    def archive_format(self) -> str:
+        """Container format written for newly persisted releases."""
+        return self._archive_format
+
+    def memory_payload(self) -> dict:
+        """Process-memory view of the cache (for ``/health``).
+
+        ``mapped`` lists, per cached release, the bytes served from a
+        read-only archive mapping — pages the kernel shares across
+        forked workers, so they cost roughly ``1/N``-th of their size
+        per worker.  ``rss_bytes`` is this process's total resident set
+        (``None`` off-Linux); private (v1 or freshly built) releases
+        appear only there.
+        """
+        with self._lock:
+            mapped = {
+                key.slug(): entry.mapped_nbytes
+                for key, entry in self._cache.items()
+                if entry.mapped_nbytes
+            }
+        return {
+            "rss_bytes": _process_rss_bytes(),
+            "mapped_bytes": sum(mapped.values()),
+            "mapped": mapped,
+            "archive_format": self._archive_format,
+        }
+
     def quarantined_keys(self) -> dict[ReleaseKey, str]:
         """Keys whose archives were quarantined, with the load error."""
         with self._lock:
@@ -552,6 +627,7 @@ class SynopsisStore:
             payload = {
                 "cached": [key.to_payload() for key in self._cache],
                 "cached_bytes": self._cached_bytes,
+                "archive_format": self._archive_format,
                 "max_entries": self._max_entries,
                 "max_bytes": self._max_bytes,
                 "dataset_budget": self._dataset_budget,
@@ -578,7 +654,11 @@ class SynopsisStore:
         previous = self._cache.pop(key, None)
         if previous is not None:
             self._cached_bytes -= previous.nbytes
-        entry = _Entry(synopsis, synopsis_nbytes(synopsis))
+        entry = _Entry(
+            synopsis,
+            synopsis_nbytes(synopsis),
+            getattr(synopsis, "mapped_nbytes", 0),
+        )
         self._cache[key] = entry
         self._cached_bytes += entry.nbytes
         while len(self._cache) > 1 and (
@@ -605,7 +685,11 @@ class SynopsisStore:
         path = self._release_path(key)
         if path is None:
             return
-        _atomic_write(path, synopsis_to_bytes(synopsis), fault_prefix="archive")
+        _atomic_write(
+            path,
+            synopsis_to_bytes(synopsis, self._archive_format),
+            fault_prefix="archive",
+        )
 
     def _quarantine_archive(
         self, path: Path, key: ReleaseKey, error: Exception

@@ -1,0 +1,156 @@
+"""The v2 zero-copy archive container: round trips, mmap views, compat.
+
+A v1 archive is ``np.savez_compressed`` plus the SHA-1 footer; v2 is a
+page-aligned slab container with a JSON table of contents and the same
+footer.  Every servable method must round trip through both formats
+bit-identically, and a v2 archive loaded from disk must hand back
+memory-mapped views rather than heap copies.
+"""
+
+import mmap
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import GeoDataset
+from repro.core.geometry import Domain2D, Rect
+from repro.core.serialization import (
+    ARCHIVE_FORMATS,
+    load_synopsis,
+    save_synopsis,
+    synopsis_from_bytes,
+    synopsis_from_path,
+    synopsis_to_bytes,
+)
+from repro.queries.engine import has_sealed_engine, make_engine
+from repro.service.keys import make_builder, method_names
+
+QUERIES = [
+    Rect(0.0, 0.0, 1.0, 1.0),
+    Rect(0.1, 0.2, 0.6, 0.9),
+    Rect(0.33, 0.33, 0.34, 0.34),
+    Rect(0.0, 0.5, 1.0, 0.75),
+]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(42)
+    return GeoDataset(rng.random((2_000, 2)), Domain2D.unit(), name="v2-matrix")
+
+
+def build(dataset, method):
+    return make_builder(method).fit(dataset, 1.0, np.random.default_rng(7))
+
+
+def batch_answers(synopsis):
+    return np.asarray(make_engine(synopsis).answer_batch(QUERIES))
+
+
+class TestRoundTripMatrix:
+    """v1 and v2 restores are bit-identical for every servable method."""
+
+    @pytest.mark.parametrize("method", method_names())
+    def test_formats_agree_bit_for_bit(self, dataset, method, tmp_path):
+        synopsis = build(dataset, method)
+        restored = {}
+        for fmt in ARCHIVE_FORMATS:
+            path = tmp_path / f"{method}-{fmt}.npz"
+            save_synopsis(synopsis, path, archive_format=fmt)
+            restored[f"{fmt}-path"] = synopsis_from_path(path)
+            restored[f"{fmt}-bytes"] = synopsis_from_bytes(
+                synopsis_to_bytes(synopsis, archive_format=fmt)
+            )
+        reference = batch_answers(synopsis)
+        for label, clone in restored.items():
+            assert type(clone) is type(synopsis), label
+            np.testing.assert_array_equal(
+                batch_answers(clone), reference, err_msg=label
+            )
+            for query in QUERIES:
+                assert clone.answer(query) == synopsis.answer(query), label
+
+    @pytest.mark.parametrize("method", method_names())
+    def test_sealed_engine_matches_rebuilt(self, dataset, method, tmp_path):
+        """A v2 restore carries sealed engine slabs, and the engine
+        restored from them answers bit-identically to a cold rebuild."""
+        synopsis = build(dataset, method)
+        path = tmp_path / f"{method}.npz"
+        save_synopsis(synopsis, path, archive_format="v2")
+        mapped = synopsis_from_path(path)
+        assert has_sealed_engine(mapped)
+        cold = build(dataset, method)  # same seed: identical synopsis
+        np.testing.assert_array_equal(batch_answers(mapped), batch_answers(cold))
+
+    def test_v1_restore_is_not_sealed(self, dataset, tmp_path):
+        synopsis = build(dataset, "UG")
+        path = tmp_path / "ug.npz"
+        save_synopsis(synopsis, path, archive_format="v1")
+        assert not has_sealed_engine(synopsis_from_path(path))
+
+
+class TestMappedViews:
+    def test_v2_arrays_are_mmap_views(self, dataset, tmp_path):
+        synopsis = build(dataset, "UG")
+        path = tmp_path / "ug.npz"
+        save_synopsis(synopsis, path, archive_format="v2")
+        mapped = synopsis_from_path(path)
+        counts = mapped.counts
+        assert not counts.flags["OWNDATA"]
+        assert not counts.flags["WRITEABLE"]
+        base = counts
+        while base.base is not None and not isinstance(base, memoryview):
+            base = base.base
+            if isinstance(base, (mmap.mmap, memoryview)):
+                break
+        assert isinstance(base, (mmap.mmap, memoryview))
+        assert mapped.mapped_nbytes == path.stat().st_size
+
+    def test_v1_restore_reports_no_mapping(self, dataset, tmp_path):
+        synopsis = build(dataset, "UG")
+        path = tmp_path / "ug.npz"
+        save_synopsis(synopsis, path, archive_format="v1")
+        assert synopsis_from_path(path).mapped_nbytes == 0
+
+    def test_slabs_are_page_aligned(self, dataset):
+        from repro.core.serialization import _V2_ALIGN, _V2_HEADER, _V2_MAGIC
+        import json as _json
+
+        blob = synopsis_to_bytes(build(dataset, "AG"), archive_format="v2")
+        magic, version, toc_len = _V2_HEADER.unpack_from(blob)
+        assert magic == _V2_MAGIC and version == 2
+        toc = _json.loads(
+            bytes(blob[_V2_HEADER.size : _V2_HEADER.size + toc_len])
+        )
+        data_start = -(-(_V2_HEADER.size + toc_len) // _V2_ALIGN) * _V2_ALIGN
+        assert data_start % _V2_ALIGN == 0
+        for entry in toc["arrays"]:
+            assert (data_start + entry["offset"]) % _V2_ALIGN == 0, entry["name"]
+
+
+class TestCompat:
+    def test_legacy_pre_footer_archive_loads(self, dataset, tmp_path):
+        """v1 archives written before the checksum footer still load."""
+        synopsis = build(dataset, "Hier")
+        blob = synopsis_to_bytes(synopsis, archive_format="v1")
+        legacy = blob[:-36]  # strip sha1(20) + length(8) + magic(8)
+        clone = synopsis_from_bytes(legacy)
+        np.testing.assert_array_equal(batch_answers(clone), batch_answers(synopsis))
+
+    def test_legacy_pre_footer_path_loads(self, dataset, tmp_path):
+        synopsis = build(dataset, "Hier")
+        path = tmp_path / "legacy.npz"
+        path.write_bytes(synopsis_to_bytes(synopsis, archive_format="v1")[:-36])
+        clone = load_synopsis(path)
+        np.testing.assert_array_equal(batch_answers(clone), batch_answers(synopsis))
+
+    def test_unknown_format_rejected(self, dataset):
+        with pytest.raises(ValueError, match="unknown archive format"):
+            synopsis_to_bytes(build(dataset, "UG"), archive_format="v3")
+
+    def test_zero_dim_arrays_survive(self, dataset):
+        """0-d metadata arrays (epsilon, format_version) keep shape ()
+        through the v2 container — the TOC must not promote them."""
+        synopsis = build(dataset, "UG")
+        clone = synopsis_from_bytes(synopsis_to_bytes(synopsis, "v2"))
+        assert clone.epsilon == synopsis.epsilon

@@ -162,6 +162,32 @@ class TestAnswerFrames:
         decoded = protocol.decode_answer(protocol.encode_answer(estimates))
         assert decoded[0] == estimates[0]
 
+    def test_decode_returns_zero_copy_view(self):
+        # decode_answer must not copy: the returned vector is a read-only
+        # view over the frame bytes (callers copy only if they mutate).
+        estimates = np.array([3.5, -1.0, 7.25])
+        body = protocol.encode_answer(estimates)
+        decoded = protocol.decode_answer(body)
+        assert not decoded.flags["OWNDATA"]
+        assert not decoded.flags["WRITEABLE"]
+        with pytest.raises((ValueError, RuntimeError)):
+            decoded[0] = 0.0
+        np.testing.assert_array_equal(decoded, estimates)
+
+    def test_json_and_binary_answers_bit_identical(self):
+        # The zero-copy view must carry the exact float64 bits a JSON
+        # round trip of the same estimates produces.
+        import json
+
+        estimates = np.array([1.0 + 2**-50, -0.0, 1e308, 42.0])
+        via_json = np.asarray(
+            json.loads(json.dumps(list(map(float, estimates)))), dtype=np.float64
+        )
+        via_binary = protocol.decode_answer(protocol.encode_answer(estimates))
+        np.testing.assert_array_equal(
+            via_binary.view(np.uint64), via_json.view(np.uint64)
+        )
+
     def test_truncated_answer_rejected(self):
         body = protocol.encode_answer(np.array([1.0, 2.0]))
         with pytest.raises(ValidationError, match="truncated"):
