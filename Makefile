@@ -4,12 +4,13 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: help test test-faults test-ingest bench-quick bench-engine bench-experiments bench-tree bench-tree-quick bench-service bench-service-quick bench-longtail bench-longtail-quick bench-ingest bench-ingest-quick bench-mmap bench-mmap-quick serve serve-smoke quickstart
+.PHONY: help test test-faults test-ingest test-tenant bench-quick bench-engine bench-experiments bench-tree bench-tree-quick bench-service bench-service-quick bench-longtail bench-longtail-quick bench-ingest bench-ingest-quick bench-mmap bench-mmap-quick serve serve-smoke quickstart
 
 help:
 	@echo "make test                run the full unit/property test suite (tier-1)"
 	@echo "make test-faults         fault-injection suite: shedding, deadlines, crash-safe storage"
 	@echo "make test-ingest         streaming-ingest suite: WAL properties, crash replay, drift policy"
+	@echo "make test-tenant         multi-tenant suite: router, API-key auth, catalog ledger safety"
 	@echo "make bench-quick         every paper experiment at quick scale, one report"
 	@echo "make bench-engine        engine perf benches only; refreshes BENCH_*.json"
 	@echo "make bench-experiments   evaluation fast-path benches; refreshes BENCH_experiments.json"
@@ -35,6 +36,9 @@ test-faults:
 
 test-ingest:
 	$(PYTHON) -m pytest tests/faults/test_wal.py tests/faults/test_ingest_crash.py tests/faults/test_ledger_lock.py tests/service/test_ingest.py tests/service/test_ingest_http.py -q
+
+test-tenant:
+	$(PYTHON) -m pytest tests/tenant -q
 
 bench-quick:
 	$(PYTHON) -m repro suite

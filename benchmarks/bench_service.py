@@ -21,7 +21,10 @@ Kst, Khy) by comparing JSON and binary answers for the same batch.
 
 A second scenario (ISSUE 7) drives the same server at 2x its admission
 capacity with cold binary clients and records the shed rate and the
-server-measured p50/p95/p99 under overload.
+server-measured p50/p95/p99 under overload.  A third (ISSUE 10) times
+the warm binary path with API-key auth required — Bearer token resolved
+through the SQLite catalog — against the anonymous baseline and asserts
+the verification overhead stays within 10%.
 
 Results are written to ``BENCH_service.json`` at the repo root so the
 perf trajectory is tracked in-tree; ``cpu_count`` is recorded alongside.
@@ -40,6 +43,7 @@ not rewrite the repo's perf history.
 import http.client
 import json
 import os
+import statistics
 import threading
 import time
 
@@ -101,10 +105,12 @@ class _KeepAliveClient:
         self._host, self._port = host, port
         self._conn = http.client.HTTPConnection(host, port, timeout=60)
 
-    def post(self, path, body, content_type, accept=None):
+    def post(self, path, body, content_type, accept=None, extra_headers=None):
         headers = {"Content-Type": content_type}
         if accept:
             headers["Accept"] = accept
+        if extra_headers:
+            headers.update(extra_headers)
         for attempt in (0, 1):
             try:
                 self._conn.request("POST", path, body=body, headers=headers)
@@ -122,10 +128,20 @@ class _KeepAliveClient:
         self._conn.close()
 
 
-def _run_mode(host, port, bodies, content_type, accept):
+def _run_mode(
+    host,
+    port,
+    bodies,
+    content_type,
+    accept,
+    extra_headers=None,
+    client_threads=None,
+):
     """Fire all request bodies from persistent client threads; seconds."""
-    shares = [bodies[i::CLIENT_THREADS] for i in range(CLIENT_THREADS)]
-    barrier = threading.Barrier(CLIENT_THREADS + 1)
+    if client_threads is None:
+        client_threads = CLIENT_THREADS
+    shares = [bodies[i::client_threads] for i in range(client_threads)]
+    barrier = threading.Barrier(client_threads + 1)
     failures = []
 
     def worker(share):
@@ -134,7 +150,11 @@ def _run_mode(host, port, bodies, content_type, accept):
             barrier.wait()
             for body in share:
                 status, payload = client.post(
-                    "/query", body, content_type, accept=accept
+                    "/query",
+                    body,
+                    content_type,
+                    accept=accept,
+                    extra_headers=extra_headers,
                 )
                 if status != 200:
                     failures.append(payload[:200])
@@ -322,6 +342,182 @@ def test_service_throughput_json_vs_binary():
         server.shutdown()
         server.server_close()
         thread.join(timeout=5)
+
+
+# ----------------------------------------------------------------------
+# Auth scenario (ISSUE 10): API-key verification on the warm binary path
+# ----------------------------------------------------------------------
+
+#: The acceptance ceiling: Bearer-key verification may cost at most this
+#: fraction of warm binary throughput vs the anonymous baseline.
+MAX_AUTH_OVERHEAD = 0.10
+AUTH_ROUNDS = 1 if QUICK else 5
+
+
+def test_service_auth_overhead_on_warm_binary_path(tmp_path):
+    """API-key auth stays within 10% of anonymous warm binary throughput.
+
+    Two servers over the *same* ``QueryService`` (same engine, same
+    answer cache, same store) take the identical warm binary batch: one
+    anonymous, one requiring a Bearer key resolved through the SQLite
+    catalog.  One persistent connection per mode, held across all
+    rounds, measures each — this is a per-request-cost comparison (one
+    guarded cache probe + one extra header line), and both multi-client
+    scheduling noise and per-round thread churn on a small box would
+    swamp the ~2% signal.  Rounds alternate between the modes and the
+    comparison is the *median* per-request latency across all rounds,
+    so a background burst landing on one mode's rounds cannot fake (or
+    mask) an overhead.  Recorded into ``BENCH_service.json`` under
+    ``auth``; the <= 10% ceiling is asserted in full mode only (a quick
+    run on a loaded CI box still asserts the 401/403/200 semantics).
+    """
+    from repro.service.auth import ApiKeyAuthenticator
+    from repro.service.catalog import DEFAULT_TENANT, Catalog
+
+    catalog = Catalog(tmp_path / "catalog.sqlite")
+    token = catalog.create_api_key(DEFAULT_TENANT, name="bench")
+    store = SynopsisStore(n_points=N_POINTS, dataset_budget=2.0)
+    service = QueryService(store)
+    servers = {
+        "anonymous": serve(service, "127.0.0.1", 0),
+        "authed": serve(
+            service,
+            "127.0.0.1",
+            0,
+            authenticator=ApiKeyAuthenticator(catalog),
+            catalog=catalog,
+        ),
+    }
+    threads = []
+    for server in servers.values():
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        threads.append(thread)
+    try:
+        key = ReleaseKey(**RELEASE)
+        store.build(key)
+        domain = get_spec("storage").make(n=16, rng=0).domain
+        rng = np.random.default_rng(41)
+        warm_batch = _f32_exact_batches(domain, 1, rng)[0]
+        service.answer(key, warm_batch)  # prime the cache entry
+        bodies = [protocol.encode_query(key, warm_batch)] * REQUESTS_PER_MODE
+        bearer = {"Authorization": f"Bearer {token}"}
+        addresses = {
+            name: server.server_address[:2] for name, server in servers.items()
+        }
+
+        # Semantics before speed: the authed server rejects anonymous
+        # and wrong-key clients, and both servers agree on the answer.
+        client = _KeepAliveClient(*addresses["authed"])
+        try:
+            status, raw = client.post(
+                "/query", bodies[0], protocol.CONTENT_TYPE
+            )
+            assert status == 401, raw
+            status, raw = client.post(
+                "/query",
+                bodies[0],
+                protocol.CONTENT_TYPE,
+                extra_headers={"Authorization": "Bearer rk_bogus.nope"},
+            )
+            assert status == 403, raw
+            status, raw = client.post(
+                "/query",
+                bodies[0],
+                protocol.CONTENT_TYPE,
+                accept=protocol.CONTENT_TYPE,
+                extra_headers=bearer,
+            )
+            assert status == 200, raw
+            authed_estimates = protocol.decode_answer(raw)
+        finally:
+            client.close()
+        np.testing.assert_array_equal(
+            authed_estimates, service.answer(key, warm_batch).estimates
+        )
+
+        # Alternate anonymous/authed rounds on two long-lived
+        # connections, timing every request individually.  Reusing the
+        # connection keeps the server-side handler thread (and its
+        # thread-local catalog state) warm across rounds, so a sample
+        # times the steady-state request path and nothing else.
+        headers = {"anonymous": None, "authed": bearer}
+        clients = {
+            name: _KeepAliveClient(*address)
+            for name, address in addresses.items()
+        }
+        samples = {"anonymous": [], "authed": []}
+        try:
+            for name, client in clients.items():  # connect + warm up
+                for body in bodies[: max(4, len(bodies) // 8)]:
+                    status, raw = client.post(
+                        "/query",
+                        body,
+                        protocol.CONTENT_TYPE,
+                        accept=protocol.CONTENT_TYPE,
+                        extra_headers=headers[name],
+                    )
+                    assert status == 200, raw
+            for _ in range(AUTH_ROUNDS):
+                for name, client in clients.items():
+                    for body in bodies:
+                        start = time.perf_counter()
+                        status, raw = client.post(
+                            "/query",
+                            body,
+                            protocol.CONTENT_TYPE,
+                            accept=protocol.CONTENT_TYPE,
+                            extra_headers=headers[name],
+                        )
+                        samples[name].append(time.perf_counter() - start)
+                        assert status == 200, raw
+        finally:
+            for client in clients.values():
+                client.close()
+
+        medians = {
+            name: statistics.median(times) for name, times in samples.items()
+        }
+        overhead = medians["authed"] / medians["anonymous"] - 1.0
+        results = {
+            name: {
+                "median_ms": median * 1e3,
+                "batches_per_s": 1.0 / median,
+                "samples": len(samples[name]),
+            }
+            for name, median in medians.items()
+        }
+        write_report(
+            "service_auth",
+            f"warm binary, median of {len(samples['authed'])} requests "
+            f"over {AUTH_ROUNDS} alternating rounds "
+            f"(batch={BATCH_SIZE}, single client):\n"
+            f"  anonymous {medians['anonymous'] * 1e3:.3f} ms/req   "
+            f"authed {medians['authed'] * 1e3:.3f} ms/req   "
+            f"overhead {overhead:+.1%}",
+        )
+        if QUICK:
+            return
+        update_json_report(
+            "service",
+            {
+                "auth": {
+                    "requests_per_round": REQUESTS_PER_MODE,
+                    "rounds": AUTH_ROUNDS,
+                    "modes": results,
+                    "overhead": round(overhead, 4),
+                }
+            },
+        )
+        # Acceptance (ISSUE 10): Bearer verification costs <= 10% of the
+        # anonymous warm binary path.
+        assert overhead <= MAX_AUTH_OVERHEAD, results
+    finally:
+        for server in servers.values():
+            server.shutdown()
+            server.server_close()
+        for thread in threads:
+            thread.join(timeout=5)
 
 
 # ----------------------------------------------------------------------

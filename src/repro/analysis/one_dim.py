@@ -14,6 +14,15 @@ not just via the closed-form border model — this module implements the
 * :func:`compare_methods` — Monte-Carlo mean error of both on random
   interval queries, the measurement behind the "hierarchies win big in
   1-D" claim.
+
+The module is also servable: :class:`OneDimHistogramSynopsis` releases
+the hierarchical histogram over a 2-D dataset's *x-marginal* and answers
+rectangle queries as (interval estimate) x (fractional y-coverage of the
+domain) — the uniformity assumption applied on the unmodelled axis.  It
+registers in all three service registries (method ``Hier1d`` in
+:mod:`repro.service.keys`, serialization kind ``one_dim``, and
+:class:`OneDimIntervalEngine` in the engine registry), closing the last
+analysis family with no registration.
 """
 
 from __future__ import annotations
@@ -23,6 +32,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.baselines.hierarchy import hierarchy_inference
+from repro.core.dataset import GeoDataset
+from repro.core.geometry import Domain2D, Rect, interval_overlap, rects_to_boxes
+from repro.core.synopsis import Synopsis, SynopsisBuilder
 from repro.privacy.budget import PrivacyBudget
 from repro.privacy.mechanisms import ensure_rng, laplace_scale
 
@@ -33,6 +45,9 @@ __all__ = [
     "range_query",
     "OneDimComparison",
     "compare_methods",
+    "OneDimHistogramSynopsis",
+    "OneDimHistogramBuilder",
+    "OneDimIntervalEngine",
 ]
 
 
@@ -241,3 +256,202 @@ def compare_methods(
         flat_error=float(np.mean(flat_errors)),
         hierarchy_error=float(np.mean(hierarchy_errors)),
     )
+
+
+# ----------------------------------------------------------------------
+# Servable release: the 1-D hierarchy over a 2-D dataset's x-marginal
+# ----------------------------------------------------------------------
+
+
+class OneDimHistogramSynopsis(Synopsis):
+    """Released 1-D hierarchical histogram of a dataset's x-marginal.
+
+    The released state is the inferred leaf vector of
+    :func:`hierarchical_histogram` over ``m`` equi-width buckets spanning
+    the domain's x-extent.  A rectangle query is answered as the
+    fractional interval sum over x (:func:`range_query` semantics) scaled
+    by the fraction of the domain's y-extent the rectangle covers — the
+    uniformity assumption applied to the axis the release does not model.
+    This is the 1-D contrast method of Section IV-C made servable, not a
+    competitor to the 2-D families.
+    """
+
+    def __init__(self, domain: Domain2D, epsilon: float, released: np.ndarray):
+        super().__init__(domain, epsilon)
+        released = _check_counts(released)
+        if released.size & (released.size - 1):
+            raise ValueError(
+                f"bucket count must be a power of two, got {released.size}"
+            )
+        self._released = released
+        self._engine = None  # lazy OneDimIntervalEngine for answer_many
+
+    @property
+    def released(self) -> np.ndarray:
+        """The inferred leaf counts (may contain negative values)."""
+        return self._released
+
+    @property
+    def n_buckets(self) -> int:
+        return self._released.size
+
+    def _fractions(self, rect: Rect) -> tuple[float, float, float]:
+        """Map a rect to (x bucket interval, y coverage fraction)."""
+        bounds = self._domain.bounds
+        if bounds.width <= 0 or bounds.height <= 0:
+            return 0.0, 0.0, 0.0
+        scale = self._released.size / bounds.width
+        lo = (rect.x_lo - bounds.x_lo) * scale
+        hi = (rect.x_hi - bounds.x_lo) * scale
+        y_fraction = (
+            interval_overlap(rect.y_lo, rect.y_hi, bounds.y_lo, bounds.y_hi)
+            / bounds.height
+        )
+        return lo, hi, y_fraction
+
+    def answer(self, rect: Rect) -> float:
+        lo, hi, y_fraction = self._fractions(rect)
+        if y_fraction == 0.0:
+            return 0.0
+        return range_query(self._released, lo, hi) * y_fraction
+
+    def answer_many(self, rects: "list[Rect] | np.ndarray") -> np.ndarray:
+        """Vectorised batch answering via the registered engine."""
+        if self._engine is None:
+            from repro.queries.engine import make_engine
+
+            self._engine = make_engine(self)
+        return self._engine.answer_batch(rects)
+
+
+class OneDimIntervalEngine:
+    """Prefix-sum batch engine for :class:`OneDimHistogramSynopsis`.
+
+    ``S(t)``, the released mass in buckets ``[0, t)`` for fractional
+    ``t``, is a single prefix-sum lookup plus a partial-bucket term;
+    an interval answers ``S(hi) - S(lo)``, identical (to rounding) to
+    the scalar :func:`range_query` formula.  O(m) build, O(1) per query.
+    """
+
+    def __init__(self, synopsis: OneDimHistogramSynopsis):
+        self._domain = synopsis.domain.bounds.as_tuple()
+        released = synopsis.released
+        slabs = self.precompute(released)
+        self._finish_init(released, slabs)
+
+    def _finish_init(self, released: np.ndarray, slabs: dict) -> None:
+        self._released = released
+        self._prefix = slabs["prefix"]
+
+    @staticmethod
+    def precompute(released: np.ndarray) -> dict[str, np.ndarray]:
+        """Derived buffers to seal into a v2 archive at release time."""
+        prefix = np.zeros(released.size + 1)
+        np.cumsum(released, out=prefix[1:])
+        return {"prefix": prefix}
+
+    @classmethod
+    def from_slabs(
+        cls, synopsis: OneDimHistogramSynopsis, slabs: dict
+    ) -> "OneDimIntervalEngine":
+        """Restore from sealed (possibly read-only mmap) slabs."""
+        engine = cls.__new__(cls)
+        engine._domain = synopsis.domain.bounds.as_tuple()
+        engine._finish_init(synopsis.released, dict(slabs))
+        return engine
+
+    def _mass_below(self, positions: np.ndarray) -> np.ndarray:
+        """Vector of ``S(t)`` for fractional bucket positions ``t``."""
+        m = self._released.size
+        whole = np.minimum(positions.astype(int), m - 1)
+        return self._prefix[whole] + self._released[whole] * (positions - whole)
+
+    def answer_batch(self, rects: "list[Rect] | np.ndarray") -> np.ndarray:
+        boxes = rects_to_boxes(rects)
+        out = np.zeros(boxes.shape[0])
+        if boxes.shape[0] == 0:
+            return out
+        x_lo, y_lo, x_hi, y_hi = self._domain
+        width, height = x_hi - x_lo, y_hi - y_lo
+        if width <= 0 or height <= 0:
+            return out
+        m = self._released.size
+        with np.errstate(invalid="ignore"):
+            valid = (boxes[:, 2] >= boxes[:, 0]) & (boxes[:, 3] >= boxes[:, 1])
+            scale = m / width
+            # Invalid rows (inverted or NaN bounds) answer 0; zero their
+            # positions before indexing so NaNs never reach astype(int).
+            lo = np.where(
+                valid, np.clip((boxes[:, 0] - x_lo) * scale, 0.0, m), 0.0
+            )
+            hi = np.where(
+                valid, np.clip((boxes[:, 2] - x_lo) * scale, 0.0, m), 0.0
+            )
+            y_fraction = np.where(
+                valid,
+                (
+                    np.clip(boxes[:, 3], y_lo, y_hi)
+                    - np.clip(boxes[:, 1], y_lo, y_hi)
+                )
+                / height,
+                0.0,
+            )
+        estimates = (self._mass_below(hi) - self._mass_below(lo)) * y_fraction
+        out[valid] = estimates[valid]
+        return out
+
+
+class OneDimHistogramBuilder(SynopsisBuilder):
+    """Builds :class:`OneDimHistogramSynopsis` releases.
+
+    Histograms the x-coordinates into ``n_buckets`` equi-width buckets
+    (a disjoint partition of the domain, so the full hierarchy costs one
+    ``epsilon`` under the per-level split of
+    :func:`hierarchical_histogram`).
+    """
+
+    name = "Hier1d"
+
+    def __init__(self, n_buckets: int = 256):
+        if n_buckets < 1 or n_buckets & (n_buckets - 1):
+            raise ValueError(
+                f"n_buckets must be a power of two, got {n_buckets}"
+            )
+        self.n_buckets = n_buckets
+
+    def label(self) -> str:
+        return f"{self.name}(m={self.n_buckets})"
+
+    def fit(
+        self,
+        dataset: GeoDataset,
+        epsilon: float,
+        rng: np.random.Generator,
+        budget: PrivacyBudget | None = None,
+    ) -> OneDimHistogramSynopsis:
+        budget = self._budget(epsilon, budget)
+        rng = ensure_rng(rng)
+        bounds = dataset.domain.bounds
+        counts, _ = np.histogram(
+            dataset.xs, bins=self.n_buckets, range=(bounds.x_lo, bounds.x_hi)
+        )
+        released = hierarchical_histogram(
+            counts.astype(float), epsilon, rng, budget
+        )
+        return OneDimHistogramSynopsis(dataset.domain, epsilon, released)
+
+
+def _register_engine() -> None:
+    # Registered here (not in queries.engine) so the engine registry
+    # never has to import analysis modules.
+    from repro.queries.engine import register_engine, register_engine_sealer
+
+    register_engine(OneDimHistogramSynopsis, OneDimIntervalEngine)
+    register_engine_sealer(
+        OneDimHistogramSynopsis,
+        lambda synopsis: OneDimIntervalEngine.precompute(synopsis.released),
+        OneDimIntervalEngine.from_slabs,
+    )
+
+
+_register_engine()

@@ -41,6 +41,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.analysis.one_dim import OneDimHistogramSynopsis
 from repro.baselines.hierarchy import HierarchicalGridSynopsis
 from repro.baselines.privelet import PriveletSynopsis, reconstruct_counts
 from repro.baselines.tree import SpatialNode, TreeArrays, TreeSynopsis
@@ -132,6 +133,8 @@ def _pack(synopsis: Synopsis) -> dict[str, np.ndarray]:
         return _pack_tree(synopsis)
     if isinstance(synopsis, MultiDimGridSynopsis):
         return _pack_ndgrid(synopsis)
+    if isinstance(synopsis, OneDimHistogramSynopsis):
+        return _pack_onedim(synopsis)
     raise TypeError(
         f"cannot serialise synopsis of type {type(synopsis).__name__}"
     )
@@ -483,6 +486,8 @@ def _assemble(data: dict[str, np.ndarray]) -> Synopsis:
         synopsis = _unpack_hierarchy(data)
     elif kind == "ndgrid":
         synopsis = _unpack_ndgrid(data)
+    elif kind == "one_dim":
+        synopsis = _unpack_onedim(data)
     else:
         raise ValueError(f"unknown synopsis kind {kind!r}")
     if sealed:
@@ -502,6 +507,26 @@ def _domain_array(domain: Domain2D) -> np.ndarray:
 def _domain_from_array(values: np.ndarray) -> Domain2D:
     x_lo, y_lo, x_hi, y_hi = (float(v) for v in values)
     return Domain2D(x_lo, y_lo, x_hi, y_hi)
+
+
+def _pack_onedim(synopsis: OneDimHistogramSynopsis) -> dict[str, np.ndarray]:
+    return {
+        "kind": np.array("one_dim"),
+        "domain": _domain_array(synopsis.domain),
+        "epsilon": np.array(synopsis.epsilon),
+        "released": synopsis.released,
+    }
+
+
+def _unpack_onedim(data: dict[str, np.ndarray]) -> OneDimHistogramSynopsis:
+    try:
+        return OneDimHistogramSynopsis(
+            _domain_from_array(data["domain"]),
+            float(data["epsilon"]),
+            np.asarray(data["released"], dtype=float),
+        )
+    except ValueError as exc:
+        raise ValueError(f"corrupt one-dim archive: {exc}") from exc
 
 
 def _pack_uniform(synopsis: UniformGridSynopsis) -> dict[str, np.ndarray]:

@@ -14,6 +14,10 @@ Examples::
     python -m repro serve --store-dir /var/lib/repro --ingest \
         --drift-threshold 0.2 --staleness-ms 60000 --epoch-budget-fraction 0.5
 
+    # multi-tenant: mint an API key (one-shot), then require auth
+    python -m repro serve --store-dir /var/lib/repro --create-api-key acme
+    python -m repro serve --store-dir /var/lib/repro --auth require
+
     # one-request self-test on an ephemeral port (used by `make serve-smoke`)
     python -m repro serve --smoke
 
@@ -38,11 +42,15 @@ owns an independent :class:`~repro.service.store.SynopsisStore` handle
 over the shared ``--store-dir``: releases preloaded (or built) by one
 worker are persisted as ``.npz`` artifacts every other worker reloads on
 demand, and builds are bit-deterministic per key, so all workers answer
-identically.  The budget ledger, however, is loaded per process — with
-several workers accepting *builds* concurrently, each enforces the
-budget against its own view and last-writer-wins on ``budgets.json``.
-Preload every release before traffic (``--preload``) or direct builds at
-a single worker when strict cross-worker budget accounting matters.
+identically.  Budget accounting across workers depends on the ledger
+backend: with the default catalog (``--store-dir`` deployments share
+``<store-dir>/catalog.sqlite``) every spend runs in a ``BEGIN
+IMMEDIATE`` SQLite transaction, so the budget is strictly enforced
+across processes.  With ``--catalog off`` the JSON ledger is loaded per
+process — each worker enforces the budget against its own view and
+last-writer-wins on ``budgets.json``; preload every release before
+traffic (``--preload``) or direct builds at a single worker when strict
+accounting matters there.
 """
 
 from __future__ import annotations
@@ -171,6 +179,29 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 0.5)",
     )
     parser.add_argument(
+        "--auth", choices=("off", "require"), default="off",
+        help="authentication mode: 'off' (default) serves everyone as "
+        "the implicit default tenant; 'require' demands "
+        "'Authorization: Bearer <api-key>' credentials resolved against "
+        "the metadata catalog (/health stays open for probes)",
+    )
+    parser.add_argument(
+        "--catalog", default=None, metavar="PATH",
+        help="SQLite metadata catalog (tenants, API keys, dataset "
+        "registrations, per-tenant privacy ledgers); defaults to "
+        "<store-dir>/catalog.sqlite when --store-dir is set, 'off' "
+        "disables it and keeps the flock'd JSON ledger",
+    )
+    parser.add_argument(
+        "--create-tenant", default=None, metavar="TENANT",
+        help="admin one-shot: create a tenant in the catalog and exit",
+    )
+    parser.add_argument(
+        "--create-api-key", default=None, metavar="TENANT",
+        help="admin one-shot: mint an API key for a tenant (created if "
+        "missing), print the one-time token, and exit",
+    )
+    parser.add_argument(
         "--smoke", action="store_true",
         help="start on an ephemeral port, run one build + query round trip "
         "through HTTP, print the responses, and exit",
@@ -214,7 +245,47 @@ def resolve_workers(
     return requested, None
 
 
-def _make_store(args) -> SynopsisStore:
+def _resolve_catalog(args):
+    """Open the metadata catalog the flags ask for (or ``None``).
+
+    ``--catalog off`` disables it; an explicit path wins; otherwise a
+    ``--store-dir`` deployment gets ``<store-dir>/catalog.sqlite`` so
+    multi-worker and multi-process setups share one serialised ledger
+    by default.  In-memory servers without an explicit path run
+    catalog-less (single implicit tenant, JSON-ledger semantics).
+    """
+    if args.catalog == "off":
+        return None
+    if args.catalog is not None:
+        path = args.catalog
+    elif args.store_dir is not None:
+        path = os.path.join(args.store_dir, "catalog.sqlite")
+    else:
+        return None
+    from repro.service.catalog import Catalog
+
+    return Catalog(path)
+
+
+def _admin(args, catalog) -> int:
+    """Run the ``--create-tenant`` / ``--create-api-key`` one-shots."""
+    if catalog is None:
+        print(
+            "--create-tenant/--create-api-key need a catalog: pass "
+            "--catalog PATH or --store-dir",
+            file=sys.stderr,
+        )
+        return 2
+    if args.create_tenant is not None:
+        catalog.ensure_tenant(args.create_tenant)
+        print(f"tenant {args.create_tenant!r} ready in {catalog.path}")
+    if args.create_api_key is not None:
+        token = catalog.create_api_key(args.create_api_key)
+        print(token)
+    return 0
+
+
+def _make_store(args, catalog=None) -> SynopsisStore:
     return SynopsisStore(
         store_dir=args.store_dir,
         dataset_budget=args.dataset_budget,
@@ -222,6 +293,7 @@ def _make_store(args) -> SynopsisStore:
         max_bytes=args.max_bytes,
         n_points=args.n_points,
         archive_format=args.archive_format,
+        catalog=catalog,
     )
 
 
@@ -259,6 +331,8 @@ def main(argv: list[str] | None = None) -> int:
     # Fault-injection hooks for the crash-safety test harness; inert
     # unless REPRO_FAULTS is set (see repro.service.faultinject).
     faultinject.install_from_env()
+    if args.create_tenant is not None or args.create_api_key is not None:
+        return _admin(args, _resolve_catalog(args))
     if args.smoke:
         # Small and fast by default; an explicit --n-points or
         # --dataset-budget is honoured (the self-test adapts to the
@@ -273,7 +347,15 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 2
-    store = _make_store(args)
+    catalog = _resolve_catalog(args)
+    try:
+        from repro.service.auth import make_authenticator
+
+        authenticator = make_authenticator(args.auth, catalog)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    store = _make_store(args, catalog)
     service = QueryService(store, answer_cache_bytes=args.answer_cache_bytes)
     manager = None
     if args.ingest:
@@ -308,7 +390,13 @@ def main(argv: list[str] | None = None) -> int:
         return _serve_workers(args, workers)
 
     server = serve(
-        service, args.host, args.port, ingest=manager, **_fault_options(args)
+        service,
+        args.host,
+        args.port,
+        ingest=manager,
+        authenticator=authenticator,
+        catalog=catalog,
+        **_fault_options(args),
     )
     _install_graceful_shutdown(server)
     print(f"serving synopses on {server.url} (Ctrl-C to stop)")
@@ -350,10 +438,28 @@ _WORKER_STABLE_S = 30.0
 
 
 def _worker_main(args, host: str, port: int) -> int:
-    """Body of one forked worker: own store handle, shared listen port."""
-    store = _make_store(args)
+    """Body of one forked worker: own store handle, shared listen port.
+
+    Each worker opens its own catalog handle over the shared SQLite
+    file; spends serialise through ``BEGIN IMMEDIATE``, so with a
+    catalog the budget ledger is strictly consistent across workers
+    (unlike the per-process JSON view).
+    """
+    from repro.service.auth import make_authenticator
+
+    catalog = _resolve_catalog(args)
+    authenticator = make_authenticator(args.auth, catalog)
+    store = _make_store(args, catalog)
     service = QueryService(store, answer_cache_bytes=args.answer_cache_bytes)
-    server = serve(service, host, port, reuse_port=True, **_fault_options(args))
+    server = serve(
+        service,
+        host,
+        port,
+        reuse_port=True,
+        authenticator=authenticator,
+        catalog=catalog,
+        **_fault_options(args),
+    )
     # Graceful drain on SIGTERM: stop accepting, finish what's in
     # flight.  Budget spends are persisted before fits and artifacts are
     # written atomically, so there is no extra state to flush.

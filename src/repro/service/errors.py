@@ -11,7 +11,13 @@ from __future__ import annotations
 __all__ = [
     "ServiceError",
     "ValidationError",
+    "AuthRequired",
+    "AuthForbidden",
     "ReleaseNotFound",
+    "RouteNotFound",
+    "MethodNotAllowed",
+    "DatasetNotFound",
+    "DatasetExists",
     "BudgetRefused",
     "ServerOverloaded",
     "DeadlineExpired",
@@ -48,6 +54,61 @@ class ValidationError(ServiceError):
     """A request was malformed: missing fields, bad types, oversized batch."""
 
     status = 400
+
+
+class AuthRequired(ServiceError):
+    """The request carried no (or an unparseable) credential.
+
+    Answered 401 with a ``WWW-Authenticate: Bearer`` challenge.  Raised
+    only when the server runs with ``--auth require``; the default
+    ``--auth off`` deployment never authenticates and every request acts
+    as the implicit ``default`` tenant.
+    """
+
+    status = 401
+
+
+class AuthForbidden(ServiceError):
+    """The credential parsed but does not match any active API key.
+
+    Deliberately indistinguishable from a revoked or mistyped key: the
+    response never says which part of the token was wrong.
+    """
+
+    status = 403
+
+
+class RouteNotFound(ServiceError):
+    """No route pattern matches the request path (any method)."""
+
+    status = 404
+
+
+class MethodNotAllowed(ServiceError):
+    """The path exists but not for this HTTP method.
+
+    ``allow`` lists the methods the path does support; the HTTP adapter
+    surfaces it as the ``Allow`` response header (RFC 9110 requires one
+    on every 405).
+    """
+
+    status = 405
+
+    def __init__(self, message: str, allow: tuple[str, ...] = ()):
+        super().__init__(message)
+        self.allow = tuple(sorted(allow))
+
+
+class DatasetNotFound(ServiceError):
+    """No dataset registration under this tenant matches the name."""
+
+    status = 404
+
+
+class DatasetExists(ServiceError):
+    """A dataset registration with this name already exists for the tenant."""
+
+    status = 409
 
 
 class ReleaseNotFound(ServiceError):

@@ -264,6 +264,24 @@ class IngestManager:
         store.set_ingest(self)
         self._replay()
 
+    def for_store(self, store) -> "IngestManager":
+        """A sibling manager over ``store`` with this manager's policy.
+
+        Used to spawn per-tenant ingest managers: each tenant store has
+        its own directory, so WALs (and replay) stay partitioned per
+        tenant while the drift/staleness/budget policy is shared.
+        """
+        if store.store_dir is None:
+            raise ValueError("ingest requires a persistent store directory")
+        return IngestManager(
+            store,
+            store.store_dir,
+            drift_threshold=self.drift_threshold,
+            staleness_ms=self.staleness_ms,
+            epoch_budget_fraction=self.epoch_budget_fraction,
+            clock=self._clock,
+        )
+
     # ------------------------------------------------------------------
     # Replay: reconstruct staged state and finish interrupted refreshes
     # ------------------------------------------------------------------

@@ -89,6 +89,12 @@ def _register_longtail() -> None:
     register_method("Hier", HierarchicalGridBuilder)
     register_method("Privelet", PriveletBuilder)
     register_method("UGnd", MultiDimGridBuilder)
+    # The 1-D analysis module's hierarchical histogram, servable over the
+    # x-marginal of a 2-D dataset — the last analysis family with no
+    # registration (see analysis/one_dim.py for the release type).
+    from repro.analysis.one_dim import OneDimHistogramBuilder
+
+    register_method("Hier1d", OneDimHistogramBuilder)
 
 
 _register_defaults()
@@ -103,14 +109,29 @@ class ReleaseKey:
     ``epsilon`` describe the release built from it.  Budget accounting
     therefore groups keys by ``(dataset, seed)`` — see
     :class:`~repro.service.store.SynopsisStore`.
+
+    ``tenant`` namespaces the key: two tenants building the same
+    ``(dataset, method, epsilon, seed)`` own *distinct* releases with
+    independent noise, caches, and ledgers.  The default value keeps
+    every pre-tenancy construction site and wire payload working — a
+    key with ``tenant="default"`` behaves (slug, payload, ordering
+    among defaults) exactly as before the field existed.  The slug
+    deliberately omits the tenant: archives are partitioned into
+    per-tenant directories by the store, and the binary protocol's
+    slug framing stays unchanged (the server stamps the authenticated
+    tenant onto decoded keys).
     """
 
     dataset: str
     method: str
     epsilon: float
     seed: int
+    tenant: str = "default"
 
     def __post_init__(self) -> None:
+        from repro.service.catalog import validate_tenant_id
+
+        validate_tenant_id(self.tenant)
         if self.dataset not in DATASETS:
             raise ValidationError(
                 f"unknown dataset {self.dataset!r}; available: "
@@ -164,13 +185,33 @@ class ReleaseKey:
         return cls(dataset=parts[0], method=parts[1], epsilon=epsilon, seed=seed)
 
     def to_payload(self) -> dict:
-        """JSON-friendly representation used in HTTP responses."""
-        return {
+        """JSON-friendly representation used in HTTP responses.
+
+        The tenant appears only when it is not the implicit default, so
+        single-tenant deployments see payloads byte-identical to the
+        pre-tenancy format.
+        """
+        payload = {
             "dataset": self.dataset,
             "method": self.method,
             "epsilon": self.epsilon,
             "seed": self.seed,
         }
+        if self.tenant != "default":
+            payload["tenant"] = self.tenant
+        return payload
+
+    def with_tenant(self, tenant: str) -> "ReleaseKey":
+        """This key stamped into a tenant namespace."""
+        if tenant == self.tenant:
+            return self
+        return ReleaseKey(
+            dataset=self.dataset,
+            method=self.method,
+            epsilon=self.epsilon,
+            seed=self.seed,
+            tenant=tenant,
+        )
 
     def build_rng(self, salt: int = 0) -> np.random.Generator:
         """Deterministic RNG for building this release.
@@ -202,4 +243,12 @@ class ReleaseKey:
         )
         if salt:
             entropy = entropy + (int(salt),)
+        if self.tenant != "default":
+            # Non-default tenants draw independent noise streams: if two
+            # tenants' copies of a dataset instance ever diverge (e.g.
+            # per-tenant ingest), shared streams across their releases
+            # could be differenced into exact counts.  The default tenant
+            # contributes no entropy, keeping every pre-tenancy release
+            # bit-identical.
+            entropy = entropy + (zlib.crc32(self.tenant.encode()),)
         return np.random.default_rng(np.random.SeedSequence(entropy))

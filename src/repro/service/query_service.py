@@ -143,6 +143,35 @@ class QueryService:
     def store(self) -> SynopsisStore:
         return self._store
 
+    @property
+    def tenant(self) -> str:
+        """The tenant namespace this service answers for."""
+        return self._store.tenant
+
+    def for_store(self, store: SynopsisStore) -> "QueryService":
+        """A sibling service over ``store`` with this service's config.
+
+        The serving layer uses it to spin up per-tenant services that
+        inherit the answer-cache budget of the default one.
+        """
+        return QueryService(store, answer_cache_bytes=self._answer_cache_bytes)
+
+    def tenant_stats(self) -> dict:
+        """Compact per-tenant counter block for ``/health``'s tenant map."""
+        store = self._store
+        with self._lock:
+            queries = self._queries_answered
+            batches = self._batches_answered
+            engines = len(self._engines)
+        return {
+            "releases_cached": len(store.cached_keys()),
+            "queries_answered": queries,
+            "batches_answered": batches,
+            "engines_cached": engines,
+            "builds": store.stats.builds,
+            "refusals": store.stats.refusals,
+        }
+
     def engine_for(self, key: ReleaseKey):
         """The cached batch engine for ``key``, (re)built as needed.
 

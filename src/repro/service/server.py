@@ -1,17 +1,41 @@
 """Stdlib-only HTTP adapter for the serving layer.
 
 A thin HTTP front end (``http.server``; no web framework) over
-:class:`~repro.service.query_service.QueryService`:
+:class:`~repro.service.query_service.QueryService`, dispatched through a
+declarative :class:`~repro.service.router.Router` table:
 
-====== ============ ====================================================
-Method Path         Meaning
-====== ============ ====================================================
-GET    /health      liveness + cache/fault counters + latency percentiles
-GET    /releases    cached + persisted keys, budgets, store stats
-POST   /releases    build (or fetch) a release; 201 when a fit happened
-POST   /query       answer a batch of rectangles from one release
-POST   /ingest      durably stage a point batch; may trigger re-release
-====== ============ ====================================================
+====== ================= ===============================================
+Method Path              Meaning
+====== ================= ===============================================
+GET    /health           liveness + cache/fault counters + tenant stats
+GET    /releases         cached + persisted keys, budgets, store stats
+POST   /releases         build (or fetch) a release; 201 when a fit ran
+POST   /query            answer a batch of rectangles from one release
+POST   /ingest           durably stage a point batch; may re-release
+POST   /datasets         register a dataset under the caller's tenant
+GET    /datasets         page through the tenant's registrations
+GET    /datasets/{name}  one registration's metadata
+DELETE /datasets/{name}  drop a registration (metadata only)
+====== ================= ===============================================
+
+**Tenancy.**  Every request resolves to a tenant before it touches data.
+With ``--auth off`` (the default) an attached
+:class:`~repro.service.auth.NullAuthenticator` maps every request to the
+implicit ``default`` tenant and the server behaves exactly as the
+single-operator service always did.  With ``--auth require`` the
+:class:`~repro.service.auth.ApiKeyAuthenticator` demands
+``Authorization: Bearer rk_<id>.<secret>`` and resolves it against the
+metadata catalog; missing credentials answer ``401`` +
+``WWW-Authenticate: Bearer``, bad ones ``403``.  ``GET /health`` is
+exempt from both authentication *and* admission control — probes must
+work precisely when the service is locked down or saturated.  Each
+non-default tenant lazily gets its own
+:class:`~repro.service.store.SynopsisStore` partition (archives and
+ledger under ``<store_dir>/tenants/<tenant>``, budget rows scoped in the
+shared catalog), its own :class:`QueryService`, and — when ingestion is
+enabled — its own :class:`~repro.service.ingest.IngestManager` with
+per-tenant WALs, so one tenant exhausting its privacy budget (409s)
+never perturbs another tenant's builds, queries, or ingestion.
 
 ``POST /ingest`` (servers started with ``--ingest``) appends the batch
 to the write-ahead log before acknowledging, applies the drift/staleness
@@ -33,16 +57,18 @@ additionally negotiates the binary batch protocol
 estimates back as a binary answer frame, with the timing split mirrored
 into ``X-Build-Ms`` / ``X-Answer-Ms`` / ``X-Answer-Cached`` response
 headers.  Errors come back as JSON ``{"error": <class>, "detail":
-<message>}`` on every path, with the status each
-:class:`~repro.service.errors.ServiceError` subclass carries (400
-validation, 404 unknown release, 409 budget refused, 429 shed, 503
-quarantined, 504 deadline).
+<message>}`` on every path — including routing misses: an unknown path
+is a 404 whose detail lists every registered route, and a known path
+under the wrong method (any verb, even ones this server never defined)
+is a 405 with an ``Allow`` header, never
+``BaseHTTPRequestHandler``'s plain-text defaults.
 
 **Failure model.**  The server is a ``ThreadingHTTPServer`` (one thread
 per connection), wrapped in three defenses so overload and abuse degrade
 predictably instead of piling up threads:
 
-* **Admission control** — POST work passes a bounded in-flight gate
+* **Admission control** — routes flagged ``gated`` (the expensive POSTs
+  and DELETEs) pass a bounded in-flight gate
   (:class:`~repro.service.telemetry.AdmissionController`): at most
   ``max_inflight`` requests execute, ``queue_depth`` more may wait, and
   the rest are shed with ``429`` + ``Retry-After`` in microseconds.
@@ -72,19 +98,29 @@ import os
 import socket
 import threading
 import time
+import urllib.parse
+from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.service import faultinject, protocol
+from repro.service.auth import Authenticator, NullAuthenticator
+from repro.service.catalog import DEFAULT_TENANT, Catalog
 from repro.service.errors import (
+    AuthForbidden,
+    AuthRequired,
     DeadlineExpired,
     IngestDisabled,
+    MethodNotAllowed,
     ServerOverloaded,
     ServiceError,
     ValidationError,
 )
 from repro.service.query_service import QueryService
+from repro.service.router import Router
 from repro.service.schemas import (
     parse_build_request,
+    parse_dataset_list_query,
+    parse_dataset_request,
     parse_ingest_request,
     parse_query_request,
 )
@@ -105,6 +141,14 @@ _MAX_REQUEST_LINE = 65536
 _DEFAULT_QUEUE_WAIT_S = 2.0
 
 
+@dataclass
+class _TenantContext:
+    """One tenant's serving surface: its service and optional ingest."""
+
+    service: QueryService
+    ingest: object = None
+
+
 class SynopsisHTTPServer(ThreadingHTTPServer):
     """HTTP server bound to one :class:`QueryService`.
 
@@ -117,7 +161,7 @@ class SynopsisHTTPServer(ThreadingHTTPServer):
     Parameters
     ----------
     max_inflight:
-        Bound on concurrently executing POST requests (0 disables the
+        Bound on concurrently executing gated requests (0 disables the
         admission gate).
     queue_depth:
         How many admitted-but-waiting requests may queue for a slot
@@ -130,6 +174,17 @@ class SynopsisHTTPServer(ThreadingHTTPServer):
         socket (headers plus body together) — the slowloris bound.
     max_header_bytes:
         Cap on total request-line + header bytes per request.
+    authenticator:
+        Resolves request headers to a tenant id; defaults to
+        :class:`~repro.service.auth.NullAuthenticator` (everyone is the
+        ``default`` tenant).
+    catalog:
+        Optional :class:`~repro.service.catalog.Catalog`.  Required for
+        dataset registration endpoints and for serving any tenant other
+        than ``default``.
+    tenant_factory:
+        Test hook: ``tenant_factory(tenant) -> _TenantContext`` replaces
+        the default per-tenant store/service/ingest construction.
     """
 
     daemon_threads = True
@@ -146,6 +201,9 @@ class SynopsisHTTPServer(ThreadingHTTPServer):
         read_timeout: float = 30.0,
         max_header_bytes: int = 32 * 1024,
         ingest=None,
+        authenticator: Authenticator | None = None,
+        catalog: Catalog | None = None,
+        tenant_factory=None,
     ):
         if reuse_port and not hasattr(socket, "SO_REUSEPORT"):
             raise OSError("SO_REUSEPORT is not supported on this platform")
@@ -160,9 +218,19 @@ class SynopsisHTTPServer(ThreadingHTTPServer):
         self.max_header_bytes = int(max_header_bytes)
         self.admission = AdmissionController(max_inflight, queue_depth)
         self.latency = LatencyHistogram()
+        self.authenticator = (
+            authenticator if authenticator is not None else NullAuthenticator()
+        )
+        self.catalog = catalog
+        self.tenant_factory = tenant_factory
+        self._tenants: dict[str, _TenantContext] = {
+            DEFAULT_TENANT: _TenantContext(service=service, ingest=ingest)
+        }
+        self._tenant_lock = threading.Lock()
         self._counter_lock = threading.Lock()
         self._deadline_expired = 0
         self._slow_clients_closed = 0
+        self._auth_rejected = 0
         super().__init__(address, _Handler)
 
     def server_bind(self) -> None:
@@ -174,6 +242,51 @@ class SynopsisHTTPServer(ThreadingHTTPServer):
     def url(self) -> str:
         host, port = self.server_address[:2]
         return f"http://{host}:{port}"
+
+    # ------------------------------------------------------------------
+    # Tenancy
+    # ------------------------------------------------------------------
+
+    def tenant_context(self, tenant: str) -> _TenantContext:
+        """The (lazily created) serving context for ``tenant``.
+
+        The default tenant's context is the service/ingest pair the
+        server was constructed with; any other tenant gets a partitioned
+        store + service (+ per-tenant ingest manager when ingestion is
+        on), created once under the lock and cached for the server's
+        lifetime.
+        """
+        context = self._tenants.get(tenant)
+        if context is not None:
+            return context
+        with self._tenant_lock:
+            context = self._tenants.get(tenant)
+            if context is None:
+                context = self._make_context(tenant)
+                self._tenants[tenant] = context
+            return context
+
+    def _make_context(self, tenant: str) -> _TenantContext:
+        if self.tenant_factory is not None:
+            return self.tenant_factory(tenant)
+        if self.catalog is None:
+            raise ServiceError(
+                "multi-tenant serving requires a metadata catalog; "
+                "start the server with --catalog",
+                status=503,
+            )
+        store = self.service.store.for_tenant(tenant)
+        service = self.service.for_store(store)
+        ingest = None
+        if self.ingest is not None and store.store_dir is not None:
+            ingest = self.ingest.for_store(store)
+        return _TenantContext(service=service, ingest=ingest)
+
+    def tenants_payload(self) -> dict:
+        """Per-tenant serving counters for ``/health``."""
+        with self._tenant_lock:
+            items = sorted(self._tenants.items())
+        return {tenant: context.service.tenant_stats() for tenant, context in items}
 
     # ------------------------------------------------------------------
     # Fault accounting (handler threads call these)
@@ -192,16 +305,22 @@ class SynopsisHTTPServer(ThreadingHTTPServer):
         with self._counter_lock:
             self._slow_clients_closed += 1
 
+    def note_auth_rejected(self) -> None:
+        with self._counter_lock:
+            self._auth_rejected += 1
+
     def fault_payload(self) -> dict:
         """The `/health` fault block: shedding, deadlines, quarantines."""
         with self._counter_lock:
             deadline_expired = self._deadline_expired
             slow_clients = self._slow_clients_closed
+            auth_rejected = self._auth_rejected
         store = self.service.store
         return {
             **self.admission.to_payload(),
             "deadline_expired": deadline_expired,
             "slow_clients_closed": slow_clients,
+            "auth_rejected": auth_rejected,
             "request_deadline_ms": self.request_deadline_ms,
             "quarantined": store.stats.quarantined,
             "ledger_corrupt": store.ledger_corrupt is not None,
@@ -261,7 +380,14 @@ class _GuardedReader:
         self._connection.settimeout(min(self._read_timeout, remaining))
 
     def readline(self, limit: int = -1) -> bytes:
-        """A header/request line, byte-wise so the budget binds."""
+        """A header/request line; the budget binds every blocking read.
+
+        ``peek`` is the only call that can block (one ``recv`` when the
+        buffer is empty), so arming before it bounds a drip-feeding
+        client exactly as a byte-wise loop would — but a header line
+        that already sits in the buffer is consumed in one C-speed
+        ``find`` + ``read`` instead of one Python iteration per byte.
+        """
         if limit < 0:
             limit = _MAX_REQUEST_LINE + 1
         faultinject.fire("server.read", phase="headers")
@@ -269,11 +395,15 @@ class _GuardedReader:
         try:
             while len(line) < limit:
                 self._arm()
-                byte = self._rfile.read(1)
-                if not byte:
+                buffered = self._rfile.peek(1)
+                if not buffered:
                     break
-                line += byte
-                if byte == b"\n":
+                take = min(len(buffered), limit - len(line))
+                newline = buffered.find(b"\n", 0, take)
+                if newline >= 0:
+                    take = newline + 1
+                line += self._rfile.read(take)
+                if line.endswith(b"\n"):
                     break
         except TimeoutError:
             self._on_abuse()
@@ -316,7 +446,7 @@ class _GuardedReader:
 
 
 class _Handler(BaseHTTPRequestHandler):
-    server_version = "repro-serve/1.2"
+    server_version = "repro-serve/1.3"
     protocol_version = "HTTP/1.1"
     # TCP_NODELAY: responses are written as two packets (headers, then
     # body); with Nagle enabled the second write waits for the client's
@@ -354,37 +484,46 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
-        # GET handlers never read a body; drain any the client attached
-        # so leftover bytes cannot desynchronise a keep-alive connection.
-        # GETs bypass admission control: health checks and listings must
-        # answer while the service is shedding load.
-        self._dispatch(
-            {
-                "/health": self._get_health,
-                "/releases": self._get_releases,
-            },
-            drain_body=True,
-            gated=False,
-        )
+        self._dispatch()
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        self._dispatch(
-            {
-                "/releases": self._post_releases,
-                "/query": self._post_query,
-                "/ingest": self._post_ingest,
-            }
-        )
+        self._dispatch()
 
-    def _dispatch(self, routes, drain_body: bool = False, gated: bool = True) -> None:
+    def do_DELETE(self) -> None:  # noqa: N802 (http.server API)
+        self._dispatch()
+
+    def __getattr__(self, name: str):
+        # http.server answers verbs without a do_<VERB> method with a
+        # plain-text 501.  Routing every parseable verb through the
+        # router instead turns "PUT /releases" into a structured JSON
+        # 405 carrying an Allow header (or a 404 for unknown paths).
+        if name.startswith("do_"):
+            return self._dispatch
+        raise AttributeError(name)
+
+    def _dispatch(self) -> None:
         server = self.server
         start = time.perf_counter()
-        path = self.path.split("?", 1)[0]  # tolerate query strings
-        handler = routes.get(path.rstrip("/") or "/")
+        path, _, query = self.path.partition("?")
+        path = path.rstrip("/") or "/"
+        self._query_params = {
+            name: values[-1]
+            for name, values in urllib.parse.parse_qs(query).items()
+        }
         self._deadline = server.new_deadline()
+        self._tenant = DEFAULT_TENANT
+        self._context = None
         try:
+            route, params = _ROUTER.resolve(self.command, path)
+            # Middleware, in order: authentication resolves the tenant
+            # (exempt routes stay on the default tenant), the tenant's
+            # context is materialised, gated routes pass admission, and
+            # unread bodies are drained so keep-alive stays in sync.
+            if not route.auth_exempt:
+                self._tenant = server.authenticator.authenticate(self.headers)
+            self._context = server.tenant_context(self._tenant)
             admitted = False
-            if gated and handler is not None and server.admission.enabled:
+            if route.gated and server.admission.enabled:
                 wait = (
                     self._deadline.remaining()
                     if self._deadline is not None
@@ -398,15 +537,9 @@ class _Handler(BaseHTTPRequestHandler):
                         f"{server.admission.queue_depth} queued); request shed"
                     )
             try:
-                if drain_body:
+                if route.drain_body:
                     self._drain_body()
-                if handler is None:
-                    raise ServiceError(
-                        f"no route {self.command} {self.path}; "
-                        f"available: {', '.join(sorted(routes))}",
-                        status=404,
-                    )
-                handler()
+                route.handler(self, **params)
             finally:
                 if admitted:
                     server.admission.leave()
@@ -420,15 +553,18 @@ class _Handler(BaseHTTPRequestHandler):
             server.note_deadline_expired()
             self._send_json(error.status, error.to_payload())
         except ServiceError as error:
+            headers: dict[str, str] = {}
             retry_after = getattr(error, "retry_after", None)
+            if retry_after is not None:
+                headers["Retry-After"] = str(retry_after)
+            if isinstance(error, MethodNotAllowed) and error.allow:
+                headers["Allow"] = ", ".join(error.allow)
+            if isinstance(error, (AuthRequired, AuthForbidden)):
+                server.note_auth_rejected()
+            if isinstance(error, AuthRequired):
+                headers["WWW-Authenticate"] = "Bearer"
             self._send_json(
-                error.status,
-                error.to_payload(),
-                extra_headers=(
-                    {"Retry-After": str(retry_after)}
-                    if retry_after is not None
-                    else None
-                ),
+                error.status, error.to_payload(), extra_headers=headers or None
             )
         except (TimeoutError, ConnectionError):
             # Client stalled or vanished mid-request; there is no one
@@ -449,7 +585,8 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _get_health(self) -> None:
         server = self.server
-        service = server.service
+        context = self._context
+        service = context.service
         self._send_json(
             200,
             {
@@ -461,15 +598,16 @@ class _Handler(BaseHTTPRequestHandler):
                 "memory": service.store.memory_payload(),
                 "latency_ms": server.latency.to_payload(),
                 "ingest": (
-                    server.ingest.to_payload()
-                    if server.ingest is not None
+                    context.ingest.to_payload()
+                    if context.ingest is not None
                     else {"enabled": False}
                 ),
+                "tenants": server.tenants_payload(),
             },
         )
 
     def _get_releases(self) -> None:
-        self._send_json(200, self.server.service.store.to_payload())
+        self._send_json(200, self._context.service.store.to_payload())
 
     def _effective_deadline(self, requested_ms) -> Deadline | None:
         """The dispatch deadline, tightened by the request's own budget."""
@@ -482,7 +620,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _post_releases(self) -> None:
         request = parse_build_request(self._read_json())
-        synopsis, built = self.server.service.store.build(
+        synopsis, built = self._context.service.store.build(
             request.key,
             force=request.force,
             deadline=self._effective_deadline(request.deadline_ms),
@@ -503,7 +641,7 @@ class _Handler(BaseHTTPRequestHandler):
             request = protocol.decode_query(self._read_body())
         else:
             request = parse_query_request(self._parse_json(self._read_body()))
-        result = self.server.service.answer(
+        result = self._context.service.answer(
             request.key,
             request.boxes,
             clamp=request.clamp,
@@ -515,8 +653,8 @@ class _Handler(BaseHTTPRequestHandler):
         # still answers — streaming must not break serving — but says so:
         # the client can decide whether stale-but-private is acceptable.
         staleness = None
-        if self.server.ingest is not None:
-            staleness = self.server.ingest.staleness(request.key)
+        if self._context.ingest is not None:
+            staleness = self._context.ingest.staleness(request.key)
         stale_headers = {}
         if staleness is not None:
             stale_headers = {
@@ -543,7 +681,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, payload, extra_headers=stale_headers or None)
 
     def _post_ingest(self) -> None:
-        manager = self.server.ingest
+        manager = self._context.ingest
         if manager is None:
             raise IngestDisabled(
                 "streaming ingestion is not enabled on this server; "
@@ -562,6 +700,49 @@ class _Handler(BaseHTTPRequestHandler):
         # budget cannot pay for a refresh.  The report names each
         # refused release and why.
         self._send_json(409 if report["refused"] else 200, report)
+
+    def _require_catalog(self) -> Catalog:
+        catalog = self.server.catalog
+        if catalog is None:
+            raise ServiceError(
+                "dataset registration requires a metadata catalog; "
+                "start the server with --catalog",
+                status=503,
+            )
+        return catalog
+
+    def _post_datasets(self) -> None:
+        catalog = self._require_catalog()
+        request = parse_dataset_request(self._read_json())
+        payload = catalog.register_dataset(
+            self._tenant, request.name, request.spec, request.description
+        )
+        self._send_json(201, {"dataset": payload})
+
+    def _get_datasets(self) -> None:
+        catalog = self._require_catalog()
+        limit, cursor = parse_dataset_list_query(self._query_params)
+        rows, next_cursor = catalog.list_datasets(
+            self._tenant, limit=limit, cursor=cursor
+        )
+        self._send_json(
+            200,
+            {
+                "datasets": rows,
+                "next_cursor": (
+                    str(next_cursor) if next_cursor is not None else None
+                ),
+            },
+        )
+
+    def _get_dataset(self, name: str) -> None:
+        catalog = self._require_catalog()
+        self._send_json(200, {"dataset": catalog.get_dataset(self._tenant, name)})
+
+    def _delete_dataset(self, name: str) -> None:
+        catalog = self._require_catalog()
+        catalog.delete_dataset(self._tenant, name)
+        self._send_json(200, {"deleted": name})
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -672,6 +853,34 @@ class _Handler(BaseHTTPRequestHandler):
         logger.debug("%s - %s", self.address_string(), format % args)
 
 
+def _build_router() -> Router:
+    """The server's dispatch table (shared, immutable after import).
+
+    Expensive mutating routes are ``gated`` (admission-controlled) and
+    parse their own bodies (``drain_body=False``); listings drain any
+    stray body so keep-alive stays in sync.  ``/health`` is the one
+    ``auth_exempt`` route: probes must answer on a locked-down server.
+    """
+    router = Router()
+    router.add("GET", "/health", _Handler._get_health, auth_exempt=True)
+    router.add("GET", "/releases", _Handler._get_releases)
+    router.add(
+        "POST", "/releases", _Handler._post_releases, gated=True, drain_body=False
+    )
+    router.add("POST", "/query", _Handler._post_query, gated=True, drain_body=False)
+    router.add("POST", "/ingest", _Handler._post_ingest, gated=True, drain_body=False)
+    router.add(
+        "POST", "/datasets", _Handler._post_datasets, gated=True, drain_body=False
+    )
+    router.add("GET", "/datasets", _Handler._get_datasets)
+    router.add("GET", "/datasets/{name}", _Handler._get_dataset)
+    router.add("DELETE", "/datasets/{name}", _Handler._delete_dataset, gated=True)
+    return router
+
+
+_ROUTER = _build_router()
+
+
 def serve(
     service: QueryService,
     host: str = "127.0.0.1",
@@ -687,7 +896,7 @@ def serve(
     processes can share one listening address.  ``fault_options`` are
     forwarded to :class:`SynopsisHTTPServer` (``max_inflight``,
     ``queue_depth``, ``request_deadline_ms``, ``read_timeout``,
-    ``max_header_bytes``, ``ingest``).
+    ``max_header_bytes``, ``ingest``, ``authenticator``, ``catalog``).
     """
     return SynopsisHTTPServer(
         (host, port), service, reuse_port=reuse_port, **fault_options

@@ -223,6 +223,17 @@ class SynopsisStore:
         memory-map and forked workers share; ``"v1"`` writes compact
         ``savez_compressed`` blobs.  Reading sniffs per file, so a
         directory holding a mix of both formats serves transparently.
+    catalog:
+        Optional :class:`~repro.service.catalog.Catalog`.  When set, the
+        authoritative ledger moves into the catalog's SQLite tables:
+        check-then-spend runs inside one ``BEGIN IMMEDIATE`` transaction
+        (replacing the flock protocol), an existing ``budgets.json`` is
+        imported bit-for-bit exactly once, and every spend still mirrors
+        back out to ``budgets.json`` as a fallback format.
+    tenant:
+        The tenant namespace this store serves (ledger scope in the
+        catalog, stamp applied to every key).  The default keeps
+        single-tenant deployments byte-identical to before tenancy.
     """
 
     def __init__(
@@ -233,6 +244,8 @@ class SynopsisStore:
         max_bytes: int = 512 * 1024 * 1024,
         n_points: int | None = None,
         archive_format: str = "v2",
+        catalog=None,
+        tenant: str = "default",
     ):
         if dataset_budget <= 0:
             raise ValueError(f"dataset_budget must be positive, got {dataset_budget}")
@@ -262,9 +275,24 @@ class SynopsisStore:
         self._quarantined: dict[ReleaseKey, str] = {}
         self._ledger_corrupt: str | None = None
         self._ingest = None  # attached via set_ingest()
+        self._catalog = catalog
+        from repro.service.catalog import validate_tenant_id
+
+        self._tenant = validate_tenant_id(tenant)
+        if catalog is not None:
+            catalog.ensure_tenant(self._tenant)
+            if self._store_dir is not None:
+                # One-shot, idempotent: a pre-catalog budgets.json spend
+                # history becomes catalog rows bit-for-bit; the marker in
+                # the catalog's meta table stops a second import from
+                # doubling the recorded privacy loss.
+                catalog.import_budgets_json(
+                    self._tenant, self._store_dir / _BUDGET_FILE
+                )
         if self._store_dir is not None:
             self._store_dir.mkdir(parents=True, exist_ok=True)
             self._sweep_crash_debris()
+        if self._store_dir is not None or catalog is not None:
             self._load_budgets()
 
     def _sweep_crash_debris(self) -> None:
@@ -309,6 +337,7 @@ class SynopsisStore:
         cache hits for other keys; a request for a key whose fit is in
         flight waits for that result, bounded by ``deadline``.
         """
+        key = key.with_tenant(self._tenant)
         synopsis = self._lookup_or_load(key, deadline)
         if synopsis is None:
             with self._lock:
@@ -430,6 +459,7 @@ class SynopsisStore:
         charge landed before the crash and the refit is a free,
         deterministic reconstruction of the identical release.
         """
+        key = key.with_tenant(self._tenant)
         ingest = self._ingest
         context = ingest.build_context(key) if ingest is not None else None
         if not force:
@@ -533,10 +563,41 @@ class SynopsisStore:
             # into a free, bit-identical re-release (the epoch label is
             # already charged), after it into a clean no-op.
             ingest.note_released(key, context)
+        if self._catalog is not None:
+            # Best-effort metadata: the release itself (archive + spend)
+            # is already durable, so a catalog hiccup here must not turn
+            # a successful build into an error.
+            with contextlib.suppress(Exception):
+                self._catalog.note_release(self._tenant, key)
         return synopsis, True
+
+    def for_tenant(self, tenant: str) -> "SynopsisStore":
+        """A sibling store serving ``tenant`` with this store's config.
+
+        Archives and the mirrored JSON ledger partition under
+        ``<store_dir>/tenants/<tenant>``; the catalog (shared) scopes the
+        authoritative ledger rows by tenant id.  Call on the *default*
+        store — its directory is the partition root.
+        """
+        if tenant == self._tenant:
+            return self
+        store_dir = None
+        if self._store_dir is not None:
+            store_dir = self._store_dir / "tenants" / tenant
+        return SynopsisStore(
+            store_dir=store_dir,
+            dataset_budget=self._dataset_budget,
+            max_entries=self._max_entries,
+            max_bytes=self._max_bytes,
+            n_points=self._n_points,
+            archive_format=self._archive_format,
+            catalog=self._catalog,
+            tenant=tenant,
+        )
 
     def evict(self, key: ReleaseKey) -> bool:
         """Drop a release from the in-memory cache (disk copy untouched)."""
+        key = key.with_tenant(self._tenant)
         with self._lock:
             entry = self._cache.pop(key, None)
             if entry is None:
@@ -561,7 +622,12 @@ class SynopsisStore:
         keys = []
         for path in sorted(self._store_dir.glob("*.npz")):
             try:
-                keys.append(ReleaseKey.from_slug(path.stem))
+                # Slugs never carry the tenant (archives live in the
+                # tenant's own directory); stamp it back on so persisted
+                # keys compare equal to request keys.
+                keys.append(
+                    ReleaseKey.from_slug(path.stem).with_tenant(self._tenant)
+                )
             except Exception:
                 continue  # unrelated file in the store directory
         return keys
@@ -574,6 +640,21 @@ class SynopsisStore:
     def archive_format(self) -> str:
         """Container format written for newly persisted releases."""
         return self._archive_format
+
+    @property
+    def tenant(self) -> str:
+        """The tenant namespace this store serves."""
+        return self._tenant
+
+    @property
+    def store_dir(self) -> Path | None:
+        """This store's persistence directory (``None`` for in-memory)."""
+        return self._store_dir
+
+    @property
+    def catalog(self):
+        """The attached metadata catalog (``None`` in JSON-ledger mode)."""
+        return self._catalog
 
     def memory_payload(self) -> dict:
         """Process-memory view of the cache (for ``/health``).
@@ -725,6 +806,14 @@ class SynopsisStore:
         caller already holds ``self._lock`` — so there is no
         lock-ordering cycle.
         """
+        if self._catalog is not None:
+            # Catalog mode: the SQLite transaction *is* the cross-process
+            # exclusion — BEGIN IMMEDIATE takes the write lock up front,
+            # so reload + check + spend commit atomically against every
+            # process sharing the catalog file.
+            with self._catalog.exclusive():
+                yield
+            return
         if self._store_dir is None or fcntl is None:
             yield
             return
@@ -748,9 +837,51 @@ class SynopsisStore:
         our init-time load and now would be invisible and the check
         would approve an overdraw.
         """
-        if self._store_dir is None or self._ledger_corrupt is not None:
+        if self._ledger_corrupt is not None:
+            return
+        if self._store_dir is None and self._catalog is None:
             return
         self._load_budgets()
+
+    def _budgets_from_payload(self, raw: dict) -> dict[str, PrivacyBudget]:
+        """Replay a ``{data_id: {total, ledger}}`` payload into budgets.
+
+        Raises the same family of errors for malformed state as the JSON
+        parser does, so both ledger backends share one corruption path.
+        """
+        budgets: dict[str, PrivacyBudget] = {}
+        for data_id, state in raw.items():
+            # Keep the persisted total: weakening it would break the
+            # guarantee already promised to the data's owners.
+            budget = PrivacyBudget(float(state["total"]))
+            for epsilon, label in state["ledger"]:
+                budget.spend(float(epsilon), str(label))
+            budgets[data_id] = budget
+        return budgets
+
+    def _load_budgets_catalog(self) -> None:
+        """Load the tenant's ledger from the catalog.
+
+        A catalog that cannot be read or replayed puts the store into
+        the same refuse-all-builds mode as a corrupt JSON ledger — the
+        spending history is unprovable either way.
+        """
+        import sqlite3
+
+        try:
+            raw = self._catalog.load_budgets(self._tenant)
+            budgets = self._budgets_from_payload(raw)
+        except (
+            sqlite3.Error,
+            ValueError,
+            KeyError,
+            TypeError,
+            AttributeError,
+            BudgetExceededError,
+        ) as error:
+            self._ledger_corrupt = f"{type(error).__name__}: {error}"
+            return
+        self._budgets.update(budgets)
 
     def _load_budgets(self) -> None:
         """Load the ledger; quarantine it and refuse builds when corrupt.
@@ -763,7 +894,14 @@ class SynopsisStore:
         ``budgets.json.corrupt`` and the store enters a conservative
         mode where *all* builds are refused (serving persisted releases
         is post-processing and remains safe).
+
+        In catalog mode the SQLite tables are authoritative and this
+        loads from them instead; the JSON file on disk is then only the
+        mirrored fallback copy and is never parsed for truth.
         """
+        if self._catalog is not None:
+            self._load_budgets_catalog()
+            return
         path = self._store_dir / _BUDGET_FILE
         if not path.exists():
             return
@@ -805,21 +943,30 @@ class SynopsisStore:
         boundary the on-disk ledger is either the complete pre-spend or
         the complete post-spend state, and restart can only ever
         over-count (conservative), never under-count, the epsilon spent.
+
+        In catalog mode the spend lands as catalog rows *inside* the
+        surrounding ``BEGIN IMMEDIATE`` transaction (authoritative), and
+        the JSON file is then rewritten as a mirror.  A crash between
+        mirror write and commit leaves the JSON over-counting — the
+        conservative direction, identical to the JSON-only protocol —
+        and the next committed spend rewrites the mirror from truth.
         """
+        if self._store_dir is None and self._catalog is None:
+            return
+        state = {
+            data_id: {
+                "total": budget.total,
+                "ledger": [
+                    [entry.epsilon, entry.label] for entry in budget.ledger
+                ],
+            }
+            for data_id, budget in self._budgets.items()
+        }
+        if self._catalog is not None:
+            self._catalog.replace_budgets(self._tenant, state)
         if self._store_dir is None:
             return
-        payload = {
-            "version": _BUDGET_FORMAT_VERSION,
-            "budgets": {
-                data_id: {
-                    "total": budget.total,
-                    "ledger": [
-                        [entry.epsilon, entry.label] for entry in budget.ledger
-                    ],
-                }
-                for data_id, budget in self._budgets.items()
-            },
-        }
+        payload = {"version": _BUDGET_FORMAT_VERSION, "budgets": state}
         _atomic_write(
             self._store_dir / _BUDGET_FILE,
             json.dumps(payload, indent=2).encode("utf-8"),
